@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Ablation bench for the design choices DESIGN.md calls out:
+ *
+ *  A1. Shared-memory accumulation buffer in the forward SpGEMM
+ *      (Algorithm 1) vs direct scattered global atomics.
+ *  A2. Dense-row prefetch in the backward SSpMM (Algorithm 2) vs
+ *      uncoalesced global gathers through sp_index.
+ *  A3. sp_index width (uint8 / uint16 / uint32) — the Sec. 4.3
+ *      5-bytes-per-element traffic claim.
+ *  A4. Edge-Group workload cap w — write-back atomics vs balance.
+ *  A5. Graph reordering (the Rabbit-order effect GNNAdvisor relies on)
+ *      vs CBSR traffic reduction — showing the MaxK-GNN win is
+ *      orthogonal to, and larger than, locality reordering.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/maxk.hh"
+#include "core/spgemm_forward.hh"
+#include "core/sspmm_backward.hh"
+#include "core/traffic_model.hh"
+#include "graph/reorder.hh"
+#include "kernels/spmm_row_wise.hh"
+#include "tensor/init.hh"
+
+using namespace maxk;
+
+int
+main()
+{
+    bench::banner("Ablation: MaxK-GNN kernel design choices "
+                  "(Reddit twin, dim_org = 256, k = 32)");
+
+    const auto info = *findDataset("Reddit");
+    bench::TwinBundle twin =
+        bench::makeTwin(info, 256, Aggregator::SageMean);
+    Rng rng(77);
+    Matrix x(twin.graph.numNodes(), 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    MaxKResult mk = maxkCompress(x, 32, twin.opt);
+
+    // --- A1: shared-memory accumulation buffer ---------------------
+    {
+        Matrix y;
+        const auto with_buf =
+            spgemmForward(twin.graph, twin.part, mk.cbsr, y, twin.opt);
+        SimOptions no_buf = twin.opt;
+        no_buf.spgemmSharedBuffer = false;
+        Matrix y2;
+        const auto without_buf =
+            spgemmForward(twin.graph, twin.part, mk.cbsr, y2, no_buf);
+        if (!y.approxEquals(y2, 1e-3f))
+            std::printf("WARNING: ablation changed results!\n");
+
+        TextTable t({"SpGEMM variant", "sim ms", "atomic sectors",
+                     "l2 req MB", "slowdown"});
+        t.addRow({"shared-memory buffer (paper)",
+                  formatFloat(with_buf.milliseconds(), 4),
+                  std::to_string(with_buf.aggregate().atomicSectors),
+                  formatFloat(with_buf.aggregate().l2ReqBytes / 1e6, 1),
+                  "1.00x"});
+        t.addRow({"direct global atomics",
+                  formatFloat(without_buf.milliseconds(), 4),
+                  std::to_string(without_buf.aggregate().atomicSectors),
+                  formatFloat(without_buf.aggregate().l2ReqBytes / 1e6,
+                              1),
+                  formatSpeedup(without_buf.totalSeconds /
+                                with_buf.totalSeconds)});
+        std::printf("\nA1 — forward accumulation buffer:\n%s",
+                    t.render().c_str());
+    }
+
+    // --- A2: dense-row prefetch in SSpMM ---------------------------
+    // Compared in the uncached regime: at paper scale the gradient
+    // matrix (238 MB on Reddit) dwarfs L1/L2, so every uncoalesced
+    // gather becomes a full global-memory sector — the case the
+    // prefetch exists for. (At twin scale the caches would mask it.)
+    {
+        Matrix dxl(twin.graph.numNodes(), 256);
+        fillNormal(dxl, rng, 0.0f, 1.0f);
+        CbsrMatrix d1, d2;
+        d1.adoptPattern(mk.cbsr);
+        d2.adoptPattern(mk.cbsr);
+        SimOptions uncached = twin.opt;
+        uncached.simulateCaches = false;
+        const auto with_pf =
+            sspmmBackward(twin.graph, twin.part, dxl, d1, uncached);
+        SimOptions no_pf = uncached;
+        no_pf.sspmmPrefetch = false;
+        const auto without_pf =
+            sspmmBackward(twin.graph, twin.part, dxl, d2, no_pf);
+
+        TextTable t({"SSpMM variant", "sim ms", "l2 req MB",
+                     "dram MB", "slowdown"});
+        auto mb = [](const gpusim::KernelStats &s) {
+            return formatFloat(s.aggregate().l2ReqBytes / 1e6, 1);
+        };
+        auto dram = [](const gpusim::KernelStats &s) {
+            const auto a = s.aggregate();
+            return formatFloat(
+                (a.dramReadBytes + a.dramWriteBytes) / 1e6, 1);
+        };
+        t.addRow({"dense-row prefetch (paper)",
+                  formatFloat(with_pf.milliseconds(), 4), mb(with_pf),
+                  dram(with_pf), "1.00x"});
+        t.addRow({"uncoalesced global gather",
+                  formatFloat(without_pf.milliseconds(), 4),
+                  mb(without_pf), dram(without_pf),
+                  formatSpeedup(without_pf.totalSeconds /
+                                with_pf.totalSeconds)});
+        std::printf("\nA2 — backward dense-row prefetch:\n%s",
+                    t.render().c_str());
+    }
+
+    // --- A3: index width ---------------------------------------------
+    {
+        TextTable t({"sp_index type", "bytes/element",
+                     "feature traffic (paper scale, GB)",
+                     "reduction vs SpMM"});
+        for (const std::uint32_t idx_bytes : {1u, 2u, 4u}) {
+            const Bytes traffic = traffic::spgemmFeatureBytes(
+                114615891u, 32, idx_bytes);
+            t.addRow({idx_bytes == 1   ? "uint8 (paper, dim<=256)"
+                      : idx_bytes == 2 ? "uint16"
+                                       : "uint32",
+                      std::to_string(4 + idx_bytes),
+                      formatFloat(traffic / 1e9, 1),
+                      formatFloat(traffic::spgemmReductionFraction(
+                                      256, 32, idx_bytes) *
+                                      100.0,
+                                  1) +
+                          "%"});
+        }
+        std::printf("\nA3 — sp_index width (analytical, Reddit "
+                    "scale):\n%s",
+                    t.render().c_str());
+    }
+
+    // --- A4: EG workload cap sweep -----------------------------------
+    {
+        TextTable t({"w (EG cap)", "EGs", "imbalance", "sim ms",
+                     "atomic sectors"});
+        for (const std::uint32_t w : {8u, 16u, 32u, 64u, 128u}) {
+            const auto part = EdgeGroupPartition::build(twin.graph, w);
+            SimOptions opt = twin.opt;
+            opt.workloadCap = w;
+            Matrix y;
+            const auto stats =
+                spgemmForward(twin.graph, part, mk.cbsr, y, opt);
+            t.addRow({std::to_string(w),
+                      std::to_string(part.groups().size()),
+                      formatFloat(part.imbalance(32), 3),
+                      formatFloat(stats.milliseconds(), 4),
+                      std::to_string(stats.aggregate().atomicSectors)});
+        }
+        std::printf("\nA4 — Edge-Group workload cap (write-back "
+                    "atomics shrink as w grows; balance\nstays near 1 "
+                    "because EGs are size-capped):\n%s",
+                    t.render().c_str());
+    }
+
+    // --- A5: reordering vs CBSR --------------------------------------
+    // Reordering only matters on sparse graphs (on the degree-500
+    // Reddit twin every row touches a quarter of all nodes, so order
+    // is irrelevant); use an ogbn-arxiv-like sparse twin instead.
+    {
+        Rng prng(123);
+        Rng grng(321);
+        CsrGraph sparse = rmat(13, 500000, grng);
+        CsrGraph scrambled = applyPermutation(
+            sparse, randomOrder(sparse.numNodes(), prng));
+        scrambled.setAggregatorWeights(Aggregator::SageMean);
+        CsrGraph clustered =
+            applyPermutation(scrambled, bfsOrder(scrambled));
+        clustered.setAggregatorWeights(Aggregator::SageMean);
+
+        TextTable t({"configuration", "SpMM sim ms", "L2 hit %",
+                     "SpGEMM(k=32) sim ms", "speedup"});
+        auto profile_pair = [&](CsrGraph &graph, const char *name) {
+            const auto part2 = EdgeGroupPartition::build(graph, 32);
+            Matrix xb(graph.numNodes(), 256);
+            Rng r2(5);
+            fillNormal(xb, r2, 0.0f, 1.0f);
+            Matrix yb;
+            const auto spmm_s = spmmRowWise(graph, xb, yb, twin.opt);
+            MaxKResult mk2 = maxkCompress(xb, 32, twin.opt);
+            const auto spgemm_s =
+                spgemmForward(graph, part2, mk2.cbsr, yb, twin.opt);
+            t.addRow({name, formatFloat(spmm_s.milliseconds(), 4),
+                      formatFloat(spmm_s.l2HitRate() * 100.0, 1),
+                      formatFloat(spgemm_s.milliseconds(), 4),
+                      formatSpeedup(spmm_s.totalSeconds /
+                                    spgemm_s.totalSeconds)});
+        };
+        profile_pair(scrambled, "random order (worst locality)");
+        profile_pair(clustered, "BFS/Rabbit-style order");
+        std::printf("\nA5 — reordering vs CBSR (MaxK's traffic cut "
+                    "applies on top of any ordering):\n%s",
+                    t.render().c_str());
+    }
+
+    return 0;
+}

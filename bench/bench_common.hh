@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: twin
+ * materialisation with aggregator weights and EG partition, working-set
+ * scaled device configs, and the k sweep of the evaluation section.
+ */
+
+#ifndef MAXK_BENCH_BENCH_COMMON_HH
+#define MAXK_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/csr.hh"
+#include "graph/edge_groups.hh"
+#include "graph/registry.hh"
+#include "gpusim/device.hh"
+#include "kernels/sim_options.hh"
+
+namespace maxk::bench
+{
+
+/** The k sweep used by Fig. 8 and Fig. 9. */
+inline std::vector<std::uint32_t>
+paperKSweep()
+{
+    return {2, 4, 8, 16, 32, 64, 96, 128, 192};
+}
+
+/** A materialised kernel twin ready for the simulated kernels. */
+struct TwinBundle
+{
+    DatasetInfo info;
+    CsrGraph graph;
+    EdgeGroupPartition part;
+    SimOptions opt;  //!< device scaled for this twin's working set
+};
+
+/**
+ * Materialise the kernel twin of a dataset with the given aggregator,
+ * EG cap, and a device whose caches are scaled so that the twin's
+ * feature-matrix working set occupies the same fraction of L2 as the
+ * real dataset's does on the A100 (DESIGN.md Sec. 1).
+ */
+inline TwinBundle
+makeTwin(const DatasetInfo &info, std::uint32_t dim_origin,
+         Aggregator agg = Aggregator::SageMean,
+         std::uint32_t workload_cap = 32, std::uint64_t seed = 2024)
+{
+    TwinBundle t;
+    t.info = info;
+    Rng rng(seed ^ std::hash<std::string>{}(info.name));
+    t.graph = materializeGraph(info, rng);
+    t.graph.setAggregatorWeights(agg);
+    t.part = EdgeGroupPartition::build(t.graph, workload_cap);
+
+    const double paper_ws =
+        static_cast<double>(info.paperNodes) * dim_origin * 4.0 +
+        static_cast<double>(info.paperEdges) * 8.0;
+    const double twin_ws =
+        static_cast<double>(t.graph.numNodes()) * dim_origin * 4.0 +
+        static_cast<double>(t.graph.numEdges()) * 8.0;
+    t.opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(
+        twin_ws / paper_ws);
+    t.opt.workloadCap = workload_cap;
+    return t;
+}
+
+/** Scale factor that maps twin kernel times to paper-size estimates:
+ *  the dominant terms are nnz-proportional. */
+inline double
+paperScaleFactor(const TwinBundle &t)
+{
+    return static_cast<double>(t.info.paperEdges) /
+           static_cast<double>(t.graph.numEdges());
+}
+
+/**
+ * Fast-mode switch: when MAXK_BENCH_FAST is set in the environment the
+ * benches shrink their sweeps so the full suite runs in seconds (used
+ * by CI-style smoke runs). Default: full sweeps.
+ */
+inline bool
+fastMode()
+{
+    const char *env = std::getenv("MAXK_BENCH_FAST");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** Print a section banner matching the other bench binaries. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================"
+                "===============\n%s\n"
+                "================================================"
+                "===============\n",
+                title.c_str());
+}
+
+} // namespace maxk::bench
+
+#endif // MAXK_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 10 reproduction: full-batch training convergence on the
+ * ogbn-products twin for the ReLU baseline and MaxK-GNN at k = 64, 32,
+ * 8 (scaled to the accuracy twin's hidden width). The paper's claim:
+ * MaxK converges like — or slightly faster than — the baseline.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "nn/trainer.hh"
+
+using namespace maxk;
+
+namespace
+{
+constexpr std::size_t kHidden = 64;
+
+std::vector<double>
+runCurve(TrainingTask task, nn::Nonlinearity nonlin,
+         std::uint32_t k_paper, std::uint32_t epochs,
+         std::uint32_t eval_every)
+{
+    // Harden the twin task so convergence takes tens of epochs, like
+    // the paper's 500-epoch full-batch runs: noisier features, weaker
+    // homophily, sparser graph.
+    task.featureNoise = 1.35;
+    task.intraEdgeFraction = 0.5;
+    task.accuracyAvgDegree = 8.0;
+
+    Rng rng(4242);
+    TrainingData data = materializeTrainingData(task, rng);
+    nn::ModelConfig cfg;
+    cfg.kind = nn::GnnKind::Sage;
+    cfg.nonlin = nonlin;
+    cfg.maxkK = std::max<std::uint32_t>(1, k_paper * kHidden / 256);
+    cfg.numLayers = 2;
+    cfg.inDim = task.featureDim;
+    cfg.hiddenDim = kHidden;
+    cfg.outDim = task.numClasses;
+    cfg.dropout = 0.3f;
+    cfg.seed = 99;
+    nn::GnnModel model(cfg);
+    nn::Trainer trainer(model, data, task);
+    nn::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.lr = 0.005f;
+    tc.evalEvery = eval_every;
+    return trainer.run(tc).testMetric;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 10: convergence on ogbn-products — ReLU "
+                  "baseline vs MaxK-GNN (k = 64, 32, 8)");
+
+    TrainingTask task = *findTrainingTask("ogbn-products");
+    const std::uint32_t epochs = bench::fastMode() ? 30 : 100;
+    const std::uint32_t eval_every = bench::fastMode() ? 5 : 10;
+
+    const auto base =
+        runCurve(task, nn::Nonlinearity::Relu, 0, epochs, eval_every);
+    const auto k64 =
+        runCurve(task, nn::Nonlinearity::MaxK, 64, epochs, eval_every);
+    const auto k32 =
+        runCurve(task, nn::Nonlinearity::MaxK, 32, epochs, eval_every);
+    const auto k8 =
+        runCurve(task, nn::Nonlinearity::MaxK, 8, epochs, eval_every);
+
+    TextTable table({"epoch", "ReLU baseline", "MaxK k=64", "MaxK k=32",
+                     "MaxK k=8"});
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        const std::uint32_t epoch =
+            static_cast<std::uint32_t>(i * eval_every);
+        table.addRow({std::to_string(std::min(epoch, epochs - 1)),
+                      formatFloat(base[i], 4), formatFloat(k64[i], 4),
+                      formatFloat(k32[i], 4), formatFloat(k8[i], 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape (paper Fig. 10): all four curves "
+                "converge to similar test\naccuracy; lower k converges "
+                "slightly faster early on.\n");
+    return 0;
+}

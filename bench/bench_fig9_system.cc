@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fig. 9 reproduction: end-to-end training speedup of MaxK-GNN over the
+ * DGL+cuSPARSE and GNNAdvisor baselines, as a function of k, for
+ * GraphSAGE / GCN / GIN on the five system-evaluation datasets, with
+ * the per-dataset Amdahl's-law speedup limits (Table 3 architectures).
+ *
+ * Epoch times come from the simulated kernel profiles on the
+ * degree-faithful kernel twins (DESIGN.md: timing is decoupled from the
+ * accuracy runs, which bench_table5 performs).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/stopwatch.hh"
+#include "common/table.hh"
+#include "nn/trainer.hh"
+
+using namespace maxk;
+
+namespace
+{
+
+/** Table 3 architecture per dataset. */
+struct ArchSetup
+{
+    std::uint32_t layers;
+    std::size_t hidden;
+};
+
+ArchSetup
+archFor(const std::string &name)
+{
+    if (name == "Flickr")
+        return {3, 256};
+    if (name == "Yelp")
+        return {4, 384};
+    if (name == "Reddit")
+        return {4, 256};
+    if (name == "ogbn-products")
+        return {3, 256};
+    return {3, 256}; // ogbn-proteins
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 9: MaxK-GNN system training speedup vs k "
+                  "(Table 3 architectures)");
+    std::printf("Table 3 setup: layers/hidden = Flickr 3/256, Yelp "
+                "4/384, Reddit 4/256,\nogbn-products 3/256, "
+                "ogbn-proteins 3/256; full-batch training.\n");
+
+    const auto ks = bench::fastMode()
+                        ? std::vector<std::uint32_t>{8, 32, 128}
+                        : bench::paperKSweep();
+    const auto models = {nn::GnnKind::Sage, nn::GnnKind::Gcn,
+                         nn::GnnKind::Gin};
+
+    Stopwatch watch;
+    for (const auto &task : trainingSuite()) {
+        const ArchSetup arch = archFor(task.info.name);
+        bench::TwinBundle twin = bench::makeTwin(
+            task.info, static_cast<std::uint32_t>(arch.hidden),
+            Aggregator::SageMean);
+
+        std::printf("\n### Dataset %s (twin |V|=%u |E|=%u, avg deg "
+                    "%.0f) ###\n",
+                    task.info.name.c_str(), twin.graph.numNodes(),
+                    twin.graph.numEdges(), twin.graph.avgDegree());
+
+        for (const nn::GnnKind kind : models) {
+            twin.graph.setAggregatorWeights(nn::aggregatorFor(kind));
+
+            nn::ModelConfig base;
+            base.kind = kind;
+            base.nonlin = nn::Nonlinearity::Relu;
+            base.numLayers = arch.layers;
+            base.inDim = 128;
+            base.hiddenDim = arch.hidden;
+            base.outDim = task.numClasses;
+
+            const nn::EpochTiming t_cusp = nn::profileEpoch(
+                base, twin.graph, twin.part, twin.opt,
+                nn::BaselineKernel::CuSparse);
+            const nn::EpochTiming t_gnna = nn::profileEpoch(
+                base, twin.graph, twin.part, twin.opt,
+                nn::BaselineKernel::Gnna);
+            const double amdahl_cusp =
+                1.0 / (1.0 - t_cusp.aggFraction());
+            const double amdahl_gnna =
+                t_gnna.total() / (t_cusp.total() -
+                                  (t_cusp.aggFwd + t_cusp.aggBwd));
+
+            TextTable table({"k", "epoch (sim ms)", "spd vs cuSP.",
+                             "spd vs GNNA.", "limit cuSP.",
+                             "limit GNNA."});
+            table.addRow({"baseline(ReLU)",
+                          formatFloat(t_cusp.total() * 1e3, 3), "1.00x",
+                          formatFloat(t_gnna.total() / t_cusp.total(),
+                                      2) +
+                              "x",
+                          formatFloat(amdahl_cusp, 2) + "x",
+                          formatFloat(amdahl_gnna, 2) + "x"});
+
+            for (const std::uint32_t k : ks) {
+                nn::ModelConfig mcfg = base;
+                mcfg.nonlin = nn::Nonlinearity::MaxK;
+                mcfg.maxkK = k;
+                const nn::EpochTiming t_maxk = nn::profileEpoch(
+                    mcfg, twin.graph, twin.part, twin.opt);
+                table.addRow(
+                    {std::to_string(k),
+                     formatFloat(t_maxk.total() * 1e3, 3),
+                     formatSpeedup(t_cusp.total() / t_maxk.total()),
+                     formatSpeedup(t_gnna.total() / t_maxk.total()),
+                     "", ""});
+            }
+            std::printf("\n%s on %s:\n%s", nn::gnnKindName(kind),
+                        task.info.name.c_str(), table.render().c_str());
+        }
+        std::fprintf(stderr, "  [%s done, %.1fs]\n",
+                     task.info.name.c_str(), watch.seconds());
+    }
+
+    std::printf("\nExpected shape (paper Fig. 9): Reddit and "
+                "ogbn-proteins approach their high\nAmdahl limits "
+                "(3-4.5x achieved); ogbn-products / Yelp / Flickr have "
+                "limits near\n1.1-2x and MaxK-GNN lands within them. "
+                "Total bench time: %.1fs\n",
+                watch.seconds());
+    return 0;
+}

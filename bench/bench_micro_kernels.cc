@@ -1,0 +1,146 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the host-side hot paths: MaxK
+ * pivot selection, CBSR (de)compression, the fast aggregation loops,
+ * and the cache model itself. These measure the reproduction's own
+ * throughput (host wall-clock), complementing the simulated-GPU
+ * numbers the table/figure benches report.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "gpusim/cache.hh"
+#include "graph/edge_groups.hh"
+#include "graph/generators.hh"
+#include "nn/gnn_layer.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+void
+BM_PivotSelect(benchmark::State &state)
+{
+    const std::uint32_t dim = 256;
+    const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+    Rng rng(1);
+    Matrix x(64, dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    std::vector<std::uint32_t> sel;
+    std::size_t row = 0;
+    for (auto _ : state) {
+        pivotSelect(x.row(row % 64), dim, k, sel);
+        benchmark::DoNotOptimize(sel.data());
+        ++row;
+    }
+    state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_PivotSelect)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_MaxkCompressFast(benchmark::State &state)
+{
+    Rng rng(2);
+    Matrix x(1024, 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    CbsrMatrix out;
+    for (auto _ : state) {
+        nn::maxkCompressFast(x, static_cast<std::uint32_t>(
+                                    state.range(0)),
+                             out);
+        benchmark::DoNotOptimize(out.rows());
+    }
+    state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_MaxkCompressFast)->Arg(16)->Arg(64);
+
+void
+BM_CbsrDecompress(benchmark::State &state)
+{
+    Rng rng(3);
+    Matrix x(1024, 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    CbsrMatrix cbsr;
+    nn::maxkCompressFast(x, 32, cbsr);
+    Matrix dense;
+    for (auto _ : state) {
+        cbsr.decompress(dense);
+        benchmark::DoNotOptimize(dense.data());
+    }
+}
+BENCHMARK(BM_CbsrDecompress);
+
+void
+BM_AggregateCbsr(benchmark::State &state)
+{
+    Rng rng(4);
+    CsrGraph g = rmat(12, 200000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    Matrix x(g.numNodes(), 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    CbsrMatrix cbsr;
+    nn::maxkCompressFast(x, static_cast<std::uint32_t>(state.range(0)),
+                         cbsr);
+    Matrix y;
+    for (auto _ : state) {
+        nn::aggregateCbsr(g, cbsr, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges() *
+                            state.range(0));
+}
+BENCHMARK(BM_AggregateCbsr)->Arg(8)->Arg(32);
+
+void
+BM_AggregateDense(benchmark::State &state)
+{
+    Rng rng(5);
+    CsrGraph g = rmat(12, 200000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    Matrix x(g.numNodes(), static_cast<std::size_t>(state.range(0)));
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix y;
+    for (auto _ : state) {
+        nn::aggregateDense(g, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges() *
+                            state.range(0));
+}
+BENCHMARK(BM_AggregateDense)->Arg(64)->Arg(256);
+
+void
+BM_EdgeGroupPartition(benchmark::State &state)
+{
+    Rng rng(6);
+    CsrGraph g = rmat(13, 400000, rng);
+    for (auto _ : state) {
+        auto part = EdgeGroupPartition::build(g, 32);
+        benchmark::DoNotOptimize(part.groups().size());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges());
+}
+BENCHMARK(BM_EdgeGroupPartition);
+
+void
+BM_CacheModelAccess(benchmark::State &state)
+{
+    gpusim::CacheModel cache(1 << 20, 16, 128);
+    Rng rng(7);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = rng.next() & ((1 << 24) - 1);
+        benchmark::DoNotOptimize(cache.access(addr, false).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelAccess);
+
+} // namespace
+} // namespace maxk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 1 reproduction: the 24 benchmark graphs with the paper's
+ * published |V| / |E| alongside the synthetic twin actually
+ * materialised in this environment (DESIGN.md substitution).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "graph/stats.hh"
+
+using namespace maxk;
+
+int
+main()
+{
+    bench::banner("Table 1: graph datasets — paper sizes vs synthetic "
+                  "twins");
+
+    TextTable table({"Graph", "paper |V|", "paper |E|", "avg deg",
+                     "twin |V|", "twin |E|", "twin avg", "twin max deg",
+                     "gini"});
+
+    Rng rng(7);
+    for (const auto &info : kernelSuite()) {
+        CsrGraph g = materializeGraph(info, rng);
+        const DegreeStats s = computeDegreeStats(g);
+        table.addRow({info.name, std::to_string(info.paperNodes),
+                      std::to_string(info.paperEdges),
+                      formatFloat(info.paperAvgDegree(), 1),
+                      std::to_string(s.numNodes),
+                      std::to_string(s.numEdges),
+                      formatFloat(s.avgDegree, 1),
+                      std::to_string(s.maxDegree),
+                      formatFloat(s.gini, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Twins preserve the paper's average degree exactly and "
+                "its degree skew\nfamily (power-law via RMAT, regular "
+                "via ring lattice); node counts are\ncapped so every "
+                "kernel run fits the simulation budget.\n");
+    return 0;
+}

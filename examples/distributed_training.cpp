@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Partition-parallel training demo (the BNS-GCN deployment the paper
+ * cites as compatible with MaxK-GNN, Sec. 1):
+ *
+ *  1. partition a community graph across simulated GPUs,
+ *  2. profile the per-epoch compute + boundary-exchange costs for the
+ *     ReLU baseline and MaxK-GNN,
+ *  3. actually train a MaxK-GNN on one partition to show the local
+ *     model still learns.
+ *
+ * Usage: distributed_training [num_gpus]   (default 4)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "graph/partition.hh"
+#include "graph/registry.hh"
+#include "nn/distributed.hh"
+#include "nn/trainer.hh"
+
+using namespace maxk;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t gpus =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+    if (gpus < 1 || gpus > 64) {
+        std::fprintf(stderr, "num_gpus must be in [1, 64]\n");
+        return 1;
+    }
+
+    // A products-like community graph.
+    TrainingTask task = *findTrainingTask("ogbn-products");
+    task.accuracyNodes = 2048;
+    task.accuracyAvgDegree = 20.0;
+    Rng rng(77);
+    TrainingData data = materializeTrainingData(task, rng);
+    std::printf("graph: %u nodes, %u edges, %u classes\n",
+                data.graph.numNodes(), data.graph.numEdges(),
+                task.numClasses);
+
+    // 1. Partition.
+    const Partition part = bfsPartition(data.graph, gpus, rng);
+    std::printf("partitioned across %u GPUs: balance %.3f, edge cut "
+                "%.1f%%\n",
+                gpus, part.balance(data.graph.numNodes()),
+                part.edgeCutFraction(data.graph) * 100.0);
+
+    // 2. Deployment profile: baseline vs MaxK.
+    nn::ModelConfig relu;
+    relu.kind = nn::GnnKind::Sage;
+    relu.nonlin = nn::Nonlinearity::Relu;
+    relu.numLayers = 3;
+    relu.inDim = task.featureDim;
+    relu.hiddenDim = 256;
+    relu.outDim = task.numClasses;
+    nn::ModelConfig maxk = relu;
+    maxk.nonlin = nn::Nonlinearity::MaxK;
+    maxk.maxkK = 32;
+
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.05);
+    nn::ClusterConfig cluster;
+    cluster.numGpus = gpus;
+
+    const auto t_relu = nn::profileDistributedEpoch(relu, data.graph,
+                                                    part, cluster, opt);
+    const auto t_maxk = nn::profileDistributedEpoch(maxk, data.graph,
+                                                    part, cluster, opt);
+
+    TextTable t({"method", "compute ms", "exchange ms", "exchanged MB",
+                 "epoch ms"});
+    t.addRow({"ReLU baseline",
+              formatFloat(t_relu.computeSeconds * 1e3, 3),
+              formatFloat(t_relu.exchangeSeconds * 1e3, 3),
+              formatFloat(t_relu.exchangedBytes / 1e6, 2),
+              formatFloat(t_relu.total() * 1e3, 3)});
+    t.addRow({"MaxK-GNN k=32",
+              formatFloat(t_maxk.computeSeconds * 1e3, 3),
+              formatFloat(t_maxk.exchangeSeconds * 1e3, 3),
+              formatFloat(t_maxk.exchangedBytes / 1e6, 2),
+              formatFloat(t_maxk.total() * 1e3, 3)});
+    std::printf("\n%s\n", t.render().c_str());
+
+    // 3. Train locally on partition 0.
+    std::vector<NodeId> ids;
+    TrainingData local;
+    local.graph = extractSubgraph(data.graph, part.members(0), &ids);
+    const NodeId n = local.graph.numNodes();
+    local.features.resize(n, task.featureDim);
+    for (NodeId v = 0; v < n; ++v) {
+        std::copy(data.features.row(ids[v]),
+                  data.features.row(ids[v]) + task.featureDim,
+                  local.features.row(v));
+        local.labels.push_back(data.labels[ids[v]]);
+        local.trainMask.push_back(data.trainMask[ids[v]]);
+        local.valMask.push_back(data.valMask[ids[v]]);
+        local.testMask.push_back(data.testMask[ids[v]]);
+    }
+    std::printf("training MaxK-GNN on partition 0 (%u nodes)...\n", n);
+
+    nn::ModelConfig local_cfg = maxk;
+    local_cfg.hiddenDim = 64;
+    local_cfg.maxkK = 8; // density-scaled
+    nn::GnnModel model(local_cfg);
+    nn::Trainer trainer(model, local, task);
+    nn::TrainConfig tc;
+    tc.epochs = 60;
+    tc.evalEvery = 20;
+    const auto r = trainer.run(tc);
+    std::printf("partition-local test accuracy: %.4f (chance %.4f)\n",
+                r.finalTestMetric, 1.0 / task.numClasses);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * End-to-end example: train a MaxK-GNN (GraphSAGE backbone) on a
+ * planted-partition community-detection task — the workload family the
+ * paper's Reddit/ogbn evaluations represent — and compare against the
+ * ReLU baseline on accuracy and simulated epoch time.
+ *
+ * Usage: train_community [dataset] [k]
+ *   dataset: one of Flickr, Yelp, Reddit, ogbn-products, ogbn-proteins
+ *            (default Reddit)
+ *   k:       MaxK value at the paper's hidden width 256 (default 32)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.hh"
+#include "graph/registry.hh"
+#include "nn/trainer.hh"
+
+using namespace maxk;
+
+int
+main(int argc, char **argv)
+{
+    const std::string dataset = argc > 1 ? argv[1] : "Reddit";
+    const std::uint32_t k_paper =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 32;
+
+    auto task_opt = findTrainingTask(dataset);
+    if (!task_opt) {
+        std::fprintf(stderr,
+                     "unknown dataset '%s' (try Reddit, Flickr, Yelp, "
+                     "ogbn-products, ogbn-proteins)\n",
+                     dataset.c_str());
+        return 1;
+    }
+    const TrainingTask task = *task_opt;
+
+    Rng rng(2024);
+    std::printf("materialising %s twin (SBM, %u classes)...\n",
+                dataset.c_str(), task.numClasses);
+
+    auto train = [&](nn::Nonlinearity nonlin, std::uint32_t k_scaled) {
+        TrainingData data = materializeTrainingData(task, rng);
+        nn::ModelConfig cfg;
+        cfg.kind = nn::GnnKind::Sage;
+        cfg.nonlin = nonlin;
+        cfg.maxkK = k_scaled;
+        cfg.numLayers = 2;
+        cfg.inDim = task.featureDim;
+        cfg.hiddenDim = 64;
+        cfg.outDim = task.numClasses;
+        cfg.dropout = 0.1f;
+        nn::GnnModel model(cfg);
+        nn::Trainer trainer(model, data, task);
+        nn::TrainConfig tc;
+        tc.epochs = 80;
+        tc.evalEvery = 20;
+        tc.verbose = true;
+        return trainer.run(tc);
+    };
+
+    // Scale k from the paper's hidden width (256) to ours (64).
+    const std::uint32_t k_scaled =
+        std::max<std::uint32_t>(1, k_paper * 64 / 256);
+
+    std::printf("\n--- ReLU baseline ---\n");
+    const auto base = train(nn::Nonlinearity::Relu, 0);
+    std::printf("\n--- MaxK-GNN (k=%u paper-scale, %u here) ---\n",
+                k_paper, k_scaled);
+    const auto maxk = train(nn::Nonlinearity::MaxK, k_scaled);
+
+    std::printf("\n%s %s: baseline %.4f | MaxK-GNN %.4f "
+                "(host: %.1fs vs %.1fs)\n",
+                dataset.c_str(), metricName(task.metric),
+                base.testAtBestVal, maxk.testAtBestVal,
+                base.hostSeconds, maxk.hostSeconds);
+    std::printf("Paper's claim (Table 5): MaxK at moderate k matches "
+                "the ReLU baseline while\nthe SpGEMM/SSpMM kernels cut "
+                "aggregation time by the Fig. 8 factors.\n");
+    return 0;
+}

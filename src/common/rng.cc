@@ -1,0 +1,103 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace maxk
+{
+
+namespace
+{
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+std::uint64_t
+Rng::splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Lemire-style rejection-free bounded draw is overkill here; the simple
+    // modulo bias is < 2^-40 for all bounds used in this project.
+    return next() % bound;
+}
+
+Float
+Rng::uniform()
+{
+    // Use the top 24 bits for a dense fp32 mantissa.
+    return static_cast<Float>(next() >> 40) * (1.0f / 16777216.0f);
+}
+
+Float
+Rng::uniform(Float lo, Float hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+Float
+Rng::normal()
+{
+    // Box-Muller; reject u1 == 0 to avoid log(0).
+    Float u1 = uniform();
+    while (u1 <= 1e-12f)
+        u1 = uniform();
+    const Float u2 = uniform();
+    const Float r = std::sqrt(-2.0f * std::log(u1));
+    return r * std::cos(6.28318530717958647692f * u2);
+}
+
+Float
+Rng::normal(Float mean, Float stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(Float p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    // Derive the child from two draws so parent and child streams differ.
+    const std::uint64_t a = next();
+    const std::uint64_t b = next();
+    return Rng(a ^ rotl(b, 31) ^ 0xA5A5A5A55A5A5A5Aull);
+}
+
+} // namespace maxk

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the reproduction (graph generators, weight
+ * init, dropout, dataset splits) draws from this xoshiro256** generator so
+ * that runs are bit-exact across machines and build modes. std::mt19937 is
+ * avoided because libstdc++'s distribution implementations are not
+ * guaranteed stable across versions.
+ */
+
+#ifndef MAXK_COMMON_RNG_HH
+#define MAXK_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace maxk
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation re-typed for this project), seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound). bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform float in [0, 1). */
+    Float uniform();
+
+    /** Uniform float in [lo, hi). */
+    Float uniform(Float lo, Float hi);
+
+    /** Standard normal via Box-Muller (uses two uniform draws). */
+    Float normal();
+
+    /** Normal with the given mean / stddev. */
+    Float normal(Float mean, Float stddev);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(Float p);
+
+    /**
+     * Fork a child generator whose stream is independent of (and stable
+     * with respect to) the parent. Used to give each module its own stream
+     * so adding draws in one place does not perturb another.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+
+    static std::uint64_t splitmix64(std::uint64_t &state);
+};
+
+} // namespace maxk
+
+#endif // MAXK_COMMON_RNG_HH

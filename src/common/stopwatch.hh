@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Wall-clock stopwatch for host-side measurements. Simulated GPU time comes
+ * from gpusim::KernelStats, never from this class; the stopwatch only feeds
+ * the informational "host ms" columns in bench output.
+ */
+
+#ifndef MAXK_COMMON_STOPWATCH_HH
+#define MAXK_COMMON_STOPWATCH_HH
+
+#include <chrono>
+
+namespace maxk
+{
+
+/** Simple monotonic stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from zero. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto d = Clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace maxk
+
+#endif // MAXK_COMMON_STOPWATCH_HH

@@ -1,0 +1,126 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    checkInvariant(!headers_.empty(), "TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    checkInvariant(cells.size() == headers_.size(),
+                   "TextTable row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                q += "\"\"";
+            else
+                q += ch;
+        }
+        q += "\"";
+        return q;
+    };
+
+    std::ostringstream out;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        out << (c ? "," : "") << quote(headers_[c]);
+    out << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c ? "," : "") << quote(row[c]);
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+formatFloat(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatSci(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, value);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    if (u == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f %s", bytes, units[u]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+    return buf;
+}
+
+std::string
+formatSpeedup(double ratio)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+    return buf;
+}
+
+} // namespace maxk

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * paper-style tables (Table 2, 4, 5, ...) and figure series (Fig. 8, 9, 10).
+ */
+
+#ifndef MAXK_COMMON_TABLE_HH
+#define MAXK_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace maxk
+{
+
+/**
+ * Column-aligned text table. Collect rows of strings, then render with a
+ * header rule. Numeric formatting is the caller's responsibility (use
+ * formatFloat / formatSci below for consistency).
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    std::string renderCsv() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fixed-point float formatting, e.g. formatFloat(3.14159, 2) == "3.14". */
+std::string formatFloat(double value, int decimals);
+
+/** Scientific formatting with the given significant digits. */
+std::string formatSci(double value, int digits);
+
+/** Human-readable byte count: "13.1 GB", "512 B", ... */
+std::string formatBytes(double bytes);
+
+/** Render "12.3x" style speedup cells. */
+std::string formatSpeedup(double ratio);
+
+} // namespace maxk
+
+#endif // MAXK_COMMON_TABLE_HH

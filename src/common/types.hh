@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every MaxK-GNN module.
+ *
+ * The reproduction standardises on 32-bit node/edge indices (the largest
+ * paper graph, ogbn-products, has 123.7M edges which fits in uint32) and
+ * 32-bit IEEE-754 features, matching the CUDA artifact.
+ */
+
+#ifndef MAXK_COMMON_TYPES_HH
+#define MAXK_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace maxk
+{
+
+/** Node identifier within a graph (row/column of the adjacency matrix). */
+using NodeId = std::uint32_t;
+
+/** Edge identifier: position within the CSR column-index array. */
+using EdgeId = std::uint32_t;
+
+/** Feature scalar. The CUDA artifact trains in fp32 end to end. */
+using Float = float;
+
+/** Byte count for memory-traffic accounting. */
+using Bytes = std::uint64_t;
+
+/** Cycle count for the device timing model. */
+using Cycles = std::uint64_t;
+
+} // namespace maxk
+
+#endif // MAXK_COMMON_TYPES_HH

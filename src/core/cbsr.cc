@@ -1,0 +1,77 @@
+#include "core/cbsr.hh"
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+CbsrMatrix::CbsrMatrix(NodeId rows, std::uint32_t dim_k,
+                       std::uint32_t dim_origin)
+    : rows_(rows),
+      dimK_(dim_k),
+      dimOrigin_(dim_origin),
+      narrowIndex_(dim_origin <= 256)
+{
+    checkInvariant(dim_k >= 1 && dim_k <= dim_origin,
+                   "CBSR: need 1 <= dimK <= dimOrigin");
+    checkInvariant(dim_origin <= 65536, "CBSR: dimOrigin exceeds uint16");
+    spData_.assign(std::size_t(rows) * dim_k, 0.0f);
+    if (narrowIndex_)
+        spIndex8_.assign(std::size_t(rows) * dim_k, 0);
+    else
+        spIndex16_.assign(std::size_t(rows) * dim_k, 0);
+}
+
+Bytes
+CbsrMatrix::storageBytes() const
+{
+    return spData_.size() * sizeof(Float) +
+           std::size_t(rows_) * dimK_ * indexBytes();
+}
+
+void
+CbsrMatrix::decompress(Matrix &dense) const
+{
+    dense.resize(rows_, dimOrigin_);
+    for (NodeId r = 0; r < rows_; ++r) {
+        const Float *data = dataRow(r);
+        Float *out = dense.row(r);
+        for (std::uint32_t kk = 0; kk < dimK_; ++kk)
+            out[indexAt(r, kk)] = data[kk];
+    }
+}
+
+void
+CbsrMatrix::zeroData()
+{
+    std::fill(spData_.begin(), spData_.end(), 0.0f);
+}
+
+bool
+CbsrMatrix::validate() const
+{
+    for (NodeId r = 0; r < rows_; ++r) {
+        for (std::uint32_t kk = 0; kk < dimK_; ++kk) {
+            const std::uint32_t col = indexAt(r, kk);
+            if (col >= dimOrigin_)
+                return false;
+            if (kk > 0 && indexAt(r, kk - 1) >= col)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+CbsrMatrix::adoptPattern(const CbsrMatrix &other)
+{
+    rows_ = other.rows_;
+    dimK_ = other.dimK_;
+    dimOrigin_ = other.dimOrigin_;
+    narrowIndex_ = other.narrowIndex_;
+    spIndex8_ = other.spIndex8_;
+    spIndex16_ = other.spIndex16_;
+    spData_.assign(std::size_t(rows_) * dimK_, 0.0f);
+}
+
+} // namespace maxk

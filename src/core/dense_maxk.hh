@@ -1,0 +1,64 @@
+/**
+ * @file
+ * MaxK beyond GNNs — the paper's future-work direction (Sec. 6): "The
+ * proposed MaxK nonlinearity could be potentially expanded to more DNN
+ * architectures such as CNNs and Transformers, to provide regularly
+ * sparsified feature map for acceleration."
+ *
+ * The natural target is the two-GEMM feed-forward block
+ * (Transformer FFN / MLP head):  Y = act(X W1) W2.
+ * With act = MaxK, the intermediate activation is exactly-k sparse per
+ * row, so the second GEMM becomes a CBSR x dense product that touches
+ * only k of the d_ff rows of W2 per sample — cutting both FLOPs and
+ * weight traffic by k/d_ff.
+ */
+
+#ifndef MAXK_CORE_DENSE_MAXK_HH
+#define MAXK_CORE_DENSE_MAXK_HH
+
+#include "core/cbsr.hh"
+#include "gpusim/kernel_stats.hh"
+#include "kernels/sim_options.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/**
+ * Y = CBSR(h) * W, the sparse-activation GEMM of a MaxK FFN.
+ *
+ * Row-wise product: Y[i, :] = sum_kk h.data[i, kk] * W[h.index(i,kk), :].
+ * Each warp owns a row, accumulates in registers/shared memory, and
+ * reads exactly k rows of W per sample (coalesced).
+ *
+ * @param h   CBSR activations (N x k over dimOrigin = rows of W)
+ * @param w   dense weight (dimOrigin x out)
+ * @param y   output (N x out), resized
+ */
+gpusim::KernelStats cbsrGemm(const CbsrMatrix &h, const Matrix &w,
+                             Matrix &y, const SimOptions &opt = {});
+
+/**
+ * Backward of the sparse-activation GEMM w.r.t. the CBSR data segment:
+ * dh.data[i, kk] = dot(dy[i, :], W[h.index(i,kk), :]). The sparsity
+ * pattern is inherited from the forward (dh must adoptPattern first),
+ * exactly like the GNN SSpMM inherits sp_index.
+ */
+gpusim::KernelStats cbsrGemmBackwardData(const CbsrMatrix &h,
+                                         const Matrix &w,
+                                         const Matrix &dy,
+                                         CbsrMatrix &dh,
+                                         const SimOptions &opt = {});
+
+/**
+ * Backward w.r.t. the weight: dW[r, :] += sum over samples with
+ * r in their pattern of h.data * dy[i, :]. Scatter-accumulated the way
+ * the real kernel would (atomic per touched weight row).
+ */
+gpusim::KernelStats cbsrGemmBackwardWeight(const CbsrMatrix &h,
+                                           const Matrix &dy, Matrix &dw,
+                                           const SimOptions &opt = {});
+
+} // namespace maxk
+
+#endif // MAXK_CORE_DENSE_MAXK_HH

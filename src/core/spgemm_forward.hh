@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Forward row-wise-product SpGEMM kernel (contribution (b), Sec. 4.1,
+ * Algorithm 1): X_l = A * CBSR(h(X_{l-1})).
+ *
+ * Per Edge Group, the warp fetches sp_data/sp_index rows with coalesced
+ * global reads, multiplies by the edge value and scatter-accumulates into
+ * a shared-memory buffer of dim_origin floats (the sparse accumulation
+ * stays on-chip — the key traffic saving). After a barrier, the buffer is
+ * atomically merged into the dense output row with coalesced global
+ * transactions (the write-back stage whose k-independent cost explains
+ * the low-k speedup saturation the paper reports in Sec. 5.2).
+ */
+
+#ifndef MAXK_CORE_SPGEMM_FORWARD_HH
+#define MAXK_CORE_SPGEMM_FORWARD_HH
+
+#include "core/cbsr.hh"
+#include "gpusim/kernel_stats.hh"
+#include "graph/csr.hh"
+#include "graph/edge_groups.hh"
+#include "kernels/sim_options.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/**
+ * Y = A * Xs where Xs is CBSR-compressed.
+ *
+ * @param a    adjacency in CSR with aggregator edge values
+ * @param part edge-group partition of a (built once at preprocessing)
+ * @param xs   CBSR sparsified features (rows == |V|)
+ * @param y    dense output, resized to |V| x dimOrigin
+ */
+gpusim::KernelStats spgemmForward(const CsrGraph &a,
+                                  const EdgeGroupPartition &part,
+                                  const CbsrMatrix &xs, Matrix &y,
+                                  const SimOptions &opt = {});
+
+} // namespace maxk
+
+#endif // MAXK_CORE_SPGEMM_FORWARD_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Backward outer-product SSpMM kernel (contribution (c), Sec. 4.2,
+ * Algorithm 2): dXs = SSpMM(A^T, dX_l) sampled at the forward sp_index
+ * pattern.
+ *
+ * The computation is (sparse x dense = sparse) with a KNOWN output
+ * pattern: the backward gradient only needs sp_data values at the
+ * positions the forward MaxK selected. Because CSR(A) doubles as
+ * CSC(A^T), no transpose is materialised. Each warp prefetches the dense
+ * gradient row dX_l[i, :] into shared memory once (coalesced), then
+ * gathers it irregularly through sp_index on-chip and atomically
+ * accumulates coalesced dim_k-wide results into sp_data in global memory.
+ */
+
+#ifndef MAXK_CORE_SSPMM_BACKWARD_HH
+#define MAXK_CORE_SSPMM_BACKWARD_HH
+
+#include "core/cbsr.hh"
+#include "gpusim/kernel_stats.hh"
+#include "graph/csr.hh"
+#include "graph/edge_groups.hh"
+#include "kernels/sim_options.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/**
+ * dxs.data[j, kk] = sum_i A[i, j] * dxl[i, sp_index[j, kk]].
+ *
+ * @param a      adjacency in CSR (reused as CSC of A^T)
+ * @param part   edge-group partition of a (same one as the forward pass)
+ * @param dxl    dense output-feature gradient (|V| x dimOrigin)
+ * @param dxs    output: must already carry the forward sp_index pattern
+ *               (use CbsrMatrix::adoptPattern); data is overwritten
+ */
+gpusim::KernelStats sspmmBackward(const CsrGraph &a,
+                                  const EdgeGroupPartition &part,
+                                  const Matrix &dxl, CbsrMatrix &dxs,
+                                  const SimOptions &opt = {});
+
+} // namespace maxk
+
+#endif // MAXK_CORE_SSPMM_BACKWARD_HH

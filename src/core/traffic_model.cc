@@ -1,0 +1,75 @@
+#include "core/traffic_model.hh"
+
+#include <cmath>
+
+namespace maxk::traffic
+{
+
+Bytes
+spmmFeatureBytes(EdgeId nnz, std::uint32_t dim_origin)
+{
+    return Bytes(4) * dim_origin * nnz;
+}
+
+Bytes
+spgemmFeatureBytes(EdgeId nnz, std::uint32_t dim_k,
+                   std::uint32_t index_bytes)
+{
+    return Bytes(4 + index_bytes) * dim_k * nnz;
+}
+
+std::int64_t
+spgemmSavedBytes(EdgeId nnz, std::uint32_t dim_origin, std::uint32_t dim_k,
+                 std::uint32_t index_bytes)
+{
+    return static_cast<std::int64_t>(spmmFeatureBytes(nnz, dim_origin)) -
+           static_cast<std::int64_t>(
+               spgemmFeatureBytes(nnz, dim_k, index_bytes));
+}
+
+Bytes
+sspmmReadBytes(NodeId num_nodes, std::uint32_t dim_origin, EdgeId nnz,
+               std::uint32_t dim_k, std::uint32_t index_bytes)
+{
+    return Bytes(4) * num_nodes * dim_origin +
+           spgemmFeatureBytes(nnz, dim_k, index_bytes);
+}
+
+Bytes
+sspmmWriteBytes(EdgeId nnz, std::uint32_t dim_k)
+{
+    return Bytes(4) * dim_k * nnz;
+}
+
+Bytes
+outerNaiveReadBytes(EdgeId nnz, std::uint32_t dim_origin)
+{
+    return Bytes(4) * dim_origin * nnz;
+}
+
+Bytes
+outerNaiveWriteBytes(EdgeId nnz, std::uint32_t dim_origin)
+{
+    return Bytes(4) * dim_origin * nnz;
+}
+
+std::uint64_t
+spgemmAtomicOps(NodeId num_nodes, std::uint32_t dim_origin,
+                double avg_degree, std::uint32_t workload_cap)
+{
+    const double groups_per_node =
+        std::ceil(avg_degree / static_cast<double>(workload_cap));
+    return static_cast<std::uint64_t>(num_nodes * dim_origin *
+                                      groups_per_node);
+}
+
+double
+spgemmReductionFraction(std::uint32_t dim_origin, std::uint32_t dim_k,
+                        std::uint32_t index_bytes)
+{
+    const double spmm = 4.0 * dim_origin;
+    const double spgemm = (4.0 + index_bytes) * dim_k;
+    return spmm > 0.0 ? 1.0 - spgemm / spmm : 0.0;
+}
+
+} // namespace maxk::traffic

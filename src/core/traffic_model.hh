@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytical global-memory traffic model — the closed-form byte counts of
+ * Sec. 4.3 that motivate the kernel design. The test suite checks the
+ * simulated kernels against these formulas; the ablation bench uses them
+ * to quantify the uint8-index and buffer-placement design choices.
+ */
+
+#ifndef MAXK_CORE_TRAFFIC_MODEL_HH
+#define MAXK_CORE_TRAFFIC_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace maxk
+{
+
+/** Sec. 4.3 byte-count formulas. */
+namespace traffic
+{
+
+/** Row-wise SpMM feature-fetch traffic: 4 * dim_origin * nnz. */
+Bytes spmmFeatureBytes(EdgeId nnz, std::uint32_t dim_origin);
+
+/**
+ * Forward SpGEMM feature-fetch traffic:
+ * (4 + index_bytes) * dim_k * nnz (5 bytes/elem with uint8 indices).
+ */
+Bytes spgemmFeatureBytes(EdgeId nnz, std::uint32_t dim_k,
+                         std::uint32_t index_bytes);
+
+/** Forward traffic saved vs SpMM: (4*dim_origin - 5*dim_k) * nnz. */
+std::int64_t spgemmSavedBytes(EdgeId nnz, std::uint32_t dim_origin,
+                              std::uint32_t dim_k,
+                              std::uint32_t index_bytes);
+
+/**
+ * Backward SSpMM read traffic:
+ * 4*N*dim_origin (prefetch) + (4 + index_bytes)*dim_k*nnz.
+ */
+Bytes sspmmReadBytes(NodeId num_nodes, std::uint32_t dim_origin,
+                     EdgeId nnz, std::uint32_t dim_k,
+                     std::uint32_t index_bytes);
+
+/** Backward SSpMM write traffic: 4 * dim_k * nnz. */
+Bytes sspmmWriteBytes(EdgeId nnz, std::uint32_t dim_k);
+
+/** Naive outer-product SpMM read traffic: 4 * dim_origin * nnz. */
+Bytes outerNaiveReadBytes(EdgeId nnz, std::uint32_t dim_origin);
+
+/** Naive outer-product SpMM write traffic: 4 * dim_origin * nnz. */
+Bytes outerNaiveWriteBytes(EdgeId nnz, std::uint32_t dim_origin);
+
+/**
+ * Output accumulation atomics of the forward SpGEMM / row-wise SpMM
+ * write-back: N * dim_origin * ceil(avg_degree / w) operations.
+ */
+std::uint64_t spgemmAtomicOps(NodeId num_nodes, std::uint32_t dim_origin,
+                              double avg_degree, std::uint32_t workload_cap);
+
+/** Fractional traffic reduction of forward SpGEMM vs SpMM (0..1). */
+double spgemmReductionFraction(std::uint32_t dim_origin,
+                               std::uint32_t dim_k,
+                               std::uint32_t index_bytes);
+
+} // namespace traffic
+
+} // namespace maxk
+
+#endif // MAXK_CORE_TRAFFIC_MODEL_HH

@@ -1,0 +1,67 @@
+#include "gpusim/cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace maxk::gpusim
+{
+
+CacheModel::CacheModel(Bytes size_bytes, std::uint32_t assoc,
+                       std::uint32_t line_bytes)
+    : assoc_(std::max<std::uint32_t>(assoc, 1)),
+      lineBytes_(line_bytes)
+{
+    checkInvariant(std::has_single_bit(line_bytes),
+                   "cache line size must be a power of two");
+    lineShift_ = static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+    const std::uint64_t lines =
+        std::max<std::uint64_t>(size_bytes / line_bytes, assoc_);
+    numSets_ = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(lines / assoc_, 1));
+    // Round sets down to a power of two so the index is a mask.
+    numSets_ = std::bit_floor(numSets_);
+    ways_.assign(static_cast<std::size_t>(numSets_) * assoc_, Way{});
+}
+
+CacheAccessResult
+CacheModel::access(std::uint64_t addr, bool is_write, bool allocate)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line & (numSets_ - 1));
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    ++tick_;
+
+    Way *lru = base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.tag == line) {
+            way.stamp = tick_;
+            way.dirty = way.dirty || is_write;
+            ++hits_;
+            return {true, false};
+        }
+        if (way.stamp < lru->stamp)
+            lru = &way;
+    }
+
+    ++misses_;
+    if (!allocate)
+        return {false, false};
+    const bool evicted_dirty = lru->tag != kInvalid && lru->dirty;
+    lru->tag = line;
+    lru->stamp = tick_;
+    lru->dirty = is_write;
+    return {false, evicted_dirty};
+}
+
+void
+CacheModel::reset()
+{
+    std::fill(ways_.begin(), ways_.end(), Way{});
+    tick_ = hits_ = misses_ = 0;
+}
+
+} // namespace maxk::gpusim

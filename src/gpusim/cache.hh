@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative LRU cache model with dirty-line write-back accounting.
+ * Used for the per-SM L1 instances and the shared L2 of the GPU model.
+ */
+
+#ifndef MAXK_GPUSIM_CACHE_HH
+#define MAXK_GPUSIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace maxk::gpusim
+{
+
+/** Result of one cache probe. */
+struct CacheAccessResult
+{
+    bool hit;              //!< line was present
+    bool evictedDirty;     //!< a dirty line was evicted to make room
+};
+
+/**
+ * Classic set-associative cache with true-LRU replacement at line
+ * granularity. Addresses are byte addresses; the caller decides the probe
+ * granularity (this model is probed once per line touched).
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc      ways per set (clamped so at least one set exists)
+     * @param line_bytes line size (power of two)
+     */
+    CacheModel(Bytes size_bytes, std::uint32_t assoc,
+               std::uint32_t line_bytes);
+
+    /**
+     * Probe (and on miss, fill) the line containing addr.
+     *
+     * @param allocate when false, a miss does not fill the line —
+     *        models the A100's evict-first hint for streaming data.
+     */
+    CacheAccessResult access(std::uint64_t addr, bool is_write,
+                             bool allocate = true);
+
+    /** Drop all contents and zero statistics. */
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    double hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = kInvalid;
+        std::uint64_t stamp = 0;
+        bool dirty = false;
+    };
+
+    static constexpr std::uint64_t kInvalid = ~0ull;
+
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::uint32_t lineShift_;
+    std::uint32_t numSets_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::vector<Way> ways_;  //!< numSets_ * assoc_, set-major
+};
+
+} // namespace maxk::gpusim
+
+#endif // MAXK_GPUSIM_CACHE_HH

@@ -1,0 +1,247 @@
+#include "gpusim/context.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace maxk::gpusim
+{
+
+namespace
+{
+/** Round byte count up to whole sectors. */
+inline Bytes
+sectorRound(Bytes bytes, std::uint32_t sector)
+{
+    return (bytes + sector - 1) / sector * sector;
+}
+} // namespace
+
+KernelContext::KernelContext(const DeviceConfig &cfg,
+                             std::string kernel_name, bool simulate_caches)
+    : cfg_(cfg),
+      kernelName_(std::move(kernel_name)),
+      simulateCaches_(simulate_caches),
+      l2_(cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes)
+{
+    const std::uint32_t sms = std::max<std::uint32_t>(cfg.modeledSms, 1);
+    l1_.reserve(sms);
+    for (std::uint32_t s = 0; s < sms; ++s)
+        l1_.emplace_back(cfg.l1BytesPerSm, cfg.l1Assoc, cfg.lineBytes);
+    beginPhase("main");
+}
+
+void
+KernelContext::beginPhase(const std::string &name)
+{
+    // Replace the implicit empty "main" phase if nothing accrued yet.
+    if (phases_.size() == 1 && phases_.back().name == "main") {
+        const PhaseStats &p = phases_.back();
+        if (p.reqBytes == 0 && p.flops == 0 && p.sharedOps == 0 &&
+            p.atomicSectors == 0) {
+            phases_.back().name = name;
+            currentPhase_ = 0;
+            return;
+        }
+    }
+    PhaseStats p;
+    p.name = name;
+    phases_.push_back(std::move(p));
+    currentPhase_ = phases_.size() - 1;
+}
+
+void
+KernelContext::usePhase(const std::string &name)
+{
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+        if (phases_[i].name == name) {
+            currentPhase_ = i;
+            return;
+        }
+    }
+    beginPhase(name);
+    currentPhase_ = phases_.size() - 1;
+}
+
+PhaseStats &
+KernelContext::phase()
+{
+    return phases_[currentPhase_];
+}
+
+void
+KernelContext::touchLines(std::uint64_t warp, std::uint64_t addr,
+                          Bytes bytes, bool is_write, bool allocate_l1,
+                          bool allocate_l2)
+{
+    PhaseStats &p = phase();
+    const Bytes req = sectorRound(bytes, cfg_.sectorBytes);
+    p.reqBytes += req;
+
+    if (!simulateCaches_) {
+        p.l2ReqBytes += req;
+        if (is_write)
+            p.dramWriteBytes += req;
+        else
+            p.dramReadBytes += req;
+        return;
+    }
+
+    CacheModel &l1 = l1_[warp % l1_.size()];
+    const std::uint64_t first_line = addr / cfg_.lineBytes;
+    const std::uint64_t last_line = (addr + bytes - 1) / cfg_.lineBytes;
+    for (std::uint64_t line = first_line; line <= last_line; ++line) {
+        const std::uint64_t line_addr = line * cfg_.lineBytes;
+        // Bytes of this request inside this line, sector-rounded.
+        const std::uint64_t lo = std::max<std::uint64_t>(addr, line_addr);
+        const std::uint64_t hi = std::min<std::uint64_t>(
+            addr + bytes, line_addr + cfg_.lineBytes);
+        const Bytes span = sectorRound(hi - lo, cfg_.sectorBytes);
+
+        bool l1_hit = false;
+        if (allocate_l1 && !is_write) {
+            const auto r1 = l1.access(line_addr, false);
+            l1_hit = r1.hit;
+            if (l1_hit)
+                ++p.l1Hits;
+            else
+                ++p.l1Misses;
+        } else {
+            // Writes and non-allocating reads bypass L1.
+            ++p.l1Misses;
+        }
+        if (l1_hit)
+            continue;
+
+        p.l2ReqBytes += span;
+        const auto r2 = l2_.access(line_addr, is_write, allocate_l2);
+        if (r2.hit) {
+            ++p.l2Hits;
+        } else {
+            ++p.l2Misses;
+            p.dramReadBytes += span;
+        }
+        if (r2.evictedDirty)
+            p.dramWriteBytes += cfg_.lineBytes;
+    }
+}
+
+void
+KernelContext::globalRead(std::uint64_t warp, const void *addr, Bytes bytes)
+{
+    checkInvariant(!finished_, "KernelContext used after finish()");
+    if (bytes == 0)
+        return;
+    touchLines(warp, reinterpret_cast<std::uint64_t>(addr), bytes, false,
+               true);
+}
+
+void
+KernelContext::globalWrite(std::uint64_t warp, const void *addr,
+                           Bytes bytes)
+{
+    checkInvariant(!finished_, "KernelContext used after finish()");
+    if (bytes == 0)
+        return;
+    touchLines(warp, reinterpret_cast<std::uint64_t>(addr), bytes, true,
+               false);
+}
+
+void
+KernelContext::globalReadStreaming(std::uint64_t warp, const void *addr,
+                                   Bytes bytes)
+{
+    checkInvariant(!finished_, "KernelContext used after finish()");
+    if (bytes == 0)
+        return;
+    touchLines(warp, reinterpret_cast<std::uint64_t>(addr), bytes, false,
+               false, false);
+}
+
+void
+KernelContext::globalAtomicAccum(std::uint64_t warp, const void *addr,
+                                 Bytes bytes)
+{
+    checkInvariant(!finished_, "KernelContext used after finish()");
+    if (bytes == 0)
+        return;
+    PhaseStats &p = phase();
+    p.atomicSectors += sectorRound(bytes, cfg_.sectorBytes) /
+                       cfg_.sectorBytes;
+    // Contention (same-address serialization) is charged by the caller
+    // via sharedOps — a lone accumulation costs no more than a store,
+    // while the k-independent write-back floor of Sec. 5.2 comes from
+    // ceil(avg_degree / w) serialized RMW passes per output element.
+    // Atomics execute at the L2: the RMW reads then writes each sector.
+    touchLines(warp, reinterpret_cast<std::uint64_t>(addr), bytes, true,
+               false);
+    p.l2ReqBytes += sectorRound(bytes, cfg_.sectorBytes); // RMW read-back
+}
+
+void
+KernelContext::globalReadScattered(std::uint64_t warp,
+                                   const void *const *addrs, std::size_t n,
+                                   Bytes elem_bytes)
+{
+    // Uncoalesced lanes serialize into per-element transactions, each
+    // occupying an LSU issue slot as well as a full sector of traffic.
+    phase().sharedOps += n;
+    for (std::size_t i = 0; i < n; ++i) {
+        touchLines(warp, reinterpret_cast<std::uint64_t>(addrs[i]),
+                   std::max<Bytes>(elem_bytes, cfg_.sectorBytes), false,
+                   true);
+    }
+}
+
+void
+KernelContext::globalAtomicScattered(std::uint64_t warp,
+                                     const void *const *addrs,
+                                     std::size_t n, Bytes elem_bytes)
+{
+    PhaseStats &p = phase();
+    p.sharedOps += n; // issue cost, as in globalAtomicAccum
+    for (std::size_t i = 0; i < n; ++i) {
+        p.atomicSectors += 1;
+        touchLines(warp, reinterpret_cast<std::uint64_t>(addrs[i]),
+                   std::max<Bytes>(elem_bytes, cfg_.sectorBytes), true,
+                   false);
+        p.l2ReqBytes += cfg_.sectorBytes;
+    }
+}
+
+void
+KernelContext::sharedOps(std::uint64_t count, Bytes bytes_touched)
+{
+    PhaseStats &p = phase();
+    p.sharedOps += count;
+    p.sharedBytes += bytes_touched;
+}
+
+void
+KernelContext::flops(std::uint64_t count)
+{
+    phase().flops += count;
+}
+
+KernelStats
+KernelContext::finish(double efficiency)
+{
+    checkInvariant(!finished_, "KernelContext::finish called twice");
+    finished_ = true;
+
+    KernelStats stats;
+    stats.kernel = kernelName_;
+    stats.efficiency = efficiency;
+    stats.phases = phases_;
+
+    // Thread blocks overlap their barrier-delimited stages across the
+    // grid, so steady-state kernel latency is bound by aggregate resource
+    // demand, not by the sum of per-phase latencies.
+    const PhaseStats total = stats.aggregate();
+    stats.totalSeconds = cfg_.launchOverheadUs * 1e-6 +
+                         total.seconds(cfg_, efficiency,
+                                       &stats.bottleneck);
+    return stats;
+}
+
+} // namespace maxk::gpusim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * KernelContext: the warp-level device API simulated kernels program
+ * against.
+ *
+ * A kernel implementation iterates over its warps on the host, performs
+ * the real arithmetic on host memory, and reports every global-memory
+ * access to the context. The context coalesces accesses into 32B sectors /
+ * 128B lines, routes them through the per-SM L1 instance of the issuing
+ * warp and the shared L2, and accumulates the PhaseStats counters the
+ * roofline law converts into simulated time.
+ *
+ * Host pointers double as device addresses: arrays are contiguous on the
+ * host exactly as they would be in HBM, so line/sector decomposition is
+ * faithful.
+ */
+
+#ifndef MAXK_GPUSIM_CONTEXT_HH
+#define MAXK_GPUSIM_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/cache.hh"
+#include "gpusim/device.hh"
+#include "gpusim/kernel_stats.hh"
+
+namespace maxk::gpusim
+{
+
+/**
+ * Execution context for one simulated kernel launch.
+ *
+ * Usage:
+ *   KernelContext ctx(cfg, "spgemm_forward");
+ *   ctx.beginPhase("compute+accumulate");
+ *   ... per-warp work: ctx.globalRead(warp, ptr, bytes); ctx.flops(n); ...
+ *   ctx.beginPhase("writeback");
+ *   ...
+ *   KernelStats stats = ctx.finish();
+ */
+class KernelContext
+{
+  public:
+    /**
+     * @param cfg         device parameters (copied)
+     * @param kernel_name name recorded in the stats
+     * @param simulate_caches when false, cache probes are skipped and all
+     *        requests count as DRAM traffic (fast functional mode used by
+     *        unit tests that don't assert on hit rates)
+     */
+    KernelContext(const DeviceConfig &cfg, std::string kernel_name,
+                  bool simulate_caches = true);
+
+    /** Open a new barrier-delimited phase; counters accrue to it. */
+    void beginPhase(const std::string &name);
+
+    /**
+     * Switch the accounting target to the phase with the given name,
+     * creating it if absent. Lets a kernel attribute interleaved work
+     * (e.g. per-EG compute and write-back) to stable phase buckets.
+     */
+    void usePhase(const std::string &name);
+
+    /**
+     * Coalesced global read of [addr, addr+bytes) issued by `warp`.
+     * Sector-rounded; probes L1(warp's SM) then L2.
+     */
+    void globalRead(std::uint64_t warp, const void *addr, Bytes bytes);
+
+    /** Coalesced streaming global write (write-through, no L1 allocate). */
+    void globalWrite(std::uint64_t warp, const void *addr, Bytes bytes);
+
+    /**
+     * Coalesced global read with the evict-first streaming hint: the
+     * data bypasses L1 and does not allocate in L2 on a miss. Used for
+     * single-pass CSR metadata so it cannot evict reusable rows.
+     */
+    void globalReadStreaming(std::uint64_t warp, const void *addr,
+                             Bytes bytes);
+
+    /**
+     * Coalesced global atomic read-modify-write over [addr, addr+bytes):
+     * executes at the L2; counts atomic sectors and RMW traffic.
+     */
+    void globalAtomicAccum(std::uint64_t warp, const void *addr,
+                           Bytes bytes);
+
+    /**
+     * Uncoalesced element accesses: each of the n elements costs a full
+     * sector transaction regardless of elem_bytes (the paper's "irregular
+     * global memory access" penalty the SSpMM prefetch avoids).
+     */
+    void globalReadScattered(std::uint64_t warp, const void *const *addrs,
+                             std::size_t n, Bytes elem_bytes);
+    void globalAtomicScattered(std::uint64_t warp,
+                               const void *const *addrs, std::size_t n,
+                               Bytes elem_bytes);
+
+    /** Scalar shared-memory operations (MACs into Buf_w, index gathers). */
+    void sharedOps(std::uint64_t count, Bytes bytes_touched);
+
+    /** fp32 operation count for the compute roofline term. */
+    void flops(std::uint64_t count);
+
+    /** Finalise: compute per-phase and total time. */
+    KernelStats finish(double efficiency = 1.0);
+
+    const DeviceConfig &config() const { return cfg_; }
+
+    /** SM index a warp maps to (round-robin), for white-box tests. */
+    std::uint32_t smOf(std::uint64_t warp) const
+    {
+        return static_cast<std::uint32_t>(warp % l1_.size());
+    }
+
+  private:
+    void touchLines(std::uint64_t warp, std::uint64_t addr, Bytes bytes,
+                    bool is_write, bool allocate_l1,
+                    bool allocate_l2 = true);
+    PhaseStats &phase();
+
+    DeviceConfig cfg_;
+    std::string kernelName_;
+    bool simulateCaches_;
+    std::vector<CacheModel> l1_;
+    CacheModel l2_;
+    std::vector<PhaseStats> phases_;
+    std::size_t currentPhase_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace maxk::gpusim
+
+#endif // MAXK_GPUSIM_CONTEXT_HH

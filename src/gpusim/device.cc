@@ -1,0 +1,33 @@
+#include "gpusim/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maxk::gpusim
+{
+
+DeviceConfig
+DeviceConfig::a100()
+{
+    return DeviceConfig{};
+}
+
+DeviceConfig
+DeviceConfig::scaledForWorkingSet(double ratio) const
+{
+    DeviceConfig scaled = *this;
+    ratio = std::clamp(ratio, 1e-6, 1.0);
+
+    auto scale_bytes = [&](Bytes b, Bytes floor_bytes) {
+        const double scaled_b = static_cast<double>(b) * ratio;
+        return std::max<Bytes>(static_cast<Bytes>(scaled_b), floor_bytes);
+    };
+
+    // Keep at least a handful of lines so the models stay meaningful.
+    scaled.l2Bytes = scale_bytes(l2Bytes, Bytes{64} * lineBytes);
+    scaled.l1BytesPerSm = scale_bytes(l1BytesPerSm, Bytes{16} * lineBytes);
+    scaled.name = name + "-scaled";
+    return scaled;
+}
+
+} // namespace maxk::gpusim

@@ -1,0 +1,115 @@
+#include "gpusim/kernel_stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace maxk::gpusim
+{
+
+double
+PhaseStats::seconds(const DeviceConfig &cfg, double efficiency,
+                    std::string *bottleneck) const
+{
+    struct Term
+    {
+        const char *name;
+        double seconds;
+    };
+    const Term terms[] = {
+        {"compute", static_cast<double>(flops) / cfg.flopsPerSec()},
+        {"l2", static_cast<double>(l2ReqBytes) / cfg.l2BytesPerSec()},
+        {"dram", static_cast<double>(dramReadBytes + dramWriteBytes) /
+                     cfg.hbmBytesPerSec()},
+        {"shared", static_cast<double>(sharedOps) / cfg.sharedOpsPerSec()},
+        {"atomic",
+         static_cast<double>(atomicSectors) / cfg.atomicSectorsPerSec()},
+    };
+    const Term *worst = &terms[0];
+    for (const Term &t : terms)
+        if (t.seconds > worst->seconds)
+            worst = &t;
+    if (bottleneck)
+        *bottleneck = worst->name;
+    const double eff = efficiency > 0.0 ? efficiency : 1.0;
+    return worst->seconds / eff;
+}
+
+void
+PhaseStats::accumulate(const PhaseStats &other)
+{
+    flops += other.flops;
+    reqBytes += other.reqBytes;
+    l2ReqBytes += other.l2ReqBytes;
+    dramReadBytes += other.dramReadBytes;
+    dramWriteBytes += other.dramWriteBytes;
+    l1Hits += other.l1Hits;
+    l1Misses += other.l1Misses;
+    l2Hits += other.l2Hits;
+    l2Misses += other.l2Misses;
+    sharedOps += other.sharedOps;
+    sharedBytes += other.sharedBytes;
+    atomicSectors += other.atomicSectors;
+}
+
+PhaseStats
+KernelStats::aggregate() const
+{
+    PhaseStats total;
+    total.name = "total";
+    for (const auto &p : phases)
+        total.accumulate(p);
+    return total;
+}
+
+double
+KernelStats::l1HitRate() const
+{
+    const PhaseStats t = aggregate();
+    const std::uint64_t n = t.l1Hits + t.l1Misses;
+    return n ? static_cast<double>(t.l1Hits) / n : 0.0;
+}
+
+double
+KernelStats::l2HitRate() const
+{
+    const PhaseStats t = aggregate();
+    const std::uint64_t n = t.l2Hits + t.l2Misses;
+    return n ? static_cast<double>(t.l2Hits) / n : 0.0;
+}
+
+double
+KernelStats::bandwidthUtilization(const DeviceConfig &cfg) const
+{
+    if (totalSeconds <= 0.0)
+        return 0.0;
+    const PhaseStats t = aggregate();
+    const double bytes =
+        static_cast<double>(t.dramReadBytes + t.dramWriteBytes);
+    return bytes / (totalSeconds * cfg.hbmBytesPerSec());
+}
+
+void
+KernelStats::merge(const KernelStats &other)
+{
+    for (const auto &p : other.phases)
+        phases.push_back(p);
+    totalSeconds += other.totalSeconds;
+}
+
+std::string
+KernelStats::summary(const DeviceConfig &cfg) const
+{
+    const PhaseStats t = aggregate();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: %.3f ms, l2req=%.1f MB, dram=%.1f MB, L1 %.1f%%, "
+                  "L2 %.1f%%, bw-util %.1f%%, bound=%s",
+                  kernel.c_str(), milliseconds(),
+                  t.l2ReqBytes / 1e6,
+                  (t.dramReadBytes + t.dramWriteBytes) / 1e6,
+                  l1HitRate() * 100.0, l2HitRate() * 100.0,
+                  bandwidthUtilization(cfg) * 100.0, bottleneck.c_str());
+    return buf;
+}
+
+} // namespace maxk::gpusim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Performance counters and the roofline timing law for simulated kernels.
+ *
+ * A kernel execution is a sequence of phases separated by grid-wide
+ * barriers (e.g. SpGEMM's compute+accumulate stage then its write-back
+ * stage, Fig. 6). Each phase is independently bound by one of five
+ * resources; phase time is the max over them and kernel time is launch
+ * overhead plus the sum of phase times:
+ *
+ *   t_phase = max( flops        / peakFp32,
+ *                  l2ReqBytes   / l2Bandwidth,
+ *                  dramBytes    / hbmBandwidth,
+ *                  sharedOps    / sharedOpThroughput,
+ *                  atomicSectors/ atomicThroughput ) / efficiency
+ */
+
+#ifndef MAXK_GPUSIM_KERNEL_STATS_HH
+#define MAXK_GPUSIM_KERNEL_STATS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpusim/device.hh"
+
+namespace maxk::gpusim
+{
+
+/** Counters for one barrier-delimited kernel phase. */
+struct PhaseStats
+{
+    std::string name;
+
+    std::uint64_t flops = 0;         //!< fp32 operations
+    Bytes reqBytes = 0;              //!< warp-requested global bytes
+    Bytes l2ReqBytes = 0;            //!< bytes that missed L1 (paper's
+                                     //!< "total traffic" metric, Table 2)
+    Bytes dramReadBytes = 0;         //!< L2 misses
+    Bytes dramWriteBytes = 0;        //!< dirty write-backs + streaming st.
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0;
+    std::uint64_t sharedOps = 0;     //!< scalar shared-mem accesses
+    Bytes sharedBytes = 0;
+    std::uint64_t atomicSectors = 0; //!< global atomic 32B transactions
+
+    /** Derived phase latency (seconds); fills bottleneck with the name of
+     *  the binding resource. */
+    double seconds(const DeviceConfig &cfg, double efficiency,
+                   std::string *bottleneck = nullptr) const;
+
+    /** Accumulate counters from another phase (for aggregation). */
+    void accumulate(const PhaseStats &other);
+};
+
+/** Full result of one simulated kernel launch. */
+struct KernelStats
+{
+    std::string kernel;
+    double efficiency = 1.0;      //!< <1 models less tuned kernels (GNNA)
+    std::vector<PhaseStats> phases;
+    double totalSeconds = 0.0;    //!< filled by KernelContext::finish
+    std::string bottleneck;       //!< binding resource of longest phase
+
+    /** Sum of counters over phases. */
+    PhaseStats aggregate() const;
+
+    double l1HitRate() const;
+    double l2HitRate() const;
+
+    /** DRAM bytes moved / (time * peak HBM bandwidth). */
+    double bandwidthUtilization(const DeviceConfig &cfg) const;
+
+    /** Milliseconds, convenience. */
+    double milliseconds() const { return totalSeconds * 1e3; }
+
+    /** Merge another kernel's stats into this one (epoch accounting). */
+    void merge(const KernelStats &other);
+
+    /** Render a short profile line for logs/benches. */
+    std::string summary(const DeviceConfig &cfg) const;
+};
+
+} // namespace maxk::gpusim
+
+#endif // MAXK_GPUSIM_KERNEL_STATS_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Compressed Sparse Row adjacency matrix — the substrate every kernel in
+ * this reproduction consumes.
+ *
+ * MaxK-GNN (Sec. 3.2) stores the adjacency matrix A in CSR for the forward
+ * SpGEMM and reuses the identical buffers as the CSC representation of A^T
+ * for the backward SSpMM ("the transposed CSC format is equal to original
+ * CSR format", Fig. 5). This class therefore exposes both views: rowPtr /
+ * colIdx / values is simultaneously CSR(A) and CSC(A^T).
+ */
+
+#ifndef MAXK_GRAPH_CSR_HH
+#define MAXK_GRAPH_CSR_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace maxk
+{
+
+/**
+ * Aggregator semantics decide the edge weights used during feature
+ * aggregation (Fig. 5 caption): SAGE mean uses 1/d(target), GCN uses
+ * 1/sqrt(d_i * d_j), GIN sums with weight 1.
+ */
+enum class Aggregator { SageMean, Gcn, Gin };
+
+/** Name for bench output. */
+const char *aggregatorName(Aggregator agg);
+
+/**
+ * CSR graph with fp32 edge values. Nodes are [0, numNodes). Edges within a
+ * row are kept sorted by destination for deterministic iteration.
+ */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Build from an edge list. Duplicate edges are collapsed.
+     *
+     * @param num_nodes number of vertices
+     * @param edges     (src, dst) pairs
+     * @param symmetrize insert the reverse of every edge
+     * @param self_loops insert (v, v) for every vertex
+     */
+    static CsrGraph fromEdges(NodeId num_nodes,
+                              std::vector<std::pair<NodeId, NodeId>> edges,
+                              bool symmetrize, bool self_loops);
+
+    /** Build directly from raw CSR arrays (values default to 1). */
+    static CsrGraph fromCsr(NodeId num_nodes, std::vector<EdgeId> row_ptr,
+                            std::vector<NodeId> col_idx,
+                            std::vector<Float> values = {});
+
+    NodeId numNodes() const { return numNodes_; }
+    EdgeId numEdges() const
+    {
+        return static_cast<EdgeId>(colIdx_.size());
+    }
+
+    const std::vector<EdgeId> &rowPtr() const { return rowPtr_; }
+    const std::vector<NodeId> &colIdx() const { return colIdx_; }
+    const std::vector<Float> &values() const { return values_; }
+    std::vector<Float> &mutableValues() { return values_; }
+
+    /** Out-degree of vertex v (row length). */
+    EdgeId degree(NodeId v) const { return rowPtr_[v + 1] - rowPtr_[v]; }
+
+    /** Average degree nnz / |V|. */
+    double avgDegree() const;
+
+    /** Maximum row length. */
+    EdgeId maxDegree() const;
+
+    /**
+     * Set edge values according to the aggregator convention. For SAGE the
+     * weight of edge (i, j) is 1/degree(i) (mean over neighbours of the
+     * target row); for GCN it is 1/sqrt(d_i * d_j); for GIN it is 1.
+     * Zero-degree rows contribute no edges, so no division by zero arises.
+     */
+    void setAggregatorWeights(Aggregator agg);
+
+    /**
+     * Explicit structural transpose (A^T as its own CSR). For symmetric
+     * structure this returns the same pattern; values are transposed
+     * faithfully. The MaxK-GNN kernels never need this — they reuse this
+     * object as CSC(A^T) — but reference implementations and tests do.
+     */
+    CsrGraph transposed() const;
+
+    /** True when the sparsity pattern (not values) is symmetric. */
+    bool structureSymmetric() const;
+
+    /** Validate CSR invariants (monotone rowPtr, in-range sorted cols). */
+    bool validate() const;
+
+    /** Bytes of the CSR arrays (rowPtr + colIdx + values). */
+    Bytes storageBytes() const;
+
+  private:
+    NodeId numNodes_ = 0;
+    std::vector<EdgeId> rowPtr_{0};
+    std::vector<NodeId> colIdx_;
+    std::vector<Float> values_;
+};
+
+} // namespace maxk
+
+#endif // MAXK_GRAPH_CSR_HH

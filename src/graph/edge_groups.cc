@@ -1,0 +1,95 @@
+#include "graph/edge_groups.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+EdgeGroupPartition
+EdgeGroupPartition::build(const CsrGraph &g, std::uint32_t workload_cap)
+{
+    checkInvariant(workload_cap >= 1, "EG workload cap must be >= 1");
+    EdgeGroupPartition part;
+    part.workloadCap_ = workload_cap;
+    part.groups_.reserve(g.numNodes() +
+                         g.numEdges() / std::max<std::uint32_t>(
+                                            workload_cap, 1));
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        EdgeId begin = g.rowPtr()[v];
+        const EdgeId row_end = g.rowPtr()[v + 1];
+        while (begin < row_end) {
+            const EdgeId end =
+                std::min<EdgeId>(begin + workload_cap, row_end);
+            part.groups_.push_back(EdgeGroup{v, begin, end});
+            begin = end;
+        }
+    }
+    return part;
+}
+
+std::uint32_t
+EdgeGroupPartition::egsPerWarp(std::uint32_t dim_k)
+{
+    if (dim_k == 0)
+        return 32;
+    if (dim_k <= 16)
+        return 32 / dim_k; // Case 1
+    return 1;              // Case 2: warp iterates over the dimension
+}
+
+std::uint64_t
+EdgeGroupPartition::warpCount(std::uint32_t dim_k) const
+{
+    const std::uint32_t per_warp = egsPerWarp(dim_k);
+    return (groups_.size() + per_warp - 1) / per_warp;
+}
+
+double
+EdgeGroupPartition::imbalance(std::uint32_t dim_k) const
+{
+    const std::uint64_t warps = warpCount(dim_k);
+    if (warps == 0)
+        return 1.0;
+    // Edges per warp: consecutive EGs are packed into warps in order.
+    const std::uint32_t per_warp = egsPerWarp(dim_k);
+    std::uint64_t max_edges = 0, total_edges = 0;
+    for (std::uint64_t w = 0; w < warps; ++w) {
+        std::uint64_t edges = 0;
+        const std::size_t lo = w * per_warp;
+        const std::size_t hi =
+            std::min<std::size_t>(lo + per_warp, groups_.size());
+        for (std::size_t i = lo; i < hi; ++i)
+            edges += groups_[i].end - groups_[i].begin;
+        max_edges = std::max(max_edges, edges);
+        total_edges += edges;
+    }
+    const double mean =
+        static_cast<double>(total_edges) / static_cast<double>(warps);
+    return mean == 0.0 ? 1.0 : static_cast<double>(max_edges) / mean;
+}
+
+bool
+EdgeGroupPartition::covers(const CsrGraph &g) const
+{
+    std::size_t gi = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        EdgeId expect = g.rowPtr()[v];
+        const EdgeId row_end = g.rowPtr()[v + 1];
+        while (expect < row_end) {
+            if (gi >= groups_.size())
+                return false;
+            const EdgeGroup &eg = groups_[gi++];
+            if (eg.row != v || eg.begin != expect || eg.end > row_end ||
+                eg.end <= eg.begin)
+                return false;
+            if (eg.end - eg.begin > workloadCap_)
+                return false;
+            expect = eg.end;
+        }
+    }
+    return gi == groups_.size();
+}
+
+} // namespace maxk

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Edge-Group (EG) warp-level workload partitioner.
+ *
+ * The paper's kernels (Sec. 4.1 "Warp Level Partition" and Sec. 4.2) split
+ * the workload of every adjacency row into Edge Groups of at most w
+ * workload units; each EG owns a shared-memory accumulation buffer of
+ * dim_origin floats. The partition is computed in O(|V| + |E|/w) during
+ * graph preprocessing and is shared by the forward SpGEMM and backward
+ * SSpMM kernels. Warp packing follows the paper's two cases:
+ *
+ *   Case 1 (dim_k <= 16): each 32-lane warp hosts floor(32/dim_k) EGs;
+ *   Case 2 (dim_k > 16): one EG per warp, lanes iterate over dim_k.
+ */
+
+#ifndef MAXK_GRAPH_EDGE_GROUPS_HH
+#define MAXK_GRAPH_EDGE_GROUPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace maxk
+{
+
+/** One edge group: a contiguous slice of a single adjacency row. */
+struct EdgeGroup
+{
+    NodeId row;    //!< adjacency row this EG belongs to
+    EdgeId begin;  //!< first edge index (into colIdx/values)
+    EdgeId end;    //!< one past the last edge index
+};
+
+/** Result of the O(n) partition pass. */
+class EdgeGroupPartition
+{
+  public:
+    /**
+     * Partition every row of g into EGs of at most workload_cap edges.
+     * Empty rows produce no groups.
+     */
+    static EdgeGroupPartition build(const CsrGraph &g,
+                                    std::uint32_t workload_cap);
+
+    const std::vector<EdgeGroup> &groups() const { return groups_; }
+    std::uint32_t workloadCap() const { return workloadCap_; }
+
+    /** Number of EGs assigned to each warp for the given dim_k (paper
+     *  Case 1 / Case 2 rule). */
+    static std::uint32_t egsPerWarp(std::uint32_t dim_k);
+
+    /** Total warps needed to execute this partition at the given dim_k. */
+    std::uint64_t warpCount(std::uint32_t dim_k) const;
+
+    /**
+     * Warp balance metric: max EGs owned by a warp divided by mean
+     * (1.0 = perfectly balanced). Because every EG is bounded by the cap,
+     * this stays near 1 even on power-law rows — the property the paper's
+     * partitioner exists to provide.
+     */
+    double imbalance(std::uint32_t dim_k) const;
+
+    /** Validate coverage: every edge of g in exactly one EG, in order. */
+    bool covers(const CsrGraph &g) const;
+
+  private:
+    std::vector<EdgeGroup> groups_;
+    std::uint32_t workloadCap_ = 0;
+};
+
+} // namespace maxk
+
+#endif // MAXK_GRAPH_EDGE_GROUPS_HH

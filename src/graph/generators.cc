@@ -1,0 +1,149 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+CsrGraph
+erdosRenyi(NodeId num_nodes, EdgeId num_edges, Rng &rng, bool self_loops)
+{
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(num_edges);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        const NodeId s = static_cast<NodeId>(rng.nextBounded(num_nodes));
+        const NodeId d = static_cast<NodeId>(rng.nextBounded(num_nodes));
+        if (s != d)
+            edges.emplace_back(s, d);
+    }
+    return CsrGraph::fromEdges(num_nodes, std::move(edges), true,
+                               self_loops);
+}
+
+CsrGraph
+rmat(std::uint32_t scale, EdgeId target_edges, Rng &rng, double a, double b,
+     double c, bool self_loops)
+{
+    checkInvariant(scale >= 1 && scale <= 26, "rmat: scale out of range");
+    checkInvariant(a + b + c < 1.0, "rmat: quadrant probabilities invalid");
+    const NodeId n = NodeId{1} << scale;
+
+    auto draw_edge = [&](NodeId &src, NodeId &dst) {
+        src = dst = 0;
+        for (std::uint32_t bit = 0; bit < scale; ++bit) {
+            const double r = rng.uniform();
+            src <<= 1;
+            dst <<= 1;
+            if (r < a) {
+                // top-left quadrant: no bits set
+            } else if (r < a + b) {
+                dst |= 1;
+            } else if (r < a + b + c) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+    };
+
+    // Symmetrisation + dedup discards a draw-dependent fraction (severe
+    // for dense graphs, where the skewed quadrants collide constantly),
+    // so draw in rounds until the built graph reaches the target or an
+    // attempt cap is hit.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(target_edges);
+    EdgeId draws = static_cast<EdgeId>(target_edges * 0.62);
+    CsrGraph g;
+    for (int round = 0; round < 8; ++round) {
+        for (EdgeId e = 0; e < draws; ++e) {
+            NodeId src, dst;
+            draw_edge(src, dst);
+            if (src != dst)
+                edges.emplace_back(src, dst);
+        }
+        g = CsrGraph::fromEdges(n, edges, true, self_loops);
+        if (g.numEdges() >= target_edges)
+            break;
+        // Oversample the shortfall; collisions get denser each round.
+        const double deficit =
+            static_cast<double>(target_edges - g.numEdges()) /
+            target_edges;
+        draws = static_cast<EdgeId>(target_edges * deficit * 1.5) + 1024;
+    }
+    return g;
+}
+
+SbmResult
+stochasticBlockModel(NodeId num_nodes, std::uint32_t num_communities,
+                     double avg_degree, double p_in_fraction, Rng &rng)
+{
+    checkInvariant(num_communities >= 1, "sbm: need at least one block");
+    checkInvariant(p_in_fraction >= 0.0 && p_in_fraction <= 1.0,
+                   "sbm: p_in_fraction must be in [0,1]");
+
+    SbmResult result;
+    result.labels.resize(num_nodes);
+    for (NodeId v = 0; v < num_nodes; ++v)
+        result.labels[v] = v % num_communities;
+
+    const EdgeId undirected =
+        static_cast<EdgeId>(num_nodes * avg_degree / 2.0);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(undirected);
+
+    // Nodes of block b are {v : v % C == b}; sample a same-block partner by
+    // stepping in strides of C.
+    const NodeId per_block =
+        (num_nodes + num_communities - 1) / num_communities;
+    for (EdgeId e = 0; e < undirected; ++e) {
+        const NodeId s = static_cast<NodeId>(rng.nextBounded(num_nodes));
+        NodeId d;
+        if (rng.bernoulli(static_cast<Float>(p_in_fraction))) {
+            const NodeId step = static_cast<NodeId>(
+                rng.nextBounded(per_block));
+            d = (s % num_communities) + step * num_communities;
+            if (d >= num_nodes)
+                d = s; // dropped below
+        } else {
+            d = static_cast<NodeId>(rng.nextBounded(num_nodes));
+        }
+        if (s != d)
+            edges.emplace_back(s, d);
+    }
+    result.graph =
+        CsrGraph::fromEdges(num_nodes, std::move(edges), true, true);
+    return result;
+}
+
+CsrGraph
+ringLattice(NodeId num_nodes, std::uint32_t k, bool self_loops)
+{
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(static_cast<std::size_t>(num_nodes) * (k / 2));
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        for (std::uint32_t off = 1; off <= k / 2; ++off) {
+            const NodeId u = (v + off) % num_nodes;
+            if (u != v)
+                edges.emplace_back(v, u);
+        }
+    }
+    return CsrGraph::fromEdges(num_nodes, std::move(edges), true,
+                               self_loops);
+}
+
+CsrGraph
+star(NodeId num_nodes, bool self_loops)
+{
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(num_nodes);
+    for (NodeId v = 1; v < num_nodes; ++v)
+        edges.emplace_back(0, v);
+    return CsrGraph::fromEdges(num_nodes, std::move(edges), true,
+                               self_loops);
+}
+
+} // namespace maxk

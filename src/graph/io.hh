@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text CSR graph persistence. Lets users drop in real datasets
+ * (converted offline) in place of the synthetic twins: the format is the
+ * same `indptr / indices` split the MaxK-GNN artifact uses, flattened to
+ * one text file.
+ *
+ * Format:
+ *   line 1: "maxk-csr 1 <numNodes> <numEdges>"
+ *   line 2: numNodes+1 white-space separated rowPtr entries
+ *   line 3: numEdges column indices
+ *   line 4 (optional): numEdges fp32 edge values
+ */
+
+#ifndef MAXK_GRAPH_IO_HH
+#define MAXK_GRAPH_IO_HH
+
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace maxk
+{
+
+/** Serialise a graph to the text format; returns false on I/O failure. */
+bool saveGraph(const CsrGraph &g, const std::string &path,
+               bool with_values = true);
+
+/**
+ * Load a graph from the text format.
+ * Calls fatal() on malformed content (user error), returns the graph
+ * otherwise.
+ */
+CsrGraph loadGraph(const std::string &path);
+
+} // namespace maxk
+
+#endif // MAXK_GRAPH_IO_HH

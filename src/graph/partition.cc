@@ -1,0 +1,181 @@
+#include "graph/partition.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+std::vector<NodeId>
+Partition::members(std::uint32_t p) const
+{
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < assignment.size(); ++v)
+        if (assignment[v] == p)
+            out.push_back(v);
+    return out;
+}
+
+double
+Partition::edgeCutFraction(const CsrGraph &g) const
+{
+    checkInvariant(assignment.size() == g.numNodes(),
+                   "edgeCutFraction: partition/graph size mismatch");
+    EdgeId cut = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e)
+            cut += assignment[v] != assignment[g.colIdx()[e]] ? 1 : 0;
+    return g.numEdges() ? static_cast<double>(cut) / g.numEdges() : 0.0;
+}
+
+double
+Partition::balance(NodeId num_nodes) const
+{
+    if (numParts == 0 || num_nodes == 0)
+        return 1.0;
+    std::vector<NodeId> sizes(numParts, 0);
+    for (std::uint32_t p : assignment)
+        ++sizes[p];
+    const double ideal =
+        static_cast<double>(num_nodes) / static_cast<double>(numParts);
+    return *std::max_element(sizes.begin(), sizes.end()) / ideal;
+}
+
+Partition
+bfsPartition(const CsrGraph &g, std::uint32_t parts, Rng &rng)
+{
+    checkInvariant(parts >= 1, "bfsPartition: need >= 1 part");
+    const NodeId n = g.numNodes();
+    Partition result;
+    result.numParts = parts;
+    result.assignment.assign(n, parts); // parts == unassigned marker
+    if (n == 0)
+        return result;
+
+    const NodeId cap = (n + parts - 1) / parts;
+    std::vector<NodeId> sizes(parts, 0);
+    std::vector<std::deque<NodeId>> frontiers(parts);
+
+    // Random distinct-ish seeds.
+    for (std::uint32_t p = 0; p < parts; ++p) {
+        NodeId seed = static_cast<NodeId>(rng.nextBounded(n));
+        for (int tries = 0;
+             result.assignment[seed] != parts && tries < 16; ++tries)
+            seed = static_cast<NodeId>(rng.nextBounded(n));
+        if (result.assignment[seed] == parts) {
+            result.assignment[seed] = p;
+            ++sizes[p];
+            frontiers[p].push_back(seed);
+        }
+    }
+
+    // Round-robin BFS growth with per-part caps.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (std::uint32_t p = 0; p < parts; ++p) {
+            if (frontiers[p].empty() || sizes[p] >= cap)
+                continue;
+            const NodeId v = frontiers[p].front();
+            frontiers[p].pop_front();
+            for (EdgeId e = g.rowPtr()[v];
+                 e < g.rowPtr()[v + 1] && sizes[p] < cap; ++e) {
+                const NodeId u = g.colIdx()[e];
+                if (result.assignment[u] == parts) {
+                    result.assignment[u] = p;
+                    ++sizes[p];
+                    frontiers[p].push_back(u);
+                }
+            }
+            progressed = true;
+        }
+    }
+
+    // Leftovers (disconnected or cap-blocked): fill smallest part.
+    for (NodeId v = 0; v < n; ++v) {
+        if (result.assignment[v] != parts)
+            continue;
+        const std::uint32_t smallest = static_cast<std::uint32_t>(
+            std::min_element(sizes.begin(), sizes.end()) -
+            sizes.begin());
+        result.assignment[v] = smallest;
+        ++sizes[smallest];
+    }
+    return result;
+}
+
+CsrGraph
+extractSubgraph(const CsrGraph &g, const std::vector<NodeId> &nodes,
+                std::vector<NodeId> *global_ids)
+{
+    // Local id table; kInvalid marks excluded vertices.
+    constexpr NodeId kInvalid = ~NodeId{0};
+    std::vector<NodeId> local(g.numNodes(), kInvalid);
+    std::vector<NodeId> kept;
+    kept.reserve(nodes.size());
+    for (NodeId v : nodes) {
+        checkInvariant(v < g.numNodes(),
+                       "extractSubgraph: node out of range");
+        if (local[v] == kInvalid) {
+            local[v] = static_cast<NodeId>(kept.size());
+            kept.push_back(v);
+        }
+    }
+
+    std::vector<EdgeId> row_ptr{0};
+    std::vector<NodeId> col_idx;
+    std::vector<Float> values;
+    for (NodeId v : kept) {
+        for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e) {
+            const NodeId u = g.colIdx()[e];
+            if (local[u] != kInvalid) {
+                col_idx.push_back(local[u]);
+                values.push_back(g.values()[e]);
+            }
+        }
+        row_ptr.push_back(static_cast<EdgeId>(col_idx.size()));
+    }
+
+    // Column order within a row follows the original sorted order of
+    // global ids, which may not be sorted locally; re-sort each row.
+    for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+        const EdgeId lo = row_ptr[r], hi = row_ptr[r + 1];
+        std::vector<std::pair<NodeId, Float>> row;
+        row.reserve(hi - lo);
+        for (EdgeId e = lo; e < hi; ++e)
+            row.emplace_back(col_idx[e], values[e]);
+        std::sort(row.begin(), row.end());
+        for (EdgeId e = lo; e < hi; ++e) {
+            col_idx[e] = row[e - lo].first;
+            values[e] = row[e - lo].second;
+        }
+    }
+
+    if (global_ids)
+        *global_ids = kept;
+    return CsrGraph::fromCsr(static_cast<NodeId>(kept.size()),
+                             std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
+}
+
+SampledSubgraph
+sampleNodes(const CsrGraph &g, double fraction, Rng &rng)
+{
+    checkInvariant(fraction > 0.0 && fraction <= 1.0,
+                   "sampleNodes: fraction must be in (0, 1]");
+    std::vector<NodeId> kept;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        if (rng.bernoulli(static_cast<Float>(fraction)))
+            kept.push_back(v);
+    if (kept.empty() && g.numNodes() > 0)
+        kept.push_back(static_cast<NodeId>(rng.nextBounded(
+            g.numNodes())));
+
+    SampledSubgraph out;
+    out.graph = extractSubgraph(g, kept, &out.globalIds);
+    return out;
+}
+
+} // namespace maxk

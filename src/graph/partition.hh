@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Graph partitioning and sampling substrates.
+ *
+ * The paper (Sec. 1) positions MaxK-GNN as composable with the two
+ * standard large-graph training strategies: partition-parallel training
+ * (BNS-GCN-style) and subgraph sampling (GraphSAINT-style). These
+ * utilities provide both: a BFS-grown balanced partitioner with
+ * boundary accounting, subgraph extraction that remaps a node subset
+ * into a self-contained CSR, and a uniform node sampler. The extension
+ * bench trains MaxK-GNN on the resulting subgraphs.
+ */
+
+#ifndef MAXK_GRAPH_PARTITION_HH
+#define MAXK_GRAPH_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/csr.hh"
+
+namespace maxk
+{
+
+/** Result of a k-way partition. */
+struct Partition
+{
+    std::uint32_t numParts = 0;
+    std::vector<std::uint32_t> assignment;  //!< node -> part id
+
+    /** Nodes assigned to part p. */
+    std::vector<NodeId> members(std::uint32_t p) const;
+
+    /** Fraction of edges whose endpoints lie in different parts. */
+    double edgeCutFraction(const CsrGraph &g) const;
+
+    /** Ratio of the largest part size to the ideal |V|/parts. */
+    double balance(NodeId num_nodes) const;
+};
+
+/**
+ * BFS-grown balanced partitioning: seeds one frontier per part and
+ * grows them breadth-first with a per-part size cap, assigning any
+ * leftover (unreached) vertices round-robin. O(|V| + |E|); a
+ * lightweight stand-in for METIS that preserves locality, which is
+ * what the edge-cut metric depends on.
+ */
+Partition bfsPartition(const CsrGraph &g, std::uint32_t parts, Rng &rng);
+
+/**
+ * Extract the induced subgraph over `nodes` (need not be sorted;
+ * duplicates ignored). Edge values are copied. `global_ids`, when
+ * non-null, receives the mapping from local to original node ids.
+ */
+CsrGraph extractSubgraph(const CsrGraph &g,
+                         const std::vector<NodeId> &nodes,
+                         std::vector<NodeId> *global_ids = nullptr);
+
+/**
+ * GraphSAINT-style uniform node sampling: keep each vertex with
+ * probability `fraction`, return the induced subgraph and the kept
+ * global ids.
+ */
+struct SampledSubgraph
+{
+    CsrGraph graph;
+    std::vector<NodeId> globalIds;
+};
+SampledSubgraph sampleNodes(const CsrGraph &g, double fraction, Rng &rng);
+
+} // namespace maxk
+
+#endif // MAXK_GRAPH_PARTITION_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dataset registry: the paper's Table 1 metadata plus scaled synthetic
+ * twins that this offline reproduction materialises in place of the real
+ * downloads (see DESIGN.md Sec. 1 for the substitution argument).
+ *
+ * Twin scaling rule: preserve the paper's average degree exactly, cap the
+ * node count so that nnz stays below a simulation budget, and generate a
+ * power-law (RMAT) structure for kernel benches or a planted-partition
+ * (SBM) structure for training benches that need labels.
+ */
+
+#ifndef MAXK_GRAPH_REGISTRY_HH
+#define MAXK_GRAPH_REGISTRY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/csr.hh"
+#include "graph/generators.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/** Structural family used for a dataset twin. */
+enum class GraphKind { PowerLaw, Community, Mesh };
+
+/** Registry entry: paper-published size plus twin parameters. */
+struct DatasetInfo
+{
+    std::string name;          //!< paper dataset name (Table 1)
+    std::uint64_t paperNodes;  //!< |V| reported in Table 1
+    std::uint64_t paperEdges;  //!< |E| reported in Table 1
+    GraphKind kind;            //!< twin structure family
+
+    NodeId twinNodes;          //!< nodes in the synthetic twin
+    EdgeId twinEdges;          //!< approximate nnz in the twin
+
+    double paperAvgDegree() const
+    {
+        return paperNodes ? static_cast<double>(paperEdges) / paperNodes
+                          : 0.0;
+    }
+};
+
+/** Metric reported for a training task (Table 5 columns). */
+enum class MetricKind { Accuracy, MicroF1, RocAuc };
+
+const char *metricName(MetricKind m);
+
+/** Training-task description for the five system-evaluation datasets. */
+struct TrainingTask
+{
+    DatasetInfo info;
+    std::uint32_t numClasses;   //!< label classes (or label bits)
+    std::uint32_t featureDim;   //!< input feature dimension
+    bool multiLabel;            //!< BCE multi-label (Yelp, proteins twins)
+    MetricKind metric;          //!< headline metric for this dataset
+    double featureNoise;        //!< feature corruption level (task difficulty)
+    double intraEdgeFraction;   //!< SBM homophily
+
+    /**
+     * Accuracy-twin scale. Accuracy experiments run on a smaller graph
+     * than the kernel-timing twins (DESIGN.md: timing shape depends on
+     * structural scale, accuracy only on task learnability), so the
+     * training twin caps nodes/degree further.
+     */
+    NodeId accuracyNodes;
+    double accuracyAvgDegree;
+};
+
+/** All 24 Table-1 graphs in paper order. */
+const std::vector<DatasetInfo> &kernelSuite();
+
+/** Look up a kernel-suite entry by name; nullopt if unknown. */
+std::optional<DatasetInfo> findDataset(const std::string &name);
+
+/** The five system-evaluation datasets of Table 3 / Fig. 9 / Table 5. */
+const std::vector<TrainingTask> &trainingSuite();
+
+/** Look up a training task by dataset name. */
+std::optional<TrainingTask> findTrainingTask(const std::string &name);
+
+/** Materialise the synthetic twin graph for a registry entry. */
+CsrGraph materializeGraph(const DatasetInfo &info, Rng &rng);
+
+/**
+ * Materialise a labelled training twin: SBM graph + labels + features.
+ * Features are noisy one-hot community indicators lifted to featureDim via
+ * a fixed random projection, so the task is learnable but not trivial.
+ */
+struct TrainingData
+{
+    CsrGraph graph;
+    Matrix features;                        //!< N x featureDim inputs
+    std::vector<std::uint32_t> labels;      //!< one label per node
+    std::vector<std::uint8_t> trainMask;    //!< 1 = training node
+    std::vector<std::uint8_t> valMask;
+    std::vector<std::uint8_t> testMask;
+};
+TrainingData materializeTrainingData(const TrainingTask &task, Rng &rng);
+
+} // namespace maxk
+
+#endif // MAXK_GRAPH_REGISTRY_HH

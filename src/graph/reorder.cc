@@ -1,0 +1,150 @@
+#include "graph/reorder.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+Permutation
+bfsOrder(const CsrGraph &g)
+{
+    const NodeId n = g.numNodes();
+    constexpr NodeId kUnset = ~NodeId{0};
+    Permutation perm(n, kUnset);
+    NodeId next = 0;
+
+    // Visit components in order of their max-degree vertex.
+    std::vector<NodeId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](NodeId a, NodeId b) {
+                         return g.degree(a) > g.degree(b);
+                     });
+
+    std::deque<NodeId> frontier;
+    for (NodeId seed : by_degree) {
+        if (perm[seed] != kUnset)
+            continue;
+        perm[seed] = next++;
+        frontier.push_back(seed);
+        while (!frontier.empty()) {
+            const NodeId v = frontier.front();
+            frontier.pop_front();
+            for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e) {
+                const NodeId u = g.colIdx()[e];
+                if (perm[u] == kUnset) {
+                    perm[u] = next++;
+                    frontier.push_back(u);
+                }
+            }
+        }
+    }
+    checkInvariant(next == n, "bfsOrder: did not reach every vertex");
+    return perm;
+}
+
+Permutation
+degreeOrder(const CsrGraph &g)
+{
+    const NodeId n = g.numNodes();
+    std::vector<NodeId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](NodeId a, NodeId b) {
+                         return g.degree(a) > g.degree(b);
+                     });
+    Permutation perm(n);
+    for (NodeId rank = 0; rank < n; ++rank)
+        perm[by_degree[rank]] = rank;
+    return perm;
+}
+
+Permutation
+randomOrder(NodeId num_nodes, Rng &rng)
+{
+    Permutation perm(num_nodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    // Fisher-Yates with the project RNG.
+    for (NodeId i = num_nodes; i > 1; --i) {
+        const NodeId j = static_cast<NodeId>(rng.nextBounded(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+Permutation
+identityOrder(NodeId num_nodes)
+{
+    Permutation perm(num_nodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    return perm;
+}
+
+bool
+isPermutation(const Permutation &perm)
+{
+    std::vector<bool> seen(perm.size(), false);
+    for (NodeId v : perm) {
+        if (v >= perm.size() || seen[v])
+            return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+CsrGraph
+applyPermutation(const CsrGraph &g, const Permutation &perm)
+{
+    checkInvariant(perm.size() == g.numNodes(),
+                   "applyPermutation: size mismatch");
+    checkInvariant(isPermutation(perm),
+                   "applyPermutation: not a bijection");
+
+    const NodeId n = g.numNodes();
+    std::vector<NodeId> inverse(n);
+    for (NodeId old_id = 0; old_id < n; ++old_id)
+        inverse[perm[old_id]] = old_id;
+
+    std::vector<EdgeId> row_ptr(n + 1, 0);
+    std::vector<NodeId> col_idx;
+    std::vector<Float> values;
+    col_idx.reserve(g.numEdges());
+    values.reserve(g.numEdges());
+
+    std::vector<std::pair<NodeId, Float>> row;
+    for (NodeId new_id = 0; new_id < n; ++new_id) {
+        const NodeId old_id = inverse[new_id];
+        row.clear();
+        for (EdgeId e = g.rowPtr()[old_id]; e < g.rowPtr()[old_id + 1];
+             ++e)
+            row.emplace_back(perm[g.colIdx()[e]], g.values()[e]);
+        std::sort(row.begin(), row.end());
+        for (const auto &[c, v] : row) {
+            col_idx.push_back(c);
+            values.push_back(v);
+        }
+        row_ptr[new_id + 1] = static_cast<EdgeId>(col_idx.size());
+    }
+    return CsrGraph::fromCsr(n, std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
+}
+
+double
+neighbourDistance(const CsrGraph &g)
+{
+    if (g.numEdges() == 0 || g.numNodes() == 0)
+        return 0.0;
+    double total = 0.0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e)
+            total += std::abs(static_cast<double>(v) -
+                              static_cast<double>(g.colIdx()[e]));
+    return total / g.numEdges() / g.numNodes();
+}
+
+} // namespace maxk

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Degree-distribution statistics used to characterise synthetic dataset
+ * twins against the paper's Table 1 graphs.
+ */
+
+#ifndef MAXK_GRAPH_STATS_HH
+#define MAXK_GRAPH_STATS_HH
+
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace maxk
+{
+
+/** Summary of a graph's degree distribution. */
+struct DegreeStats
+{
+    NodeId numNodes = 0;
+    EdgeId numEdges = 0;
+    double avgDegree = 0.0;
+    EdgeId maxDegree = 0;
+    EdgeId medianDegree = 0;
+    EdgeId p99Degree = 0;     //!< 99th-percentile degree
+    double gini = 0.0;        //!< Gini coefficient of the degree vector
+    double skewRatio = 0.0;   //!< maxDegree / avgDegree ("evil row" factor)
+};
+
+/** Compute the summary in O(|V| log |V|). */
+DegreeStats computeDegreeStats(const CsrGraph &g);
+
+/** One-line human-readable rendering. */
+std::string describe(const DegreeStats &s);
+
+} // namespace maxk
+
+#endif // MAXK_GRAPH_STATS_HH

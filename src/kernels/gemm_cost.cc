@@ -1,0 +1,31 @@
+#include "kernels/gemm_cost.hh"
+
+#include <algorithm>
+
+namespace maxk
+{
+
+double
+gemmSimSeconds(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+               const gpusim::DeviceConfig &cfg, double efficiency)
+{
+    const double flops = 2.0 * static_cast<double>(m) * k * n;
+    // Tiled GEMM streams A and B roughly once per tile wave and writes C
+    // once; for the skinny GNN shapes (m >> k, n) the A matrix dominates.
+    const double bytes =
+        4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+               2.0 * static_cast<double>(m) * n);
+    const double t_compute = flops / (cfg.peakTf32Tflops * 1e12);
+    const double t_memory = bytes / cfg.hbmBytesPerSec();
+    return cfg.launchOverheadUs * 1e-6 +
+           std::max(t_compute, t_memory) / efficiency;
+}
+
+double
+elementwiseSimSeconds(std::uint64_t elems, const gpusim::DeviceConfig &cfg)
+{
+    const double bytes = 8.0 * static_cast<double>(elems); // read + write
+    return cfg.launchOverheadUs * 1e-6 + bytes / cfg.hbmBytesPerSec();
+}
+
+} // namespace maxk

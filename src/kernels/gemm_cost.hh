@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Roofline cost model for dense GEMM (the Linear stages of every GNN
+ * layer). Linear layers are not the paper's contribution — they appear in
+ * the epoch-time composition of Fig. 1 and Fig. 9, where the paper runs
+ * cuBLAS. The model charges max(compute, memory) like the kernel
+ * simulator, with a fixed efficiency factor representing cuBLAS tuning.
+ */
+
+#ifndef MAXK_KERNELS_GEMM_COST_HH
+#define MAXK_KERNELS_GEMM_COST_HH
+
+#include <cstdint>
+
+#include "gpusim/device.hh"
+
+namespace maxk
+{
+
+/**
+ * Simulated latency of an (m x k) * (k x n) GEMM, in seconds. Uses the
+ * TF32 tensor-core peak — the path PyTorch's matmul takes on an A100,
+ * which is how the paper's Linear stages run — derated by `efficiency`
+ * for the skinny shapes GNN layers produce.
+ */
+double gemmSimSeconds(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                      const gpusim::DeviceConfig &cfg,
+                      double efficiency = 0.5);
+
+/** Simulated latency of an element-wise op over `elems` fp32 values
+ *  (ReLU, bias add, dropout mask). Bandwidth-bound: read + write. */
+double elementwiseSimSeconds(std::uint64_t elems,
+                             const gpusim::DeviceConfig &cfg);
+
+} // namespace maxk
+
+#endif // MAXK_KERNELS_GEMM_COST_HH

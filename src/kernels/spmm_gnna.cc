@@ -1,0 +1,65 @@
+#include "kernels/spmm_gnna.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "gpusim/context.hh"
+
+namespace maxk
+{
+
+gpusim::KernelStats
+spmmGnna(const CsrGraph &a, const EdgeGroupPartition &part, const Matrix &x,
+         Matrix &y, SimOptions opt)
+{
+    checkInvariant(x.rows() == a.numNodes(), "spmmGnna: X row count != |V|");
+    checkInvariant(part.covers(a), "spmmGnna: partition does not cover A");
+    const std::size_t dim = x.cols();
+    y.resize(a.numNodes(), dim);
+    y.setZero();
+
+    if (opt.efficiency == 1.0)
+        opt.efficiency = kGnnaEfficiency;
+
+    gpusim::KernelContext ctx(opt.device, "spmm_gnna", opt.simulateCaches);
+    ctx.beginPhase("compute+accumulate");
+
+    std::vector<double> buf(dim);
+    std::uint64_t warp = 0;
+    for (const EdgeGroup &eg : part.groups()) {
+        ++warp;
+        // Neighbour-group metadata (group descriptor: row id + extent).
+        ctx.globalReadStreaming(warp, &eg, sizeof(EdgeGroup));
+        ctx.globalReadStreaming(warp, &a.values()[eg.begin],
+                       (eg.end - eg.begin) * sizeof(Float));
+        ctx.globalReadStreaming(warp, &a.colIdx()[eg.begin],
+                       (eg.end - eg.begin) * sizeof(NodeId));
+
+        std::fill(buf.begin(), buf.end(), 0.0);
+        for (EdgeId e = eg.begin; e < eg.end; ++e) {
+            const NodeId j = a.colIdx()[e];
+            const Float v = a.values()[e];
+            const Float *xr = x.row(j);
+            ctx.globalRead(warp, xr, dim * sizeof(Float));
+            ctx.flops(2 * dim);
+            // Dense accumulation into the shared-memory staging buffer:
+            // contiguous lanes, so it vectorises (4 elements/issue) —
+            // unlike the index-scattered accumulation of SpGEMM.
+            ctx.sharedOps(dim / 4 + 1, dim * sizeof(Float));
+            for (std::size_t d = 0; d < dim; ++d)
+                buf[d] += static_cast<double>(v) * xr[d];
+        }
+
+        // Atomic merge of the group's partial sum into global output;
+        // groups beyond a row's first serialize on the same addresses.
+        Float *yr = y.row(eg.row);
+        for (std::size_t d = 0; d < dim; ++d)
+            yr[d] += static_cast<Float>(buf[d]);
+        const bool first_eg_of_row = eg.begin == a.rowPtr()[eg.row];
+        ctx.sharedOps(first_eg_of_row ? dim / 4 : 2 * dim, 0);
+        ctx.globalAtomicAccum(warp, yr, dim * sizeof(Float));
+    }
+    return ctx.finish(opt.efficiency);
+}
+
+} // namespace maxk

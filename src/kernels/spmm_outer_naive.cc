@@ -1,0 +1,51 @@
+#include "kernels/spmm_outer_naive.hh"
+
+#include "common/logging.hh"
+#include "gpusim/context.hh"
+
+namespace maxk
+{
+
+gpusim::KernelStats
+spmmOuterNaive(const CsrGraph &a, const Matrix &x, Matrix &y,
+               const SimOptions &opt)
+{
+    checkInvariant(x.rows() == a.numNodes(),
+                   "spmmOuterNaive: X row count != |V|");
+    const std::size_t dim = x.cols();
+    y.resize(a.numNodes(), dim);
+    y.setZero();
+
+    gpusim::KernelContext ctx(opt.device, "spmm_outer_naive",
+                              opt.simulateCaches);
+    ctx.beginPhase("compute+accumulate");
+
+    std::uint64_t warp = 0;
+    for (NodeId i = 0; i < a.numNodes(); ++i, ++warp) {
+        const EdgeId begin = a.rowPtr()[i], end = a.rowPtr()[i + 1];
+        if (begin == end)
+            continue;
+        ctx.globalReadStreaming(warp, &a.values()[begin],
+                       (end - begin) * sizeof(Float));
+        ctx.globalReadStreaming(warp, &a.colIdx()[begin],
+                       (end - begin) * sizeof(NodeId));
+        const Float *xr = x.row(i);
+        for (EdgeId e = begin; e < end; ++e) {
+            const NodeId j = a.colIdx()[e];
+            const Float v = a.values()[e];
+            // No prefetch: the dense input row is re-read per nonzero.
+            ctx.globalRead(warp, xr, dim * sizeof(Float));
+            ctx.flops(2 * dim);
+            Float *yr = y.row(j);
+            for (std::size_t d = 0; d < dim; ++d)
+                yr[d] += v * xr[d];
+            // Full dense output row accumulated atomically in global
+            // memory; every nonzero of column j contends on it.
+            ctx.sharedOps(dim, 0);
+            ctx.globalAtomicAccum(warp, yr, dim * sizeof(Float));
+        }
+    }
+    return ctx.finish(opt.efficiency);
+}
+
+} // namespace maxk

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Naive outer-product SpMM: the backward-pass baseline of Sec. 4.3's
+ * traffic comparison ("Compared to a naive outer product-based SpMM...").
+ *
+ * Computes Y = A^T * X by walking columns of A^T (rows of A, since CSR(A)
+ * is CSC(A^T)) and scattering e_ij * X[i, :] into output rows WITHOUT the
+ * dense-row prefetch or CBSR compression of the MaxK-GNN SSpMM: every
+ * nonzero re-reads the full dense input row from global memory and
+ * atomically accumulates a full dense output row.
+ */
+
+#ifndef MAXK_KERNELS_SPMM_OUTER_NAIVE_HH
+#define MAXK_KERNELS_SPMM_OUTER_NAIVE_HH
+
+#include "gpusim/kernel_stats.hh"
+#include "graph/csr.hh"
+#include "kernels/sim_options.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/** Y = A^T * X with the naive outer-product kernel. */
+gpusim::KernelStats spmmOuterNaive(const CsrGraph &a, const Matrix &x,
+                                   Matrix &y, const SimOptions &opt = {});
+
+} // namespace maxk
+
+#endif // MAXK_KERNELS_SPMM_OUTER_NAIVE_HH

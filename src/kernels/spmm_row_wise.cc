@@ -1,0 +1,63 @@
+#include "kernels/spmm_row_wise.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "gpusim/context.hh"
+
+namespace maxk
+{
+
+gpusim::KernelStats
+spmmRowWise(const CsrGraph &a, const Matrix &x, Matrix &y,
+            const SimOptions &opt)
+{
+    checkInvariant(x.rows() == a.numNodes(),
+                   "spmmRowWise: X row count != |V|");
+    const std::size_t dim = x.cols();
+    y.resize(a.numNodes(), dim);
+
+    gpusim::KernelContext ctx(opt.device, "spmm_row_wise",
+                              opt.simulateCaches);
+    ctx.beginPhase("compute");
+
+    std::vector<double> acc(dim);
+    std::uint64_t warp = 0;
+    for (NodeId i = 0; i < a.numNodes(); ++i, ++warp) {
+        const EdgeId begin = a.rowPtr()[i], end = a.rowPtr()[i + 1];
+        if (begin == end) {
+            // Row of zeros still writes its (zero) output slice.
+            Float *yr = y.row(i);
+            for (std::size_t d = 0; d < dim; ++d)
+                yr[d] = 0.0f;
+            ctx.globalWrite(warp, y.row(i), dim * sizeof(Float));
+            continue;
+        }
+
+        // CSR metadata for the row: edge values + column indices.
+        ctx.globalReadStreaming(warp, &a.values()[begin],
+                       (end - begin) * sizeof(Float));
+        ctx.globalReadStreaming(warp, &a.colIdx()[begin],
+                       (end - begin) * sizeof(NodeId));
+
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (EdgeId e = begin; e < end; ++e) {
+            const NodeId j = a.colIdx()[e];
+            const Float v = a.values()[e];
+            const Float *xr = x.row(j);
+            // Full dense row fetch per nonzero: the 4*dim*nnz term.
+            ctx.globalRead(warp, xr, dim * sizeof(Float));
+            ctx.flops(2 * dim);
+            for (std::size_t d = 0; d < dim; ++d)
+                acc[d] += static_cast<double>(v) * xr[d];
+        }
+
+        Float *yr = y.row(i);
+        for (std::size_t d = 0; d < dim; ++d)
+            yr[d] = static_cast<Float>(acc[d]);
+        ctx.globalWrite(warp, yr, dim * sizeof(Float));
+    }
+    return ctx.finish(opt.efficiency);
+}
+
+} // namespace maxk

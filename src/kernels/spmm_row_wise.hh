@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Row-wise-product SpMM baseline, modelling cuSPARSE CsrMM — the kernel
+ * DGL dispatches to and the primary baseline of Fig. 8 / Table 2.
+ *
+ * Access pattern (per the paper's Sec. 1/4.3 characterisation): each
+ * nonzero (i, j) fetches the full dense row X[j, :] from global memory
+ * (dim_origin * 4 bytes), so feature traffic scales as 4*dim*nnz; partial
+ * sums live in registers and each output row is written once, coalesced.
+ * There is no shared-memory staging and no atomics.
+ */
+
+#ifndef MAXK_KERNELS_SPMM_ROW_WISE_HH
+#define MAXK_KERNELS_SPMM_ROW_WISE_HH
+
+#include "gpusim/kernel_stats.hh"
+#include "graph/csr.hh"
+#include "kernels/sim_options.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/**
+ * Y = A * X with the cuSPARSE-like row-wise kernel.
+ *
+ * @param a   adjacency in CSR
+ * @param x   dense features (|V| x dim)
+ * @param y   output, resized to |V| x dim
+ * @param opt simulation options
+ * @return simulated launch statistics
+ */
+gpusim::KernelStats spmmRowWise(const CsrGraph &a, const Matrix &x,
+                                Matrix &y, const SimOptions &opt = {});
+
+} // namespace maxk
+
+#endif // MAXK_KERNELS_SPMM_ROW_WISE_HH

@@ -1,0 +1,96 @@
+#include "mlp/approximator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "nn/linear.hh"
+#include "nn/optimizer.hh"
+#include "tensor/ops.hh"
+
+namespace maxk::mlp
+{
+
+ApproxResult
+approximateFunction(const ApproxConfig &cfg,
+                    const std::function<Float(Float)> &f)
+{
+    Rng rng(cfg.seed);
+
+    // Sample grid on [-1, 1] and targets.
+    Matrix x(cfg.numSamples, 1);
+    Matrix target(cfg.numSamples, 1);
+    for (std::uint32_t i = 0; i < cfg.numSamples; ++i) {
+        const Float xi =
+            -1.0f + 2.0f * static_cast<Float>(i) / (cfg.numSamples - 1);
+        x.at(i, 0) = xi;
+        target.at(i, 0) = f(xi);
+    }
+
+    nn::Linear l1(1, cfg.hiddenUnits, rng, "mlp.l1");
+    nn::Linear l2(cfg.hiddenUnits, 1, rng, "mlp.l2");
+    nn::ParamRefs params;
+    l1.collectParams(params);
+    l2.collectParams(params);
+    nn::Adam adam(params, cfg.lr);
+
+    const std::uint32_t k = std::max<std::uint32_t>(
+        1, (cfg.hiddenUnits + cfg.kDivisor - 1) / cfg.kDivisor);
+
+    ApproxResult result;
+    Matrix hidden, act, out, d_out, d_act, d_hidden, dx;
+    for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        l1.forward(x, hidden);
+        if (cfg.nonlin == ApproxNonlin::Relu)
+            reluForward(hidden, act);
+        else
+            maxkDense(hidden, k, act);
+        l2.forward(act, out);
+
+        // MSE loss: L = mean((out - target)^2).
+        subtract(out, target, d_out);
+        double loss = 0.0;
+        for (std::size_t i = 0; i < d_out.size(); ++i)
+            loss += static_cast<double>(d_out.data()[i]) *
+                    d_out.data()[i];
+        loss /= cfg.numSamples;
+        if (epoch % 100 == 0)
+            result.lossCurve.push_back(loss);
+
+        scaleInPlace(d_out, 2.0f / static_cast<Float>(cfg.numSamples));
+        l2.backward(act, d_out, d_act);
+        if (cfg.nonlin == ApproxNonlin::Relu)
+            reluBackward(hidden, d_act, d_hidden);
+        else
+            maxkBackwardDense(hidden, k, d_act, d_hidden);
+        l1.backward(x, d_hidden, dx);
+        adam.step();
+    }
+
+    // Final evaluation.
+    l1.forward(x, hidden);
+    if (cfg.nonlin == ApproxNonlin::Relu)
+        reluForward(hidden, act);
+    else
+        maxkDense(hidden, k, act);
+    l2.forward(act, out);
+
+    double mse = 0.0, worst = 0.0;
+    for (std::uint32_t i = 0; i < cfg.numSamples; ++i) {
+        const double err = out.at(i, 0) - target.at(i, 0);
+        mse += err * err;
+        worst = std::max(worst, std::fabs(err));
+    }
+    result.mse = mse / cfg.numSamples;
+    result.maxError = worst;
+    return result;
+}
+
+ApproxResult
+approximateSquare(const ApproxConfig &cfg)
+{
+    return approximateFunction(cfg, [](Float v) { return v * v; });
+}
+
+} // namespace maxk::mlp

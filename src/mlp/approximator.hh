@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 4 experiment: a single-hidden-layer MLP with MaxK or ReLU
+ * nonlinearity trained to approximate a 1-D continuous function
+ * (y = x^2 in the paper). Demonstrates the universal-approximation
+ * property of Theorem 3.2: error decreases as hidden units grow, and
+ * MaxK tracks ReLU.
+ */
+
+#ifndef MAXK_MLP_APPROXIMATOR_HH
+#define MAXK_MLP_APPROXIMATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace maxk::mlp
+{
+
+/** Nonlinearity under test. */
+enum class ApproxNonlin { Relu, MaxK };
+
+/** Experiment configuration. */
+struct ApproxConfig
+{
+    std::uint32_t hiddenUnits = 16;
+    ApproxNonlin nonlin = ApproxNonlin::MaxK;
+    /** k = ceil(hidden / kDivisor); the paper uses ceil(hid/4). */
+    std::uint32_t kDivisor = 4;
+    std::uint32_t epochs = 4000;
+    Float lr = 0.01f;
+    std::uint32_t numSamples = 256;  //!< grid points on [-1, 1]
+    std::uint64_t seed = 17;
+};
+
+/** Outcome: final fit quality plus the training curve. */
+struct ApproxResult
+{
+    double mse = 0.0;               //!< mean squared error on the grid
+    double maxError = 0.0;          //!< worst-case |f - g| on the grid
+    std::vector<double> lossCurve;  //!< sampled every 100 epochs
+};
+
+/** Train the MLP to approximate f on [-1, 1]. Deterministic by seed. */
+ApproxResult approximateFunction(const ApproxConfig &cfg,
+                                 const std::function<Float(Float)> &f);
+
+/** The paper's y = x^2 instance. */
+ApproxResult approximateSquare(const ApproxConfig &cfg);
+
+} // namespace maxk::mlp
+
+#endif // MAXK_MLP_APPROXIMATOR_HH

@@ -1,0 +1,80 @@
+#include "nn/distributed.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "graph/edge_groups.hh"
+
+namespace maxk::nn
+{
+
+std::vector<std::uint64_t>
+boundaryCounts(const CsrGraph &g, const Partition &p)
+{
+    checkInvariant(p.assignment.size() == g.numNodes(),
+                   "boundaryCounts: partition size mismatch");
+    std::vector<std::uint64_t> counts(p.numParts, 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        const std::uint32_t home = p.assignment[v];
+        bool boundary = false;
+        for (EdgeId e = g.rowPtr()[v];
+             e < g.rowPtr()[v + 1] && !boundary; ++e)
+            boundary = p.assignment[g.colIdx()[e]] != home;
+        counts[home] += boundary ? 1 : 0;
+    }
+    return counts;
+}
+
+DistributedEpochTiming
+profileDistributedEpoch(const ModelConfig &cfg, const CsrGraph &g,
+                        const Partition &part,
+                        const ClusterConfig &cluster,
+                        const SimOptions &opt)
+{
+    checkInvariant(part.numParts == cluster.numGpus,
+                   "profileDistributedEpoch: parts != GPUs");
+    DistributedEpochTiming result;
+
+    // Per-partition compute: profile each induced subgraph.
+    double worst = 0.0, total = 0.0;
+    for (std::uint32_t p = 0; p < part.numParts; ++p) {
+        const std::vector<NodeId> members = part.members(p);
+        if (members.empty())
+            continue;
+        CsrGraph sub = extractSubgraph(g, members);
+        sub.setAggregatorWeights(aggregatorFor(cfg.kind));
+        const auto eg = EdgeGroupPartition::build(
+            sub, std::max<std::uint32_t>(opt.workloadCap, 1));
+        const double t = profileEpoch(cfg, sub, eg, opt).total();
+        worst = std::max(worst, t);
+        total += t;
+    }
+    result.computeSeconds = worst;
+    result.imbalance =
+        total > 0.0 ? worst / (total / part.numParts) : 1.0;
+
+    // Boundary exchange: each boundary node's activation row crosses
+    // the interconnect once per layer, forward and backward. MaxK
+    // models ship CBSR rows; ReLU models ship dense rows.
+    const auto counts = boundaryCounts(g, part);
+    std::uint64_t boundary = 0;
+    for (std::uint64_t c : counts)
+        boundary += c;
+    boundary = static_cast<std::uint64_t>(
+        boundary * cluster.boundarySampleRate);
+    result.boundaryNodes = boundary;
+
+    const std::uint32_t k = std::min<std::uint32_t>(
+        cfg.maxkK, static_cast<std::uint32_t>(cfg.hiddenDim));
+    const Bytes row_bytes =
+        cfg.nonlin == Nonlinearity::MaxK
+            ? Bytes(k) * (4 + (cfg.hiddenDim <= 256 ? 1 : 2))
+            : Bytes(4) * cfg.hiddenDim;
+    result.exchangedBytes =
+        Bytes(boundary) * row_bytes * cfg.numLayers * 2; // fwd + bwd
+    result.exchangeSeconds = static_cast<double>(result.exchangedBytes) /
+                             (cluster.nvlinkGBs * 1e9);
+    return result;
+}
+
+} // namespace maxk::nn

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Partition-parallel full-graph training model (BNS-GCN-style).
+ *
+ * The paper argues (Sec. 1) that MaxK-GNN composes with
+ * partition-parallel training: each GPU holds one graph partition,
+ * boundary-node features are exchanged every layer, and the aggregation
+ * kernels run unchanged within each partition. This module models that
+ * deployment: per-partition simulated compute (from profileEpoch on the
+ * partition subgraph) plus an all-to-all boundary-feature exchange
+ * charged against NVLink bandwidth. It quantifies two effects:
+ *
+ *  - MaxK shrinks the exchanged features too (CBSR: (4+idx)*k bytes vs
+ *    4*dim bytes per boundary node per layer), compounding its win;
+ *  - boundary sampling (the BNS trick) trades exchange volume for
+ *    accuracy, orthogonally to MaxK.
+ */
+
+#ifndef MAXK_NN_DISTRIBUTED_HH
+#define MAXK_NN_DISTRIBUTED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "graph/partition.hh"
+#include "kernels/sim_options.hh"
+#include "nn/model.hh"
+#include "nn/trainer.hh"
+
+namespace maxk::nn
+{
+
+/** Interconnect + deployment parameters. */
+struct ClusterConfig
+{
+    std::uint32_t numGpus = 4;
+    double nvlinkGBs = 300.0;      //!< per-GPU all-reduce bandwidth
+    double boundarySampleRate = 1.0; //!< BNS-GCN keeps this fraction
+};
+
+/** Per-epoch decomposition of a partition-parallel run. */
+struct DistributedEpochTiming
+{
+    double computeSeconds = 0.0;   //!< slowest partition's kernel time
+    double exchangeSeconds = 0.0;  //!< boundary feature all-to-all
+    double imbalance = 1.0;        //!< max/mean partition compute
+    std::uint64_t boundaryNodes = 0;
+    Bytes exchangedBytes = 0;
+
+    double total() const { return computeSeconds + exchangeSeconds; }
+};
+
+/**
+ * Count boundary nodes of each partition: vertices with at least one
+ * neighbour in a different part (their features must be exchanged).
+ */
+std::vector<std::uint64_t> boundaryCounts(const CsrGraph &g,
+                                          const Partition &p);
+
+/**
+ * Model one partition-parallel training epoch of `cfg` on graph g
+ * split by `part` across `cluster.numGpus` devices.
+ *
+ * Compute: profileEpoch on each partition's induced subgraph; the
+ * epoch waits for the slowest. Exchange: every layer moves each
+ * boundary node's feature row to the partitions that read it — dense
+ * rows for ReLU models, CBSR rows for MaxK models.
+ */
+DistributedEpochTiming profileDistributedEpoch(
+    const ModelConfig &cfg, const CsrGraph &g, const Partition &part,
+    const ClusterConfig &cluster, const SimOptions &opt);
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_DISTRIBUTED_HH

@@ -1,0 +1,45 @@
+#include "nn/dropout.hh"
+
+#include "common/logging.hh"
+
+namespace maxk::nn
+{
+
+void
+Dropout::forward(const Matrix &x, Matrix &y, bool training, Rng &rng)
+{
+    y.resize(x.rows(), x.cols());
+    lastTraining_ = training && p_ > 0.0f;
+    if (!lastTraining_) {
+        std::copy(x.data(), x.data() + x.size(), y.data());
+        return;
+    }
+    mask_.resize(x.size());
+    const Float scale = 1.0f / (1.0f - p_);
+    const Float *px = x.data();
+    Float *py = y.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const bool keep = !rng.bernoulli(p_);
+        mask_[i] = keep ? 1 : 0;
+        py[i] = keep ? px[i] * scale : 0.0f;
+    }
+}
+
+void
+Dropout::backward(const Matrix &dy, Matrix &dx) const
+{
+    dx.resize(dy.rows(), dy.cols());
+    if (!lastTraining_) {
+        std::copy(dy.data(), dy.data() + dy.size(), dx.data());
+        return;
+    }
+    checkInvariant(mask_.size() == dy.size(),
+                   "Dropout::backward: no matching forward mask");
+    const Float scale = 1.0f / (1.0f - p_);
+    const Float *pdy = dy.data();
+    Float *pdx = dx.data();
+    for (std::size_t i = 0; i < dy.size(); ++i)
+        pdx[i] = mask_[i] ? pdy[i] * scale : 0.0f;
+}
+
+} // namespace maxk::nn

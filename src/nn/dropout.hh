@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Inverted dropout. Table 3 trains every dataset with dropout between
+ * 0.1 and 0.5; the mask is drawn from the project Rng so runs are
+ * reproducible.
+ */
+
+#ifndef MAXK_NN_DROPOUT_HH
+#define MAXK_NN_DROPOUT_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk::nn
+{
+
+/** Inverted dropout layer (scales survivors by 1/(1-p) at train time). */
+class Dropout
+{
+  public:
+    explicit Dropout(Float p = 0.0f) : p_(p) {}
+
+    Float rate() const { return p_; }
+
+    /**
+     * Forward. In training mode draws a fresh mask; in eval mode the
+     * input passes through untouched.
+     */
+    void forward(const Matrix &x, Matrix &y, bool training, Rng &rng);
+
+    /** Backward through the last forward's mask. */
+    void backward(const Matrix &dy, Matrix &dx) const;
+
+  private:
+    Float p_;
+    std::vector<std::uint8_t> mask_;  //!< 1 = kept
+    bool lastTraining_ = false;
+};
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_DROPOUT_HH

@@ -1,0 +1,248 @@
+#include "nn/gnn_layer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/maxk.hh"
+#include "tensor/ops.hh"
+
+namespace maxk::nn
+{
+
+const char *
+gnnKindName(GnnKind kind)
+{
+    switch (kind) {
+      case GnnKind::Sage: return "SAGE";
+      case GnnKind::Gcn:  return "GCN";
+      case GnnKind::Gin:  return "GIN";
+    }
+    return "?";
+}
+
+const char *
+nonlinearityName(Nonlinearity n)
+{
+    return n == Nonlinearity::Relu ? "ReLU" : "MaxK";
+}
+
+Aggregator
+aggregatorFor(GnnKind kind)
+{
+    switch (kind) {
+      case GnnKind::Sage: return Aggregator::SageMean;
+      case GnnKind::Gcn:  return Aggregator::Gcn;
+      case GnnKind::Gin:  return Aggregator::Gin;
+    }
+    return Aggregator::SageMean;
+}
+
+void
+aggregateDense(const CsrGraph &a, const Matrix &x, Matrix &out)
+{
+    const std::size_t dim = x.cols();
+    out.resize(a.numNodes(), dim);
+    out.setZero();
+    for (NodeId i = 0; i < a.numNodes(); ++i) {
+        Float *o = out.row(i);
+        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
+            const Float v = a.values()[e];
+            const Float *xr = x.row(a.colIdx()[e]);
+            for (std::size_t d = 0; d < dim; ++d)
+                o[d] += v * xr[d];
+        }
+    }
+}
+
+void
+aggregateDenseTransposed(const CsrGraph &a, const Matrix &x, Matrix &out)
+{
+    const std::size_t dim = x.cols();
+    out.resize(a.numNodes(), dim);
+    out.setZero();
+    for (NodeId i = 0; i < a.numNodes(); ++i) {
+        const Float *xr = x.row(i);
+        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
+            const Float v = a.values()[e];
+            Float *o = out.row(a.colIdx()[e]);
+            for (std::size_t d = 0; d < dim; ++d)
+                o[d] += v * xr[d];
+        }
+    }
+}
+
+void
+aggregateCbsr(const CsrGraph &a, const CbsrMatrix &xs, Matrix &out)
+{
+    const std::uint32_t dim_k = xs.dimK();
+    out.resize(a.numNodes(), xs.dimOrigin());
+    out.setZero();
+    for (NodeId i = 0; i < a.numNodes(); ++i) {
+        Float *o = out.row(i);
+        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
+            const NodeId j = a.colIdx()[e];
+            const Float v = a.values()[e];
+            const Float *data = xs.dataRow(j);
+            for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+                o[xs.indexAt(j, kk)] += v * data[kk];
+        }
+    }
+}
+
+void
+aggregateCbsrBackward(const CsrGraph &a, const Matrix &dxl,
+                      CbsrMatrix &dxs)
+{
+    const std::uint32_t dim_k = dxs.dimK();
+    dxs.zeroData();
+    for (NodeId i = 0; i < a.numNodes(); ++i) {
+        const Float *g = dxl.row(i);
+        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
+            const NodeId j = a.colIdx()[e];
+            const Float v = a.values()[e];
+            Float *out = dxs.dataRow(j);
+            for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+                out[kk] += v * g[dxs.indexAt(j, kk)];
+        }
+    }
+}
+
+void
+maxkCompressFast(const Matrix &x, std::uint32_t k, CbsrMatrix &out)
+{
+    const NodeId n = static_cast<NodeId>(x.rows());
+    const std::uint32_t dim = static_cast<std::uint32_t>(x.cols());
+    out = CbsrMatrix(n, k, dim);
+    std::vector<std::uint32_t> selected;
+    for (NodeId r = 0; r < n; ++r) {
+        const Float *row = x.row(r);
+        pivotSelect(row, dim, k, selected);
+        Float *data = out.dataRow(r);
+        for (std::uint32_t kk = 0; kk < k; ++kk) {
+            data[kk] = row[selected[kk]];
+            out.setIndex(r, kk, selected[kk]);
+        }
+    }
+}
+
+GnnLayer::GnnLayer(const GnnLayerConfig &cfg, std::size_t in_dim,
+                   std::size_t out_dim, Rng &rng, const std::string &name)
+    : cfg_(cfg),
+      linear1_(in_dim, out_dim, rng, name + ".linear1"),
+      dropout_(cfg.dropout)
+{
+    if (cfg_.kind == GnnKind::Sage)
+        linear2_ = Linear(in_dim, out_dim, rng, name + ".linear2");
+}
+
+std::uint32_t
+GnnLayer::effectiveK() const
+{
+    return std::min<std::uint32_t>(
+        cfg_.maxkK, static_cast<std::uint32_t>(linear1_.outDim()));
+}
+
+void
+GnnLayer::forward(const CsrGraph &a, const Matrix &x, Matrix &out,
+                  bool training, Rng &rng)
+{
+    checkInvariant(x.rows() == a.numNodes(),
+                   "GnnLayer::forward: feature row count != |V|");
+    dropout_.forward(x, xDropped_, training, rng);
+    linear1_.forward(xDropped_, y_);
+
+    const bool use_maxk =
+        cfg_.nonlin == Nonlinearity::MaxK && !cfg_.lastLayer;
+    usedCbsr_ = use_maxk;
+
+    if (use_maxk) {
+        // MaxK -> CBSR -> SpGEMM aggregation (Fig. 2b path).
+        maxkCompressFast(y_, effectiveK(), cbsr_);
+        aggregateCbsr(a, cbsr_, out);
+    } else {
+        if (cfg_.lastLayer)
+            hDense_ = y_;  // identity: logits stay dense
+        else
+            reluForward(y_, hDense_);
+        aggregateDense(a, hDense_, out);
+    }
+
+    if (cfg_.kind == GnnKind::Sage) {
+        Matrix self;
+        linear2_.forward(xDropped_, self);
+        addInPlace(out, self);
+    } else if (cfg_.kind == GnnKind::Gin) {
+        // out += (1 + eps) * h
+        const Float w = 1.0f + cfg_.ginEps;
+        if (use_maxk) {
+            for (NodeId r = 0; r < cbsr_.rows(); ++r) {
+                const Float *data = cbsr_.dataRow(r);
+                Float *o = out.row(r);
+                for (std::uint32_t kk = 0; kk < cbsr_.dimK(); ++kk)
+                    o[cbsr_.indexAt(r, kk)] += w * data[kk];
+            }
+        } else {
+            axpy(out, w, hDense_);
+        }
+    }
+}
+
+void
+GnnLayer::backward(const CsrGraph &a, const Matrix &d_out, Matrix &dx)
+{
+    checkInvariant(d_out.rows() == a.numNodes(),
+                   "GnnLayer::backward: gradient row count != |V|");
+    const Float gin_w = 1.0f + cfg_.ginEps;
+
+    // Gradient w.r.t. the pre-activation y.
+    Matrix dy;
+    if (usedCbsr_) {
+        // SSpMM: sampled A^T * d_out at the forward pattern.
+        CbsrMatrix dcbsr;
+        dcbsr.adoptPattern(cbsr_);
+        aggregateCbsrBackward(a, d_out, dcbsr);
+        if (cfg_.kind == GnnKind::Gin) {
+            // Direct (1+eps) h path, masked by the same pattern.
+            for (NodeId r = 0; r < dcbsr.rows(); ++r) {
+                Float *g = dcbsr.dataRow(r);
+                const Float *go = d_out.row(r);
+                for (std::uint32_t kk = 0; kk < dcbsr.dimK(); ++kk)
+                    g[kk] += gin_w * go[dcbsr.indexAt(r, kk)];
+            }
+        }
+        // Scatter CBSR gradient into the dense dy (zeros elsewhere):
+        // MaxK's backward reuses the forward sparsity (Sec. 3.1).
+        dcbsr.decompress(dy);
+    } else {
+        Matrix dh;
+        aggregateDenseTransposed(a, d_out, dh);
+        if (cfg_.kind == GnnKind::Gin)
+            axpy(dh, gin_w, d_out);
+        if (cfg_.lastLayer)
+            dy = std::move(dh);
+        else
+            reluBackward(y_, dh, dy);
+    }
+
+    // Linear1 backward into the dropped input.
+    Matrix dx_dropped;
+    linear1_.backward(xDropped_, dy, dx_dropped);
+
+    if (cfg_.kind == GnnKind::Sage) {
+        Matrix dx_self;
+        linear2_.backward(xDropped_, d_out, dx_self);
+        addInPlace(dx_dropped, dx_self);
+    }
+
+    dropout_.backward(dx_dropped, dx);
+}
+
+void
+GnnLayer::collectParams(ParamRefs &out)
+{
+    linear1_.collectParams(out);
+    if (cfg_.kind == GnnKind::Sage)
+        linear2_.collectParams(out);
+}
+
+} // namespace maxk::nn

@@ -1,0 +1,59 @@
+#include "nn/linear.hh"
+
+#include "common/logging.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+namespace maxk::nn
+{
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng,
+               const std::string &name)
+{
+    weight_.name = name + ".weight";
+    weight_.value.resize(in, out);
+    xavierUniform(weight_.value, rng);
+    weight_.resetGrad();
+
+    bias_.name = name + ".bias";
+    bias_.value.resize(1, out);
+    bias_.resetGrad();
+}
+
+void
+Linear::forward(const Matrix &x, Matrix &y) const
+{
+    checkInvariant(x.cols() == weight_.value.rows(),
+                   "Linear::forward: input width mismatch");
+    gemm(x, weight_.value, y);
+    addRowVector(y, bias_.value);
+}
+
+void
+Linear::backward(const Matrix &x, const Matrix &dy, Matrix &dx)
+{
+    checkInvariant(dy.cols() == weight_.value.cols(),
+                   "Linear::backward: grad width mismatch");
+    // dW += x^T dy (accumulated: a second backward call must add, not
+    // overwrite, so multi-path layers like SAGE compose correctly).
+    Matrix dw;
+    gemmTransA(x, dy, dw);
+    addInPlace(weight_.grad, dw);
+    // db += column sums of dy
+    Matrix col;
+    columnSums(dy, col);
+    addInPlace(bias_.grad, col);
+    // dx = dy W^T
+    dx.resize(dy.rows(), weight_.value.rows());
+    dx.setZero();
+    gemmTransB(dy, weight_.value, dx);
+}
+
+void
+Linear::collectParams(ParamRefs &out)
+{
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+}
+
+} // namespace maxk::nn

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fully-connected layer Y = X W + b — the linear-transformation stage of
+ * every GNN layer (Fig. 3 stage 1). The paper runs these through cuBLAS;
+ * the reproduction computes them on the host and charges simulated time
+ * through the GEMM roofline model at the trainer level.
+ */
+
+#ifndef MAXK_NN_LINEAR_HH
+#define MAXK_NN_LINEAR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "nn/param.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk::nn
+{
+
+/** Dense linear layer with bias. */
+class Linear
+{
+  public:
+    Linear() = default;
+
+    /**
+     * @param in   input feature width
+     * @param out  output feature width
+     * @param rng  initialiser stream (Xavier uniform, zero bias)
+     * @param name parameter name prefix
+     */
+    Linear(std::size_t in, std::size_t out, Rng &rng,
+           const std::string &name);
+
+    /** y = x * W + b. */
+    void forward(const Matrix &x, Matrix &y) const;
+
+    /**
+     * Backward: accumulate dW += x^T * dy, db += colsum(dy) and produce
+     * dx = dy * W^T.
+     *
+     * @param x  the input the forward pass saw
+     * @param dy upstream gradient
+     * @param dx output gradient w.r.t. x (resized)
+     */
+    void backward(const Matrix &x, const Matrix &dy, Matrix &dx);
+
+    /** Parameters (weight then bias). */
+    void collectParams(ParamRefs &out);
+
+    std::size_t inDim() const { return weight_.value.rows(); }
+    std::size_t outDim() const { return weight_.value.cols(); }
+
+    Param &weight() { return weight_; }
+    Param &bias() { return bias_; }
+
+  private:
+    Param weight_;  //!< (in x out)
+    Param bias_;    //!< (1 x out)
+};
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_LINEAR_HH

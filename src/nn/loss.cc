@@ -1,0 +1,110 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/ops.hh"
+
+namespace maxk::nn
+{
+
+LossResult
+softmaxCrossEntropy(const Matrix &logits,
+                    const std::vector<std::uint32_t> &labels,
+                    const std::vector<std::uint8_t> &mask)
+{
+    checkInvariant(labels.size() == logits.rows(),
+                   "softmaxCrossEntropy: label count mismatch");
+    checkInvariant(mask.size() == logits.rows(),
+                   "softmaxCrossEntropy: mask size mismatch");
+
+    LossResult result;
+    result.gradLogits.resize(logits.rows(), logits.cols());
+
+    std::size_t active = 0;
+    for (std::uint8_t m : mask)
+        active += m ? 1 : 0;
+    if (active == 0)
+        return result;
+
+    Matrix probs;
+    rowSoftmax(logits, probs);
+
+    const double inv_n = 1.0 / static_cast<double>(active);
+    double loss = 0.0;
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        if (!mask[r])
+            continue;
+        const std::uint32_t y = labels[r];
+        checkInvariant(y < logits.cols(),
+                       "softmaxCrossEntropy: label out of range");
+        const Float p = std::max(probs.at(r, y), 1e-12f);
+        loss -= std::log(static_cast<double>(p));
+        Float *g = result.gradLogits.row(r);
+        const Float *pr = probs.row(r);
+        for (std::size_t c = 0; c < logits.cols(); ++c)
+            g[c] = static_cast<Float>((pr[c] - (c == y ? 1.0f : 0.0f)) *
+                                      inv_n);
+    }
+    result.loss = loss * inv_n;
+    return result;
+}
+
+LossResult
+sigmoidBce(const Matrix &logits, const Matrix &targets,
+           const std::vector<std::uint8_t> &mask)
+{
+    checkInvariant(targets.rows() == logits.rows() &&
+                       targets.cols() == logits.cols(),
+                   "sigmoidBce: target shape mismatch");
+    checkInvariant(mask.size() == logits.rows(),
+                   "sigmoidBce: mask size mismatch");
+
+    LossResult result;
+    result.gradLogits.resize(logits.rows(), logits.cols());
+
+    std::size_t active = 0;
+    for (std::uint8_t m : mask)
+        active += m ? 1 : 0;
+    if (active == 0)
+        return result;
+
+    const double denom =
+        static_cast<double>(active) * static_cast<double>(logits.cols());
+    double loss = 0.0;
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        if (!mask[r])
+            continue;
+        const Float *z = logits.row(r);
+        const Float *t = targets.row(r);
+        Float *g = result.gradLogits.row(r);
+        for (std::size_t c = 0; c < logits.cols(); ++c) {
+            // Numerically-stable BCE-with-logits:
+            // loss = max(z,0) - z*t + log(1 + exp(-|z|)).
+            const double zd = z[c], td = t[c];
+            loss += std::max(zd, 0.0) - zd * td +
+                    std::log1p(std::exp(-std::fabs(zd)));
+            const double sig = 1.0 / (1.0 + std::exp(-zd));
+            g[c] = static_cast<Float>((sig - td) / denom);
+        }
+    }
+    result.loss = loss / denom;
+    return result;
+}
+
+Matrix
+multiLabelTargets(const std::vector<std::uint32_t> &labels,
+                  std::uint32_t num_classes)
+{
+    Matrix t(labels.size(), num_classes);
+    for (std::size_t r = 0; r < labels.size(); ++r) {
+        const std::uint32_t a = labels[r] % num_classes;
+        const std::uint32_t b = (labels[r] + 1) % num_classes;
+        t.at(r, a) = 1.0f;
+        t.at(r, b) = 1.0f;
+    }
+    return t;
+}
+
+} // namespace maxk::nn

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Losses for the two task families of the system evaluation: masked
+ * softmax cross-entropy for single-label node classification (Flickr,
+ * Reddit, ogbn-products twins) and masked sigmoid BCE for multi-label
+ * tasks (Yelp, ogbn-proteins twins).
+ */
+
+#ifndef MAXK_NN_LOSS_HH
+#define MAXK_NN_LOSS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace maxk::nn
+{
+
+/** Loss value plus gradient w.r.t. logits. */
+struct LossResult
+{
+    double loss = 0.0;   //!< mean over masked nodes
+    Matrix gradLogits;   //!< same shape as logits, zero on unmasked rows
+};
+
+/**
+ * Masked softmax cross-entropy.
+ *
+ * @param logits (N x C)
+ * @param labels length-N class ids
+ * @param mask   length-N, nonzero = node contributes
+ */
+LossResult softmaxCrossEntropy(const Matrix &logits,
+                               const std::vector<std::uint32_t> &labels,
+                               const std::vector<std::uint8_t> &mask);
+
+/**
+ * Masked sigmoid binary cross-entropy against dense {0,1} targets.
+ *
+ * @param logits  (N x C)
+ * @param targets (N x C) with entries in {0,1}
+ * @param mask    length-N node mask
+ */
+LossResult sigmoidBce(const Matrix &logits, const Matrix &targets,
+                      const std::vector<std::uint8_t> &mask);
+
+/**
+ * Build multi-label targets from community labels: bits `label` and
+ * `(label+1) % C` are set, giving every node two active labels — a
+ * learnable multi-label task standing in for Yelp/proteins categories.
+ */
+Matrix multiLabelTargets(const std::vector<std::uint32_t> &labels,
+                         std::uint32_t num_classes);
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_LOSS_HH

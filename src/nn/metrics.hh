@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Evaluation metrics matching Table 5's columns: accuracy (Reddit,
+ * products, Flickr), micro-F1 (Yelp), and ROC-AUC (ogbn-proteins).
+ */
+
+#ifndef MAXK_NN_METRICS_HH
+#define MAXK_NN_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace maxk::nn
+{
+
+/** Fraction of masked nodes whose argmax logit equals the label. */
+double accuracy(const Matrix &logits,
+                const std::vector<std::uint32_t> &labels,
+                const std::vector<std::uint8_t> &mask);
+
+/**
+ * Micro-averaged F1 over masked nodes with per-class threshold 0 on the
+ * logits (i.e. sigmoid > 0.5).
+ */
+double microF1(const Matrix &logits, const Matrix &targets,
+               const std::vector<std::uint8_t> &mask);
+
+/**
+ * Micro ROC-AUC over all (masked node, class) pairs via the rank
+ * statistic; ties share average rank.
+ */
+double rocAuc(const Matrix &logits, const Matrix &targets,
+              const std::vector<std::uint8_t> &mask);
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_METRICS_HH

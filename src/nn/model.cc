@@ -1,0 +1,69 @@
+#include "nn/model.hh"
+
+#include "common/logging.hh"
+
+namespace maxk::nn
+{
+
+GnnModel::GnnModel(const ModelConfig &cfg)
+    : cfg_(cfg), dropRng_(cfg.seed ^ 0xD80C7ull)
+{
+    checkInvariant(cfg.numLayers >= 1, "GnnModel: need >= 1 layer");
+    Rng init_rng(cfg.seed);
+    layers_.reserve(cfg.numLayers);
+    for (std::uint32_t l = 0; l < cfg.numLayers; ++l) {
+        GnnLayerConfig lc;
+        lc.kind = cfg.kind;
+        lc.nonlin = cfg.nonlin;
+        lc.maxkK = cfg.maxkK;
+        lc.lastLayer = l + 1 == cfg.numLayers;
+        lc.ginEps = cfg.ginEps;
+        lc.dropout = cfg.dropout;
+        layers_.emplace_back(lc, layerInDim(l), layerOutDim(l), init_rng,
+                             "layer" + std::to_string(l));
+    }
+}
+
+std::size_t
+GnnModel::layerInDim(std::uint32_t l) const
+{
+    return l == 0 ? cfg_.inDim : cfg_.hiddenDim;
+}
+
+std::size_t
+GnnModel::layerOutDim(std::uint32_t l) const
+{
+    return l + 1 == cfg_.numLayers ? cfg_.outDim : cfg_.hiddenDim;
+}
+
+const Matrix &
+GnnModel::forward(const CsrGraph &a, const Matrix &x, bool training)
+{
+    acts_.resize(layers_.size() + 1);
+    acts_[0] = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+        layers_[l].forward(a, acts_[l], acts_[l + 1], training, dropRng_);
+    return acts_.back();
+}
+
+void
+GnnModel::backward(const CsrGraph &a, const Matrix &grad_logits)
+{
+    Matrix grad = grad_logits;
+    Matrix grad_prev;
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+        layers_[l].backward(a, grad, grad_prev);
+        grad = std::move(grad_prev);
+    }
+}
+
+ParamRefs
+GnnModel::params()
+{
+    ParamRefs refs;
+    for (auto &layer : layers_)
+        layer.collectParams(refs);
+    return refs;
+}
+
+} // namespace maxk::nn

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Multi-layer GNN model: a stack of GnnLayer with the architecture the
+ * paper evaluates (Table 3: 3-4 layers, hidden 256/384, SAGE/GCN/GIN).
+ */
+
+#ifndef MAXK_NN_MODEL_HH
+#define MAXK_NN_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "nn/gnn_layer.hh"
+#include "nn/param.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk::nn
+{
+
+/** Whole-network configuration. */
+struct ModelConfig
+{
+    GnnKind kind = GnnKind::Sage;
+    Nonlinearity nonlin = Nonlinearity::Relu;
+    std::uint32_t maxkK = 32;       //!< k for MaxK layers
+    std::uint32_t numLayers = 3;
+    std::size_t inDim = 64;
+    std::size_t hiddenDim = 64;
+    std::size_t outDim = 8;
+    Float dropout = 0.5f;
+    Float ginEps = 0.0f;
+    std::uint64_t seed = 42;
+};
+
+/** Stack of GNN layers with cached activations for backprop. */
+class GnnModel
+{
+  public:
+    explicit GnnModel(const ModelConfig &cfg);
+
+    /**
+     * Full-batch forward. Returns the logits (N x outDim). The input and
+     * every intermediate activation are cached for backward().
+     */
+    const Matrix &forward(const CsrGraph &a, const Matrix &x,
+                          bool training);
+
+    /** Backprop from d(loss)/d(logits); accumulates parameter grads. */
+    void backward(const CsrGraph &a, const Matrix &grad_logits);
+
+    ParamRefs params();
+
+    const ModelConfig &config() const { return cfg_; }
+    std::vector<GnnLayer> &layers() { return layers_; }
+
+    /** Input/output width of layer l per the stacking rule. */
+    std::size_t layerInDim(std::uint32_t l) const;
+    std::size_t layerOutDim(std::uint32_t l) const;
+
+  private:
+    ModelConfig cfg_;
+    Rng dropRng_;
+    std::vector<GnnLayer> layers_;
+    std::vector<Matrix> acts_;  //!< acts_[l] = input of layer l
+};
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_MODEL_HH

@@ -1,0 +1,72 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace maxk::nn
+{
+
+Adam::Adam(ParamRefs params, Float lr, Float beta1, Float beta2, Float eps,
+           Float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weightDecay_(weight_decay)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Param *p : params_) {
+        m_.emplace_back(p->value.rows(), p->value.cols());
+        v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(static_cast<double>(beta1_),
+                                      static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(static_cast<double>(beta2_),
+                                      static_cast<double>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Param *p = params_[i];
+        checkInvariant(p->grad.size() == p->value.size(),
+                       "Adam::step: gradient missing for " + p->name);
+        Float *w = p->value.data();
+        Float *g = p->grad.data();
+        Float *m = m_[i].data();
+        Float *v = v_[i].data();
+        for (std::size_t e = 0; e < p->value.size(); ++e) {
+            Float grad = g[e] + weightDecay_ * w[e];
+            m[e] = beta1_ * m[e] + (1.0f - beta1_) * grad;
+            v[e] = beta2_ * v[e] + (1.0f - beta2_) * grad * grad;
+            const double mhat = m[e] / bc1;
+            const double vhat = v[e] / bc2;
+            w[e] -= static_cast<Float>(
+                lr_ * mhat / (std::sqrt(vhat) + eps_));
+        }
+        p->grad.setZero();
+    }
+}
+
+Sgd::Sgd(ParamRefs params, Float lr) : params_(std::move(params)), lr_(lr)
+{
+}
+
+void
+Sgd::step()
+{
+    for (Param *p : params_) {
+        Float *w = p->value.data();
+        Float *g = p->grad.data();
+        for (std::size_t e = 0; e < p->value.size(); ++e)
+            w[e] -= lr_ * g[e];
+        p->grad.setZero();
+    }
+}
+
+} // namespace maxk::nn

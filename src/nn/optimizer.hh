@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Optimizers for full-batch GNN training. Adam is what the MaxK-GNN
+ * artifact trains with (Table 3 learning rates); plain SGD is kept for
+ * tests and the MLP approximation experiment.
+ */
+
+#ifndef MAXK_NN_OPTIMIZER_HH
+#define MAXK_NN_OPTIMIZER_HH
+
+#include <vector>
+
+#include "nn/param.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk::nn
+{
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam
+{
+  public:
+    explicit Adam(ParamRefs params, Float lr = 1e-3f, Float beta1 = 0.9f,
+                  Float beta2 = 0.999f, Float eps = 1e-8f,
+                  Float weight_decay = 0.0f);
+
+    /** Apply one update from the accumulated gradients, then zero them. */
+    void step();
+
+    Float learningRate() const { return lr_; }
+    void setLearningRate(Float lr) { lr_ = lr; }
+
+  private:
+    ParamRefs params_;
+    std::vector<Matrix> m_, v_;
+    Float lr_, beta1_, beta2_, eps_, weightDecay_;
+    std::uint64_t t_ = 0;
+};
+
+/** Vanilla SGD. */
+class Sgd
+{
+  public:
+    explicit Sgd(ParamRefs params, Float lr = 1e-2f);
+
+    /** w -= lr * grad, then zero the gradients. */
+    void step();
+
+    void setLearningRate(Float lr) { lr_ = lr; }
+
+  private:
+    ParamRefs params_;
+    Float lr_;
+};
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_OPTIMIZER_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trainable parameter: a value matrix with its gradient accumulator.
+ * Layers expose their parameters through collectParams() so optimizers
+ * can iterate them generically.
+ */
+
+#ifndef MAXK_NN_PARAM_HH
+#define MAXK_NN_PARAM_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace maxk::nn
+{
+
+/** A learnable tensor and its gradient. */
+struct Param
+{
+    std::string name;
+    Matrix value;
+    Matrix grad;
+
+    /** Allocate grad with value's shape and zero it. */
+    void
+    resetGrad()
+    {
+        if (grad.rows() != value.rows() || grad.cols() != value.cols())
+            grad.resize(value.rows(), value.cols());
+        else
+            grad.setZero();
+    }
+};
+
+/** Non-owning list of parameters (layers keep ownership). */
+using ParamRefs = std::vector<Param *>;
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_PARAM_HH

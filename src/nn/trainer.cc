@@ -1,0 +1,200 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "core/maxk.hh"
+#include "core/spgemm_forward.hh"
+#include "core/sspmm_backward.hh"
+#include "kernels/gemm_cost.hh"
+#include "kernels/spmm_gnna.hh"
+#include "kernels/spmm_row_wise.hh"
+#include "nn/loss.hh"
+#include "nn/metrics.hh"
+#include "nn/optimizer.hh"
+#include "tensor/init.hh"
+
+namespace maxk::nn
+{
+
+namespace
+{
+
+/** Simulated latency of one SpMM of width dim on graph a. */
+double
+baselineAggSeconds(const CsrGraph &a, const EdgeGroupPartition &part,
+                   std::size_t dim, const SimOptions &opt,
+                   BaselineKernel baseline, Rng &rng)
+{
+    Matrix x(a.numNodes(), dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix y;
+    if (baseline == BaselineKernel::CuSparse)
+        return spmmRowWise(a, x, y, opt).totalSeconds;
+    return spmmGnna(a, part, x, y, opt).totalSeconds;
+}
+
+} // namespace
+
+EpochTiming
+profileEpoch(const ModelConfig &cfg, const CsrGraph &a,
+             const EdgeGroupPartition &part, const SimOptions &opt,
+             BaselineKernel baseline)
+{
+    EpochTiming t;
+    const NodeId n = a.numNodes();
+    Rng rng(0xBADF00Dull + cfg.maxkK * 7919 + cfg.numLayers);
+
+    for (std::uint32_t l = 0; l < cfg.numLayers; ++l) {
+        const std::size_t in_dim =
+            l == 0 ? cfg.inDim : cfg.hiddenDim;
+        const std::size_t out_dim =
+            l + 1 == cfg.numLayers ? cfg.outDim : cfg.hiddenDim;
+        const bool last = l + 1 == cfg.numLayers;
+        const bool maxk_layer =
+            cfg.nonlin == Nonlinearity::MaxK && !last;
+
+        // Linear stages: forward GEMM, backward dW and dX GEMMs. SAGE
+        // adds the self-path linear with identical shapes.
+        const std::uint32_t linears =
+            cfg.kind == GnnKind::Sage ? 2 : 1;
+        const double fwd = gemmSimSeconds(n, in_dim, out_dim, opt.device);
+        const double bwd_dw =
+            gemmSimSeconds(in_dim, n, out_dim, opt.device);
+        const double bwd_dx =
+            gemmSimSeconds(n, out_dim, in_dim, opt.device);
+        t.linear += linears * (fwd + bwd_dw + bwd_dx);
+
+        // Nonlinearity + aggregation.
+        if (maxk_layer) {
+            const std::uint32_t k = std::min<std::uint32_t>(
+                cfg.maxkK, static_cast<std::uint32_t>(out_dim));
+            Matrix h(n, out_dim);
+            fillNormal(h, rng, 0.0f, 1.0f);
+            MaxKResult mk = maxkCompress(h, k, opt);
+            t.nonlin += mk.stats.totalSeconds;
+            // Backward of MaxK: scatter of the CBSR gradient (one
+            // elementwise pass over the dense gradient).
+            t.nonlin += elementwiseSimSeconds(
+                static_cast<std::uint64_t>(n) * out_dim, opt.device);
+
+            Matrix y;
+            t.aggFwd +=
+                spgemmForward(a, part, mk.cbsr, y, opt).totalSeconds;
+
+            Matrix dxl(n, out_dim);
+            fillNormal(dxl, rng, 0.0f, 1.0f);
+            CbsrMatrix dxs;
+            dxs.adoptPattern(mk.cbsr);
+            t.aggBwd +=
+                sspmmBackward(a, part, dxl, dxs, opt).totalSeconds;
+        } else {
+            if (!last) {
+                // ReLU forward + backward masks.
+                t.nonlin += 2.0 * elementwiseSimSeconds(
+                                      static_cast<std::uint64_t>(n) *
+                                          out_dim,
+                                      opt.device);
+            }
+            t.aggFwd += baselineAggSeconds(a, part, out_dim, opt,
+                                           baseline, rng);
+            // Backward SpMM on A^T (same structure for the symmetric
+            // twins; identical traffic).
+            t.aggBwd += baselineAggSeconds(a, part, out_dim, opt,
+                                           baseline, rng);
+        }
+    }
+
+    // Loss + metric + optimizer sweeps: a few elementwise passes over
+    // logits and parameters.
+    const std::uint64_t param_elems =
+        static_cast<std::uint64_t>(cfg.inDim + cfg.numLayers *
+                                                   cfg.hiddenDim) *
+        cfg.hiddenDim;
+    t.other = 3.0 * elementwiseSimSeconds(
+                        static_cast<std::uint64_t>(n) * cfg.outDim +
+                            param_elems,
+                        opt.device);
+    // Framework dispatch overhead (the PyTorch/DGL op-launch cost that
+    // Fig. 1 buckets under "Others"): ~12 host-dispatched ops per layer
+    // per step at ~10 us each, independent of graph size.
+    t.other += cfg.numLayers * 12 * 10e-6;
+    return t;
+}
+
+Trainer::Trainer(GnnModel &model, TrainingData &data,
+                 const TrainingTask &task)
+    : model_(model), data_(data), task_(task)
+{
+    data_.graph.setAggregatorWeights(aggregatorFor(model.config().kind));
+    if (task_.multiLabel)
+        multiTargets_ = multiLabelTargets(data_.labels, task_.numClasses);
+}
+
+double
+Trainer::evalMetric(const Matrix &logits,
+                    const std::vector<std::uint8_t> &mask) const
+{
+    switch (task_.metric) {
+      case MetricKind::Accuracy:
+        return accuracy(logits, data_.labels, mask);
+      case MetricKind::MicroF1:
+        return microF1(logits, multiTargets_, mask);
+      case MetricKind::RocAuc:
+        return rocAuc(logits, multiTargets_, mask);
+    }
+    return 0.0;
+}
+
+TrainResult
+Trainer::run(const TrainConfig &cfg)
+{
+    checkInvariant(model_.config().outDim == task_.numClasses,
+                   "Trainer: model outDim != task classes");
+    Stopwatch watch;
+    TrainResult result;
+
+    Adam adam(model_.params(), cfg.lr, 0.9f, 0.999f, 1e-8f,
+              cfg.weightDecay);
+
+    for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        const Matrix &logits =
+            model_.forward(data_.graph, data_.features, true);
+        LossResult loss =
+            task_.multiLabel
+                ? sigmoidBce(logits, multiTargets_, data_.trainMask)
+                : softmaxCrossEntropy(logits, data_.labels,
+                                      data_.trainMask);
+        result.trainLoss.push_back(loss.loss);
+        model_.backward(data_.graph, loss.gradLogits);
+        adam.step();
+
+        if (epoch % cfg.evalEvery == 0 || epoch + 1 == cfg.epochs) {
+            const Matrix &eval_logits =
+                model_.forward(data_.graph, data_.features, false);
+            const double val = evalMetric(eval_logits, data_.valMask);
+            const double test = evalMetric(eval_logits, data_.testMask);
+            result.evalEpochs.push_back(epoch);
+            result.valMetric.push_back(val);
+            result.testMetric.push_back(test);
+            if (val >= result.bestValMetric) {
+                result.bestValMetric = val;
+                result.testAtBestVal = test;
+            }
+            result.finalTestMetric = test;
+            if (cfg.verbose) {
+                logMessage(LogLevel::Info,
+                           "epoch " + std::to_string(epoch) + " loss " +
+                               std::to_string(loss.loss) + " val " +
+                               std::to_string(val) + " test " +
+                               std::to_string(test));
+            }
+        }
+    }
+
+    result.hostSeconds = watch.seconds();
+    return result;
+}
+
+} // namespace maxk::nn

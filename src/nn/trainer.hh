@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Full-batch training loop plus the simulated epoch-time profiler.
+ *
+ * The two concerns are deliberately decoupled (DESIGN.md Sec. 1):
+ *  - Trainer runs the fast functional path to measure accuracy /
+ *    convergence on the (small) accuracy twin;
+ *  - profileEpoch runs the simulated kernels once on the (larger,
+ *    degree-faithful) kernel twin to obtain the epoch-time composition
+ *    that Fig. 1 / Fig. 9 / Table 5 report. Epoch timing is workload-
+ *    shape dependent but not weight dependent, so one profile per
+ *    configuration suffices.
+ */
+
+#ifndef MAXK_NN_TRAINER_HH
+#define MAXK_NN_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "graph/edge_groups.hh"
+#include "graph/registry.hh"
+#include "kernels/sim_options.hh"
+#include "nn/model.hh"
+
+namespace maxk::nn
+{
+
+/** Which baseline SpMM implementation a profile charges (Fig. 9 axes). */
+enum class BaselineKernel { CuSparse, Gnna };
+
+/** Simulated per-epoch time decomposition (seconds). */
+struct EpochTiming
+{
+    double aggFwd = 0.0;    //!< forward aggregation (SpMM or SpGEMM)
+    double aggBwd = 0.0;    //!< backward aggregation (SpMM or SSpMM)
+    double linear = 0.0;    //!< all GEMM work, fwd + bwd
+    double nonlin = 0.0;    //!< ReLU or MaxK + CBSR (de)compression
+    double other = 0.0;     //!< loss, optimizer, bookkeeping
+
+    double total() const
+    {
+        return aggFwd + aggBwd + linear + nonlin + other;
+    }
+
+    /** Fraction of epoch spent in aggregation (the Amdahl p of Sec. 5). */
+    double
+    aggFraction() const
+    {
+        const double t = total();
+        return t > 0.0 ? (aggFwd + aggBwd) / t : 0.0;
+    }
+};
+
+/**
+ * Profile one simulated training epoch of `cfg` on graph `a`.
+ * For ReLU models the aggregation is charged to `baseline`'s SpMM; for
+ * MaxK models to the SpGEMM/SSpMM kernels. Deterministic given opt.
+ */
+EpochTiming profileEpoch(const ModelConfig &cfg, const CsrGraph &a,
+                         const EdgeGroupPartition &part,
+                         const SimOptions &opt,
+                         BaselineKernel baseline = BaselineKernel::CuSparse);
+
+/** Training hyper-parameters (Table 3 analogue). */
+struct TrainConfig
+{
+    std::uint32_t epochs = 100;
+    Float lr = 0.01f;
+    Float weightDecay = 0.0f;
+    std::uint32_t evalEvery = 1;  //!< metric sampling cadence
+    std::uint64_t seed = 7;
+    bool verbose = false;
+};
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    std::vector<double> trainLoss;    //!< one per epoch
+    std::vector<double> valMetric;    //!< one per eval point
+    std::vector<double> testMetric;   //!< one per eval point
+    std::vector<std::uint32_t> evalEpochs;
+
+    double bestValMetric = 0.0;
+    double testAtBestVal = 0.0;   //!< Table 5's reported number
+    double finalTestMetric = 0.0;
+    double hostSeconds = 0.0;     //!< wall clock of the whole run
+};
+
+/** Full-batch trainer for one model on one training twin. */
+class Trainer
+{
+  public:
+    /**
+     * @param model trainable model (aggregator weights are applied to
+     *              `data.graph` according to the model kind)
+     * @param data  graph + features + labels + masks (mutated: edge
+     *              weights are set for the model's aggregator)
+     * @param task  metric / multi-label configuration
+     */
+    Trainer(GnnModel &model, TrainingData &data, const TrainingTask &task);
+
+    /** Run the loop; deterministic given cfg.seed. */
+    TrainResult run(const TrainConfig &cfg);
+
+  private:
+    double evalMetric(const Matrix &logits,
+                      const std::vector<std::uint8_t> &mask) const;
+
+    GnnModel &model_;
+    TrainingData &data_;
+    const TrainingTask &task_;
+    Matrix multiTargets_;  //!< BCE targets when task_.multiLabel
+};
+
+} // namespace maxk::nn
+
+#endif // MAXK_NN_TRAINER_HH

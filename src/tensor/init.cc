@@ -1,0 +1,39 @@
+#include "tensor/init.hh"
+
+#include <cmath>
+
+namespace maxk
+{
+
+void
+xavierUniform(Matrix &w, Rng &rng)
+{
+    const Float bound =
+        std::sqrt(6.0f / static_cast<Float>(w.rows() + w.cols()));
+    fillUniform(w, rng, -bound, bound);
+}
+
+void
+kaimingNormal(Matrix &w, Rng &rng)
+{
+    const Float stddev = std::sqrt(2.0f / static_cast<Float>(w.rows()));
+    fillNormal(w, rng, 0.0f, stddev);
+}
+
+void
+fillNormal(Matrix &w, Rng &rng, Float mean, Float stddev)
+{
+    Float *d = w.data();
+    for (std::size_t i = 0; i < w.size(); ++i)
+        d[i] = rng.normal(mean, stddev);
+}
+
+void
+fillUniform(Matrix &w, Rng &rng, Float lo, Float hi)
+{
+    Float *d = w.data();
+    for (std::size_t i = 0; i < w.size(); ++i)
+        d[i] = rng.uniform(lo, hi);
+}
+
+} // namespace maxk

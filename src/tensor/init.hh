@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Weight / feature initialisers. All draw from the project Rng so results
+ * are reproducible bit-for-bit.
+ */
+
+#ifndef MAXK_TENSOR_INIT_HH
+#define MAXK_TENSOR_INIT_HH
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/** Xavier/Glorot uniform: U(-sqrt(6/(fanIn+fanOut)), +...). */
+void xavierUniform(Matrix &w, Rng &rng);
+
+/** Kaiming/He normal: N(0, sqrt(2/fanIn)). */
+void kaimingNormal(Matrix &w, Rng &rng);
+
+/** Fill with i.i.d. N(mean, stddev). */
+void fillNormal(Matrix &w, Rng &rng, Float mean, Float stddev);
+
+/** Fill with i.i.d. U(lo, hi). */
+void fillUniform(Matrix &w, Rng &rng, Float lo, Float hi);
+
+} // namespace maxk
+
+#endif // MAXK_TENSOR_INIT_HH

@@ -1,0 +1,95 @@
+#include "tensor/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, Float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+void
+Matrix::setZero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void
+Matrix::fill(Float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Matrix::reshape(std::size_t rows, std::size_t cols)
+{
+    checkInvariant(rows * cols == data_.size(),
+                   "Matrix::reshape element count mismatch");
+    rows_ = rows;
+    cols_ = cols;
+}
+
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+}
+
+Float
+Matrix::maxAbs() const
+{
+    Float best = 0.0f;
+    for (Float v : data_)
+        best = std::max(best, std::fabs(v));
+    return best;
+}
+
+double
+Matrix::sum() const
+{
+    double acc = 0.0;
+    for (Float v : data_)
+        acc += v;
+    return acc;
+}
+
+double
+Matrix::norm() const
+{
+    double acc = 0.0;
+    for (Float v : data_)
+        acc += static_cast<double>(v) * v;
+    return std::sqrt(acc);
+}
+
+bool
+Matrix::equals(const Matrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+bool
+Matrix::approxEquals(const Matrix &other, Float tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::fabs(data_[i] - other.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+} // namespace maxk

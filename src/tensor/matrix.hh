@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dense row-major fp32 matrix.
+ *
+ * This is the feature/weight container used throughout the reproduction:
+ * node-embedding matrices X (|V| x dim), layer weights W (in x out), and
+ * gradients. Storage is a single contiguous vector so the gpusim memory
+ * model can reason about row addresses.
+ */
+
+#ifndef MAXK_TENSOR_MATRIX_HH
+#define MAXK_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace maxk
+{
+
+/** Dense row-major matrix of Float. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialised. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** rows x cols matrix filled with a constant. */
+    Matrix(std::size_t rows, std::size_t cols, Float fill);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Element access (row r, column c); no bounds check in release. */
+    Float &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    Float at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row r. */
+    Float *row(std::size_t r) { return data_.data() + r * cols_; }
+    const Float *row(std::size_t r) const { return data_.data() + r * cols_; }
+
+    Float *data() { return data_.data(); }
+    const Float *data() const { return data_.data(); }
+
+    /** Reset every element to zero without reallocating. */
+    void setZero();
+
+    /** Fill every element with the given value. */
+    void fill(Float value);
+
+    /** Reshape to new dimensions; total element count must match. */
+    void reshape(std::size_t rows, std::size_t cols);
+
+    /** Resize (destructive; contents become zero). */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /** Max absolute element (0 for empty). */
+    Float maxAbs() const;
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** True if dimensions and all elements match exactly. */
+    bool equals(const Matrix &other) const;
+
+    /** True if dimensions match and elements agree within tol. */
+    bool approxEquals(const Matrix &other, Float tol) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<Float> data_;
+};
+
+} // namespace maxk
+
+#endif // MAXK_TENSOR_MATRIX_HH

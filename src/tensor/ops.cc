@@ -1,0 +1,221 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+void
+gemm(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    c.resize(a.rows(), b.cols());
+    gemmAccum(a, b, c);
+}
+
+void
+gemmAccum(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    checkInvariant(a.cols() == b.rows(), "gemm: inner dimension mismatch");
+    checkInvariant(c.rows() == a.rows() && c.cols() == b.cols(),
+                   "gemm: output shape mismatch");
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        const Float *arow = a.row(i);
+        Float *crow = c.row(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const Float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const Float *brow = b.row(p);
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmTransA(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    checkInvariant(a.rows() == b.rows(), "gemmTransA: row count mismatch");
+    c.resize(a.cols(), b.cols());
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    for (std::size_t p = 0; p < k; ++p) {
+        const Float *arow = a.row(p);
+        const Float *brow = b.row(p);
+        for (std::size_t i = 0; i < m; ++i) {
+            const Float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            Float *crow = c.row(i);
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmTransB(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    checkInvariant(a.cols() == b.cols(), "gemmTransB: col count mismatch");
+    c.resize(a.rows(), b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const Float *arow = a.row(i);
+        Float *crow = c.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const Float *brow = b.row(j);
+            Float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] += acc;
+        }
+    }
+}
+
+void
+transpose(const Matrix &in, Matrix &out)
+{
+    out.resize(in.cols(), in.rows());
+    for (std::size_t i = 0; i < in.rows(); ++i)
+        for (std::size_t j = 0; j < in.cols(); ++j)
+            out.at(j, i) = in.at(i, j);
+}
+
+void
+addInPlace(Matrix &dst, const Matrix &src)
+{
+    checkInvariant(dst.rows() == src.rows() && dst.cols() == src.cols(),
+                   "addInPlace: shape mismatch");
+    Float *d = dst.data();
+    const Float *s = src.data();
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        d[i] += s[i];
+}
+
+void
+axpy(Matrix &dst, Float alpha, const Matrix &src)
+{
+    checkInvariant(dst.size() == src.size(), "axpy: size mismatch");
+    Float *d = dst.data();
+    const Float *s = src.data();
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        d[i] += alpha * s[i];
+}
+
+void
+scaleInPlace(Matrix &dst, Float alpha)
+{
+    Float *d = dst.data();
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        d[i] *= alpha;
+}
+
+void
+subtract(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    checkInvariant(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "subtract: shape mismatch");
+    out.resize(a.rows(), a.cols());
+    const Float *pa = a.data();
+    const Float *pb = b.data();
+    Float *po = out.data();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        po[i] = pa[i] - pb[i];
+}
+
+void
+addRowVector(Matrix &dst, const Matrix &bias)
+{
+    checkInvariant(bias.size() == dst.cols(),
+                   "addRowVector: bias length mismatch");
+    const Float *b = bias.data();
+    for (std::size_t i = 0; i < dst.rows(); ++i) {
+        Float *row = dst.row(i);
+        for (std::size_t j = 0; j < dst.cols(); ++j)
+            row[j] += b[j];
+    }
+}
+
+void
+columnSums(const Matrix &in, Matrix &out)
+{
+    out.resize(1, in.cols());
+    Float *o = out.data();
+    for (std::size_t i = 0; i < in.rows(); ++i) {
+        const Float *row = in.row(i);
+        for (std::size_t j = 0; j < in.cols(); ++j)
+            o[j] += row[j];
+    }
+}
+
+void
+hadamard(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    checkInvariant(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "hadamard: shape mismatch");
+    out.resize(a.rows(), a.cols());
+    const Float *pa = a.data();
+    const Float *pb = b.data();
+    Float *po = out.data();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        po[i] = pa[i] * pb[i];
+}
+
+void
+reluForward(const Matrix &in, Matrix &out)
+{
+    out.resize(in.rows(), in.cols());
+    const Float *pi = in.data();
+    Float *po = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i)
+        po[i] = pi[i] > 0.0f ? pi[i] : 0.0f;
+}
+
+void
+reluBackward(const Matrix &input, const Matrix &gradOut, Matrix &gradIn)
+{
+    checkInvariant(input.size() == gradOut.size(),
+                   "reluBackward: shape mismatch");
+    gradIn.resize(input.rows(), input.cols());
+    const Float *pi = input.data();
+    const Float *pg = gradOut.data();
+    Float *po = gradIn.data();
+    for (std::size_t i = 0; i < input.size(); ++i)
+        po[i] = pi[i] > 0.0f ? pg[i] : 0.0f;
+}
+
+void
+rowSoftmax(const Matrix &in, Matrix &out)
+{
+    out.resize(in.rows(), in.cols());
+    for (std::size_t i = 0; i < in.rows(); ++i) {
+        const Float *row = in.row(i);
+        Float *orow = out.row(i);
+        Float mx = row[0];
+        for (std::size_t j = 1; j < in.cols(); ++j)
+            mx = std::max(mx, row[j]);
+        double denom = 0.0;
+        for (std::size_t j = 0; j < in.cols(); ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            denom += orow[j];
+        }
+        const Float inv = static_cast<Float>(1.0 / denom);
+        for (std::size_t j = 0; j < in.cols(); ++j)
+            orow[j] *= inv;
+    }
+}
+
+void
+sigmoid(const Matrix &in, Matrix &out)
+{
+    out.resize(in.rows(), in.cols());
+    const Float *pi = in.data();
+    Float *po = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i)
+        po[i] = 1.0f / (1.0f + std::exp(-pi[i]));
+}
+
+} // namespace maxk

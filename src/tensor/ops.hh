@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dense linear-algebra kernels on Matrix.
+ *
+ * These back the Linear layers of the GNN models (the X*W stage of Fig. 3)
+ * and all autograd math. GEMMs use an ikj loop order so the inner loop
+ * streams both B and C rows, which the compiler auto-vectorises.
+ */
+
+#ifndef MAXK_TENSOR_OPS_HH
+#define MAXK_TENSOR_OPS_HH
+
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/** C = A * B. A: m x k, B: k x n, C resized to m x n. */
+void gemm(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C += A * B (C must already be m x n). */
+void gemmAccum(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C = A^T * B. A: k x m, B: k x n, C resized to m x n. */
+void gemmTransA(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C = A * B^T. A: m x k, B: n x k, C resized to m x n. */
+void gemmTransB(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** out = transpose(in). */
+void transpose(const Matrix &in, Matrix &out);
+
+/** dst += src (same shape). */
+void addInPlace(Matrix &dst, const Matrix &src);
+
+/** dst += alpha * src (same shape). */
+void axpy(Matrix &dst, Float alpha, const Matrix &src);
+
+/** dst *= alpha. */
+void scaleInPlace(Matrix &dst, Float alpha);
+
+/** out = a - b (same shape). */
+void subtract(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** Add a row vector (1 x n or length-n matrix) to every row of dst. */
+void addRowVector(Matrix &dst, const Matrix &bias);
+
+/** Column-wise sum of in -> out (1 x n). Used for bias gradients. */
+void columnSums(const Matrix &in, Matrix &out);
+
+/** Element-wise product: dst = a ⊙ b. */
+void hadamard(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** Element-wise ReLU forward: out = max(in, 0). */
+void reluForward(const Matrix &in, Matrix &out);
+
+/**
+ * Element-wise ReLU backward: gradIn = gradOut where forward input was
+ * positive, else 0.
+ */
+void reluBackward(const Matrix &input, const Matrix &gradOut,
+                  Matrix &gradIn);
+
+/** Row-wise softmax (numerically stabilised). */
+void rowSoftmax(const Matrix &in, Matrix &out);
+
+/** Element-wise sigmoid. */
+void sigmoid(const Matrix &in, Matrix &out);
+
+} // namespace maxk
+
+#endif // MAXK_TENSOR_OPS_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the CBSR container: storage rules, (de)compression round
+ * trips, index-width selection, and pattern adoption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/cbsr.hh"
+#include "core/maxk.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+TEST(Cbsr, NarrowIndexForSmallDims)
+{
+    CbsrMatrix m(4, 2, 256);
+    EXPECT_EQ(m.indexBytes(), 1u);
+}
+
+TEST(Cbsr, WideIndexForLargeDims)
+{
+    CbsrMatrix m(4, 2, 384);
+    EXPECT_EQ(m.indexBytes(), 2u);
+}
+
+TEST(Cbsr, StorageBytesMatchLayout)
+{
+    CbsrMatrix m(10, 8, 128);
+    EXPECT_EQ(m.storageBytes(), 10u * 8u * 4u + 10u * 8u * 1u);
+    CbsrMatrix wide(10, 8, 1024);
+    EXPECT_EQ(wide.storageBytes(), 10u * 8u * 4u + 10u * 8u * 2u);
+}
+
+TEST(Cbsr, RowByteHelpers)
+{
+    CbsrMatrix m(3, 16, 256);
+    EXPECT_EQ(m.dataRowBytes(), 64u);
+    EXPECT_EQ(m.indexRowBytes(), 16u);
+}
+
+TEST(Cbsr, SetGetIndexRoundTrip)
+{
+    CbsrMatrix m(2, 3, 300); // wide path
+    m.setIndex(1, 2, 299);
+    EXPECT_EQ(m.indexAt(1, 2), 299u);
+    CbsrMatrix n(2, 3, 200); // narrow path
+    n.setIndex(0, 1, 199);
+    EXPECT_EQ(n.indexAt(0, 1), 199u);
+}
+
+TEST(Cbsr, DecompressPlacesValuesAtIndices)
+{
+    CbsrMatrix m(2, 2, 6);
+    m.dataRow(0)[0] = 1.5f;
+    m.dataRow(0)[1] = 2.5f;
+    m.setIndex(0, 0, 1);
+    m.setIndex(0, 1, 4);
+    m.dataRow(1)[0] = -1.0f;
+    m.dataRow(1)[1] = 3.0f;
+    m.setIndex(1, 0, 0);
+    m.setIndex(1, 1, 5);
+
+    Matrix dense;
+    m.decompress(dense);
+    EXPECT_EQ(dense.at(0, 1), 1.5f);
+    EXPECT_EQ(dense.at(0, 4), 2.5f);
+    EXPECT_EQ(dense.at(1, 0), -1.0f);
+    EXPECT_EQ(dense.at(1, 5), 3.0f);
+    EXPECT_EQ(dense.at(0, 0), 0.0f);
+    EXPECT_EQ(dense.at(1, 3), 0.0f);
+}
+
+TEST(Cbsr, ValidateAcceptsAscendingIndices)
+{
+    CbsrMatrix m(1, 3, 8);
+    m.setIndex(0, 0, 1);
+    m.setIndex(0, 1, 4);
+    m.setIndex(0, 2, 7);
+    EXPECT_TRUE(m.validate());
+}
+
+TEST(Cbsr, ValidateRejectsNonAscending)
+{
+    CbsrMatrix m(1, 3, 8);
+    m.setIndex(0, 0, 4);
+    m.setIndex(0, 1, 4);
+    m.setIndex(0, 2, 7);
+    EXPECT_FALSE(m.validate());
+}
+
+TEST(Cbsr, ZeroDataKeepsPattern)
+{
+    CbsrMatrix m(1, 2, 4);
+    m.dataRow(0)[0] = 3.0f;
+    m.setIndex(0, 0, 1);
+    m.setIndex(0, 1, 3);
+    m.zeroData();
+    EXPECT_EQ(m.dataRow(0)[0], 0.0f);
+    EXPECT_EQ(m.indexAt(0, 1), 3u);
+}
+
+TEST(Cbsr, AdoptPatternCopiesIndicesZeroesData)
+{
+    Rng rng(1);
+    Matrix x(8, 32);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    MaxKResult res = maxkCompress(x, 4);
+    CbsrMatrix grad;
+    grad.adoptPattern(res.cbsr);
+    EXPECT_EQ(grad.rows(), res.cbsr.rows());
+    EXPECT_EQ(grad.dimK(), res.cbsr.dimK());
+    EXPECT_EQ(grad.dimOrigin(), res.cbsr.dimOrigin());
+    for (NodeId r = 0; r < grad.rows(); ++r)
+        for (std::uint32_t kk = 0; kk < grad.dimK(); ++kk) {
+            ASSERT_EQ(grad.indexAt(r, kk), res.cbsr.indexAt(r, kk));
+            ASSERT_EQ(grad.dataRow(r)[kk], 0.0f);
+        }
+}
+
+TEST(Cbsr, CompressDecompressRoundTripOnMaxkOutput)
+{
+    Rng rng(2);
+    Matrix x(64, 100);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix sparse;
+    maxkDense(x, 10, sparse);
+    MaxKResult res = maxkCompress(x, 10);
+    Matrix recovered;
+    res.cbsr.decompress(recovered);
+    EXPECT_TRUE(recovered.equals(sparse));
+}
+
+TEST(CbsrDeathTest, RejectsKLargerThanDim)
+{
+    EXPECT_DEATH(CbsrMatrix(1, 9, 8), "dimK");
+}
+
+TEST(Cbsr, TrafficRatioFollowsFiveBytesPerElement)
+{
+    // uint8 index: 5 bytes per surviving element (Sec. 4.3).
+    CbsrMatrix m(100, 16, 256);
+    const double per_elem =
+        static_cast<double>(m.storageBytes()) / (100.0 * 16.0);
+    EXPECT_DOUBLE_EQ(per_elem, 5.0);
+}
+
+} // namespace
+} // namespace maxk

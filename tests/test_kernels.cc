@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the baseline kernels: functional equivalence with the golden
+ * reference, traffic expectations against the Sec. 4.3 formulas, and the
+ * dense GEMM cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/traffic_model.hh"
+#include "graph/edge_groups.hh"
+#include "graph/generators.hh"
+#include "kernels/gemm_cost.hh"
+#include "kernels/spmm_gnna.hh"
+#include "kernels/spmm_outer_naive.hh"
+#include "kernels/spmm_ref.hh"
+#include "kernels/spmm_row_wise.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+struct Fixture
+{
+    CsrGraph g;
+    Matrix x;
+    SimOptions opt;
+
+    Fixture(NodeId n, EdgeId edges, std::size_t dim, std::uint64_t seed,
+            Aggregator agg = Aggregator::SageMean)
+    {
+        Rng rng(seed);
+        g = erdosRenyi(n, edges, rng);
+        g.setAggregatorWeights(agg);
+        x.resize(n, dim);
+        fillNormal(x, rng, 0.0f, 1.0f);
+        opt.simulateCaches = false;
+    }
+};
+
+TEST(SpmmRowWise, MatchesReference)
+{
+    Fixture f(200, 1500, 32, 1);
+    Matrix y, y_ref;
+    spmmRowWise(f.g, f.x, y, f.opt);
+    spmmReference(f.g, f.x, y_ref);
+    EXPECT_TRUE(y.approxEquals(y_ref, 1e-4f));
+}
+
+TEST(SpmmRowWise, HandlesEmptyRows)
+{
+    // Node 3 has no edges (no self loops requested).
+    CsrGraph g = CsrGraph::fromEdges(4, {{0, 1}, {1, 2}}, true, false);
+    Matrix x(4, 8, 1.0f);
+    Matrix y;
+    SimOptions opt;
+    opt.simulateCaches = false;
+    spmmRowWise(g, x, y, opt);
+    for (std::size_t d = 0; d < 8; ++d)
+        EXPECT_EQ(y.at(3, d), 0.0f);
+}
+
+TEST(SpmmRowWise, FeatureTrafficScalesWithDimAndNnz)
+{
+    Fixture f(256, 4000, 64, 2);
+    Matrix y;
+    const auto stats = spmmRowWise(f.g, f.x, y, f.opt);
+    const Bytes expect =
+        traffic::spmmFeatureBytes(f.g.numEdges(), 64);
+    const Bytes got = stats.aggregate().reqBytes;
+    // Feature fetches dominate; CSR metadata and output add < 20%.
+    EXPECT_GT(got, expect);
+    EXPECT_LT(got, expect * 1.2);
+}
+
+TEST(SpmmRowWise, NoAtomics)
+{
+    Fixture f(64, 300, 16, 3);
+    Matrix y;
+    const auto stats = spmmRowWise(f.g, f.x, y, f.opt);
+    EXPECT_EQ(stats.aggregate().atomicSectors, 0u);
+}
+
+TEST(SpmmRowWise, CacheSimIncreasesHitRates)
+{
+    Fixture f(512, 16000, 64, 4);
+    f.opt.simulateCaches = true;
+    Matrix y;
+    const auto stats = spmmRowWise(f.g, f.x, y, f.opt);
+    // With 512 nodes x 64 dims the feature matrix fits in L2: repeat
+    // fetches must hit.
+    EXPECT_GT(stats.l2HitRate(), 0.5);
+}
+
+TEST(SpmmGnna, MatchesReference)
+{
+    Fixture f(200, 1500, 32, 5);
+    const auto part = EdgeGroupPartition::build(f.g, 32);
+    Matrix y, y_ref;
+    spmmGnna(f.g, part, f.x, y, f.opt);
+    spmmReference(f.g, f.x, y_ref);
+    EXPECT_TRUE(y.approxEquals(y_ref, 1e-4f));
+}
+
+TEST(SpmmGnna, SlowerThanCuSparseModel)
+{
+    Fixture f(512, 8000, 128, 6);
+    const auto part = EdgeGroupPartition::build(f.g, 32);
+    Matrix y;
+    const double t_cusparse =
+        spmmRowWise(f.g, f.x, y, f.opt).totalSeconds;
+    const double t_gnna =
+        spmmGnna(f.g, part, f.x, y, f.opt).totalSeconds;
+    // The paper measures GNNAdvisor ~1.3-1.4x behind cuSPARSE.
+    EXPECT_GT(t_gnna, t_cusparse * 1.1);
+    EXPECT_LT(t_gnna, t_cusparse * 2.0);
+}
+
+TEST(SpmmGnna, UsesAtomicsForWriteback)
+{
+    Fixture f(64, 400, 16, 7);
+    const auto part = EdgeGroupPartition::build(f.g, 8);
+    Matrix y;
+    const auto stats = spmmGnna(f.g, part, f.x, y, f.opt);
+    EXPECT_GT(stats.aggregate().atomicSectors, 0u);
+}
+
+TEST(SpmmOuterNaive, MatchesTransposedReference)
+{
+    Fixture f(150, 1200, 24, 8);
+    Matrix y, y_ref;
+    spmmOuterNaive(f.g, f.x, y, f.opt);
+    spmmTransposedReference(f.g, f.x, y_ref);
+    EXPECT_TRUE(y.approxEquals(y_ref, 1e-4f));
+}
+
+TEST(SpmmOuterNaive, EqualsExplicitTransposeSpmm)
+{
+    Fixture f(100, 900, 16, 9, Aggregator::Gcn);
+    Matrix y_outer, y_t;
+    spmmOuterNaive(f.g, f.x, y_outer, f.opt);
+    const CsrGraph gt = f.g.transposed();
+    spmmReference(gt, f.x, y_t);
+    EXPECT_TRUE(y_outer.approxEquals(y_t, 1e-4f));
+}
+
+TEST(SpmmOuterNaive, WriteTrafficMatchesFormula)
+{
+    Fixture f(128, 2000, 32, 10);
+    Matrix y;
+    const auto stats = spmmOuterNaive(f.g, f.x, y, f.opt);
+    // Atomic RMW on a full dense row per nonzero.
+    const std::uint64_t expect_sectors =
+        Bytes(f.g.numEdges()) * 32 * 4 / 32;
+    EXPECT_EQ(stats.aggregate().atomicSectors, expect_sectors);
+}
+
+TEST(GemmCost, ScalesWithProblemSize)
+{
+    const auto cfg = gpusim::DeviceConfig::a100();
+    // Sizes large enough that launch overhead is negligible.
+    const double small = gemmSimSeconds(100000, 64, 64, cfg);
+    const double big = gemmSimSeconds(800000, 64, 64, cfg);
+    EXPECT_GT(big, small);
+    EXPECT_NEAR(big / small, 8.0, 2.0); // roughly linear in m
+}
+
+TEST(GemmCost, IncludesLaunchOverhead)
+{
+    const auto cfg = gpusim::DeviceConfig::a100();
+    EXPECT_GE(gemmSimSeconds(1, 1, 1, cfg),
+              cfg.launchOverheadUs * 1e-6);
+}
+
+TEST(GemmCost, ComputeBoundForSquareShapes)
+{
+    const auto cfg = gpusim::DeviceConfig::a100();
+    // 4096^3 GEMM: arithmetic intensity far above the roofline knee.
+    // Dense GEMMs run on the TF32 tensor cores (the PyTorch path).
+    const double t = gemmSimSeconds(4096, 4096, 4096, cfg, 1.0);
+    const double t_compute =
+        2.0 * 4096.0 * 4096.0 * 4096.0 / (cfg.peakTf32Tflops * 1e12);
+    EXPECT_NEAR(t, cfg.launchOverheadUs * 1e-6 + t_compute, t * 0.05);
+}
+
+TEST(GemmCost, MemoryBoundForSkinnyShapes)
+{
+    const auto cfg = gpusim::DeviceConfig::a100();
+    // m >> k = n = 4: bytes dominate flops.
+    const double t = gemmSimSeconds(1 << 20, 4, 4, cfg, 1.0);
+    const double t_mem =
+        4.0 * ((1 << 20) * 4.0 + 16.0 + 2.0 * (1 << 20) * 4.0) /
+        cfg.hbmBytesPerSec();
+    EXPECT_NEAR(t, cfg.launchOverheadUs * 1e-6 + t_mem, t * 0.05);
+}
+
+TEST(ElementwiseCost, LinearInElements)
+{
+    const auto cfg = gpusim::DeviceConfig::a100();
+    const double t1 = elementwiseSimSeconds(1 << 20, cfg);
+    const double t2 = elementwiseSimSeconds(1 << 22, cfg);
+    EXPECT_GT(t2, t1);
+}
+
+class SpmmEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(SpmmEquivalenceSweep, AllBaselinesAgreeWithReference)
+{
+    const auto [dim, seed] = GetParam();
+    Fixture f(96, 700, dim, 100 + seed);
+    const auto part = EdgeGroupPartition::build(f.g, 16);
+    Matrix y_row, y_gnna, y_ref;
+    spmmRowWise(f.g, f.x, y_row, f.opt);
+    spmmGnna(f.g, part, f.x, y_gnna, f.opt);
+    spmmReference(f.g, f.x, y_ref);
+    EXPECT_TRUE(y_row.approxEquals(y_ref, 1e-3f));
+    EXPECT_TRUE(y_gnna.approxEquals(y_ref, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(DimSweep, SpmmEquivalenceSweep,
+                         ::testing::Combine(::testing::Values(1, 7, 32,
+                                                              129),
+                                            ::testing::Values(0, 1)));
+
+} // namespace
+} // namespace maxk

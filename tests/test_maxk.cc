@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the MaxK nonlinearity: pivot selection correctness against a
+ * sort-based oracle, tie handling, kernel stats, and the backward mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+/** Oracle: the k largest values of the row (multiset). */
+std::multiset<Float>
+topKOracle(const Float *row, std::uint32_t n, std::uint32_t k)
+{
+    std::vector<Float> v(row, row + n);
+    std::sort(v.begin(), v.end(), std::greater<Float>());
+    return std::multiset<Float>(v.begin(), v.begin() + k);
+}
+
+TEST(PivotSelect, SelectsExactlyKDistinctValues)
+{
+    const Float row[] = {0.2f, -0.2f, 0.3f, 0.4f, 0.1f, 0.15f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 6, 3, sel);
+    ASSERT_EQ(sel.size(), 3u);
+    std::multiset<Float> got;
+    for (auto idx : sel)
+        got.insert(row[idx]);
+    EXPECT_EQ(got, topKOracle(row, 6, 3));
+}
+
+TEST(PivotSelect, IndicesAscending)
+{
+    const Float row[] = {5.0f, 1.0f, 4.0f, 2.0f, 3.0f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 5, 3, sel);
+    ASSERT_EQ(sel.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+    // Top 3 are 5,4,3 at positions 0,2,4.
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{0, 2, 4}));
+}
+
+TEST(PivotSelect, KEqualsNKeepsEverything)
+{
+    const Float row[] = {1.0f, -1.0f, 0.0f};
+    std::vector<std::uint32_t> sel;
+    const std::uint32_t iters = pivotSelect(row, 3, 3, sel);
+    EXPECT_EQ(sel.size(), 3u);
+    EXPECT_EQ(iters, 0u);
+}
+
+TEST(PivotSelect, KOneFindsMaximum)
+{
+    const Float row[] = {-5.0f, -1.0f, -3.0f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 3, 1, sel);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0], 1u);
+}
+
+TEST(PivotSelect, AllEqualValuesPicksFirstKColumns)
+{
+    std::vector<Float> row(8, 0.5f);
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row.data(), 8, 3, sel);
+    // Ties broken deterministically in ascending column order.
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(PivotSelect, TiesAtThresholdResolvedInOrder)
+{
+    const Float row[] = {1.0f, 2.0f, 2.0f, 2.0f, 0.0f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 5, 2, sel);
+    // Two of the three 2.0s survive: the earliest columns (1, 2).
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(PivotSelect, NegativeOnlyRowsWork)
+{
+    const Float row[] = {-0.5f, -0.1f, -0.9f, -0.3f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 4, 2, sel);
+    std::multiset<Float> got;
+    for (auto idx : sel)
+        got.insert(row[idx]);
+    EXPECT_EQ(got, topKOracle(row, 4, 2));
+}
+
+TEST(PivotSelect, ConvergesInFewIterationsOnGaussian)
+{
+    // The paper reports < 10 iterations on normally distributed
+    // activations with dim 256.
+    Rng rng(1);
+    Matrix x(64, 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    std::vector<std::uint32_t> sel;
+    std::uint64_t total = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        total += pivotSelect(x.row(r), 256, 32, sel);
+    EXPECT_LT(static_cast<double>(total) / x.rows(), 12.0);
+}
+
+TEST(PivotSelectDeathTest, RejectsZeroK)
+{
+    const Float row[] = {1.0f};
+    std::vector<std::uint32_t> sel;
+    EXPECT_DEATH(pivotSelect(row, 1, 0, sel), "1 <= k");
+}
+
+class PivotSelectSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>>
+{
+};
+
+TEST_P(PivotSelectSweep, MatchesOracleOnRandomRows)
+{
+    const auto [k, seed] = GetParam();
+    Rng rng(seed);
+    Matrix x(16, 128);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    std::vector<std::uint32_t> sel;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        pivotSelect(x.row(r), 128, k, sel);
+        ASSERT_EQ(sel.size(), k);
+        std::multiset<Float> got;
+        for (auto idx : sel)
+            got.insert(x.row(r)[idx]);
+        ASSERT_EQ(got, topKOracle(x.row(r), 128, k));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KSweep, PivotSelectSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u, 16u, 32u, 64u, 127u,
+                                         128u),
+                       ::testing::Values(11, 22)));
+
+TEST(MaxKDense, ZeroesNonSurvivors)
+{
+    Matrix x(1, 4);
+    x.at(0, 0) = 0.9f;
+    x.at(0, 1) = -0.4f;
+    x.at(0, 2) = 0.7f;
+    x.at(0, 3) = 0.1f;
+    Matrix out;
+    maxkDense(x, 2, out);
+    EXPECT_EQ(out.at(0, 0), 0.9f);
+    EXPECT_EQ(out.at(0, 1), 0.0f);
+    EXPECT_EQ(out.at(0, 2), 0.7f);
+    EXPECT_EQ(out.at(0, 3), 0.0f);
+}
+
+TEST(MaxKDense, KeepsNegativeValuesWhenTheyAreTopK)
+{
+    // MaxK selects by value rank, not positivity (unlike ReLU).
+    Matrix x(1, 3);
+    x.at(0, 0) = -0.1f;
+    x.at(0, 1) = -0.5f;
+    x.at(0, 2) = -0.9f;
+    Matrix out;
+    maxkDense(x, 2, out);
+    EXPECT_EQ(out.at(0, 0), -0.1f);
+    EXPECT_EQ(out.at(0, 1), -0.5f);
+    EXPECT_EQ(out.at(0, 2), 0.0f);
+}
+
+TEST(MaxKCompress, MatchesDenseReference)
+{
+    Rng rng(2);
+    Matrix x(50, 64);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    MaxKResult res = maxkCompress(x, 16);
+    Matrix dense_kernel, dense_ref;
+    res.cbsr.decompress(dense_kernel);
+    maxkDense(x, 16, dense_ref);
+    EXPECT_TRUE(dense_kernel.equals(dense_ref));
+}
+
+TEST(MaxKCompress, CbsrIsValid)
+{
+    Rng rng(3);
+    Matrix x(30, 48);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    MaxKResult res = maxkCompress(x, 8);
+    EXPECT_TRUE(res.cbsr.validate());
+    EXPECT_EQ(res.cbsr.rows(), 30u);
+    EXPECT_EQ(res.cbsr.dimK(), 8u);
+    EXPECT_EQ(res.cbsr.dimOrigin(), 48u);
+}
+
+TEST(MaxKCompress, StatsReportExpectedTraffic)
+{
+    Rng rng(4);
+    const NodeId n = 256;
+    const std::uint32_t dim = 256, k = 32;
+    Matrix x(n, dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    SimOptions opt;
+    opt.simulateCaches = false;
+    MaxKResult res = maxkCompress(x, k, opt);
+    const auto agg = res.stats.aggregate();
+    // Read N*dim*4 bytes; write N*k*(4+1) bytes (uint8 index).
+    const Bytes reads = Bytes(n) * dim * 4;
+    const Bytes writes = Bytes(n) * k * 5;
+    EXPECT_NEAR(static_cast<double>(agg.reqBytes),
+                static_cast<double>(reads + writes),
+                0.1 * (reads + writes));
+    EXPECT_GT(res.avgPivotIterations, 0.0);
+    EXPECT_LE(res.maxPivotIterations, 48u);
+}
+
+TEST(MaxKCompress, CheaperThanAnySpmmKernel)
+{
+    // Table 4: the MaxK kernel costs < 2% of SpGEMM. We check it is
+    // at least an order of magnitude below the feature-fetch traffic of
+    // an SpMM on the same matrix with avg degree >= 16.
+    Rng rng(5);
+    Matrix x(1024, 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    MaxKResult res = maxkCompress(x, 32);
+    const Bytes maxk_bytes = res.stats.aggregate().reqBytes;
+    const Bytes spmm_bytes = Bytes(1024) * 16 * 256 * 4; // nnz * dim * 4
+    EXPECT_LT(maxk_bytes * 10, spmm_bytes);
+}
+
+TEST(MaxKBackward, GradientMaskedByForwardPattern)
+{
+    Matrix x(1, 4);
+    x.at(0, 0) = 0.9f;
+    x.at(0, 1) = -0.4f;
+    x.at(0, 2) = 0.7f;
+    x.at(0, 3) = 0.1f;
+    Matrix grad_out(1, 4, 1.0f);
+    Matrix grad_in;
+    maxkBackwardDense(x, 2, grad_out, grad_in);
+    EXPECT_EQ(grad_in.at(0, 0), 1.0f);
+    EXPECT_EQ(grad_in.at(0, 1), 0.0f);
+    EXPECT_EQ(grad_in.at(0, 2), 1.0f);
+    EXPECT_EQ(grad_in.at(0, 3), 0.0f);
+}
+
+TEST(MaxKBackward, SparsityMatchesForwardExactly)
+{
+    Rng rng(6);
+    Matrix x(20, 32), grad(20, 32, 1.0f), out, gin;
+    fillNormal(x, rng, 0.0f, 1.0f);
+    maxkDense(x, 7, out);
+    maxkBackwardDense(x, 7, grad, gin);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const bool fwd_live = out.data()[i] != 0.0f || x.data()[i] == 0.0f;
+        const bool bwd_live = gin.data()[i] != 0.0f;
+        if (bwd_live)
+            ASSERT_TRUE(fwd_live);
+    }
+}
+
+} // namespace
+} // namespace maxk

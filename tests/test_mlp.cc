@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the Fig. 4 universal-approximation experiment: both
+ * nonlinearities fit y = x^2, error shrinks with hidden units, and MaxK
+ * tracks ReLU — the paper's Theorem 3.2 demonstration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlp/approximator.hh"
+
+namespace maxk::mlp
+{
+namespace
+{
+
+ApproxConfig
+makeCfg(ApproxNonlin nonlin, std::uint32_t hidden,
+        std::uint32_t epochs = 3000)
+{
+    ApproxConfig cfg;
+    cfg.nonlin = nonlin;
+    cfg.hiddenUnits = hidden;
+    cfg.epochs = epochs;
+    cfg.numSamples = 128;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(Approximator, MaxkFitsSquareFunction)
+{
+    const ApproxResult r =
+        approximateSquare(makeCfg(ApproxNonlin::MaxK, 32));
+    EXPECT_LT(r.mse, 5e-3);
+}
+
+TEST(Approximator, ReluFitsSquareFunction)
+{
+    const ApproxResult r =
+        approximateSquare(makeCfg(ApproxNonlin::Relu, 32));
+    EXPECT_LT(r.mse, 5e-3);
+}
+
+TEST(Approximator, ErrorShrinksWithHiddenUnits)
+{
+    const double few =
+        approximateSquare(makeCfg(ApproxNonlin::MaxK, 4)).mse;
+    const double many =
+        approximateSquare(makeCfg(ApproxNonlin::MaxK, 64)).mse;
+    EXPECT_LT(many, few);
+}
+
+TEST(Approximator, MaxkTracksReluQuality)
+{
+    const double maxk =
+        approximateSquare(makeCfg(ApproxNonlin::MaxK, 32)).mse;
+    const double relu =
+        approximateSquare(makeCfg(ApproxNonlin::Relu, 32)).mse;
+    // "Similar approximation performance" (Fig. 4c): within an order
+    // of magnitude either way.
+    EXPECT_LT(maxk, relu * 10.0 + 1e-3);
+    EXPECT_LT(relu, maxk * 10.0 + 1e-3);
+}
+
+TEST(Approximator, LossCurveDecreases)
+{
+    const ApproxResult r =
+        approximateSquare(makeCfg(ApproxNonlin::MaxK, 16));
+    ASSERT_GE(r.lossCurve.size(), 2u);
+    EXPECT_LT(r.lossCurve.back(), r.lossCurve.front());
+}
+
+TEST(Approximator, DeterministicBySeed)
+{
+    const ApproxResult a =
+        approximateSquare(makeCfg(ApproxNonlin::MaxK, 8, 500));
+    const ApproxResult b =
+        approximateSquare(makeCfg(ApproxNonlin::MaxK, 8, 500));
+    EXPECT_DOUBLE_EQ(a.mse, b.mse);
+}
+
+TEST(Approximator, GeneralisesToOtherFunctions)
+{
+    ApproxConfig cfg = makeCfg(ApproxNonlin::MaxK, 48, 4000);
+    const ApproxResult r = approximateFunction(
+        cfg, [](Float v) { return std::sin(3.0f * v); });
+    EXPECT_LT(r.mse, 2e-2);
+}
+
+TEST(Approximator, MaxErrorBoundsMse)
+{
+    const ApproxResult r =
+        approximateSquare(makeCfg(ApproxNonlin::Relu, 16));
+    EXPECT_GE(r.maxError * r.maxError + 1e-12, r.mse);
+}
+
+} // namespace
+} // namespace maxk::mlp

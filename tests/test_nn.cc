@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Tests for the nn primitives: Linear (including numerical gradient
+ * checks), Dropout, losses (values + gradients), metrics, and
+ * optimizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/dropout.hh"
+#include "nn/linear.hh"
+#include "nn/loss.hh"
+#include "nn/metrics.hh"
+#include "nn/optimizer.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+namespace maxk::nn
+{
+namespace
+{
+
+TEST(Linear, ForwardMatchesManualGemm)
+{
+    Rng rng(1);
+    Linear lin(3, 2, rng, "t");
+    Matrix x(4, 3);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix y;
+    lin.forward(x, y);
+    Matrix expect;
+    gemm(x, lin.weight().value, expect);
+    addRowVector(expect, lin.bias().value);
+    EXPECT_TRUE(y.approxEquals(expect, 1e-6f));
+}
+
+TEST(Linear, BiasInitZeroWeightsNonZero)
+{
+    Rng rng(2);
+    Linear lin(5, 4, rng, "t");
+    EXPECT_DOUBLE_EQ(lin.bias().value.sum(), 0.0);
+    EXPECT_GT(lin.weight().value.maxAbs(), 0.0f);
+}
+
+TEST(Linear, BackwardWeightGradientNumerical)
+{
+    Rng rng(3);
+    Linear lin(3, 2, rng, "t");
+    Matrix x(5, 3);
+    fillNormal(x, rng, 0.0f, 1.0f);
+
+    // Loss = sum(y); dL/dy = ones.
+    Matrix y;
+    lin.forward(x, y);
+    Matrix dy(5, 2, 1.0f), dx;
+    lin.backward(x, dy, dx);
+
+    const Float eps = 1e-3f;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 2; ++j) {
+            Linear probe = lin;
+            probe.weight().value.at(i, j) += eps;
+            Matrix yp;
+            probe.forward(x, yp);
+            const double numeric = (yp.sum() - y.sum()) / eps;
+            EXPECT_NEAR(lin.weight().grad.at(i, j), numeric, 2e-2)
+                << i << "," << j;
+        }
+}
+
+TEST(Linear, BackwardInputGradientNumerical)
+{
+    Rng rng(4);
+    Linear lin(3, 2, rng, "t");
+    Matrix x(2, 3);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix y;
+    lin.forward(x, y);
+    Matrix dy(2, 2, 1.0f), dx;
+    lin.backward(x, dy, dx);
+
+    const Float eps = 1e-3f;
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) {
+            Matrix xp = x;
+            xp.at(r, c) += eps;
+            Matrix yp;
+            lin.forward(xp, yp);
+            const double numeric = (yp.sum() - y.sum()) / eps;
+            EXPECT_NEAR(dx.at(r, c), numeric, 2e-2);
+        }
+}
+
+TEST(Linear, BiasGradientIsColumnSum)
+{
+    Rng rng(5);
+    Linear lin(2, 3, rng, "t");
+    Matrix x(4, 2);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix dy(4, 3);
+    fillNormal(dy, rng, 0.0f, 1.0f);
+    Matrix dx;
+    lin.backward(x, dy, dx);
+    Matrix expect;
+    columnSums(dy, expect);
+    EXPECT_TRUE(lin.bias().grad.approxEquals(expect, 1e-5f));
+}
+
+TEST(Linear, GradientsAccumulateAcrossCalls)
+{
+    Rng rng(6);
+    Linear lin(2, 2, rng, "t");
+    Matrix x(1, 2, 1.0f), dy(1, 2, 1.0f), dx;
+    lin.backward(x, dy, dx);
+    const Matrix first = lin.weight().grad;
+    lin.backward(x, dy, dx);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_NEAR(lin.weight().grad.data()[i], 2.0f * first.data()[i],
+                    1e-6f);
+}
+
+TEST(Dropout, EvalModePassesThrough)
+{
+    Rng rng(7);
+    Dropout drop(0.5f);
+    Matrix x(3, 3, 2.0f), y;
+    drop.forward(x, y, false, rng);
+    EXPECT_TRUE(y.equals(x));
+}
+
+TEST(Dropout, ZeroRateIsIdentityEvenTraining)
+{
+    Rng rng(8);
+    Dropout drop(0.0f);
+    Matrix x(2, 2, 1.5f), y;
+    drop.forward(x, y, true, rng);
+    EXPECT_TRUE(y.equals(x));
+}
+
+TEST(Dropout, TrainingDropsAndRescales)
+{
+    Rng rng(9);
+    Dropout drop(0.5f);
+    Matrix x(100, 100, 1.0f), y;
+    drop.forward(x, y, true, rng);
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y.data()[i] == 0.0f)
+            ++zeros;
+        else
+            ASSERT_NEAR(y.data()[i], 2.0f, 1e-6f); // 1/(1-0.5)
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.5, 0.03);
+    // Expectation preserved.
+    EXPECT_NEAR(y.sum() / y.size(), 1.0, 0.06);
+}
+
+TEST(Dropout, BackwardUsesSameMask)
+{
+    Rng rng(10);
+    Dropout drop(0.3f);
+    Matrix x(10, 10, 1.0f), y;
+    drop.forward(x, y, true, rng);
+    Matrix dy(10, 10, 1.0f), dx;
+    drop.backward(dy, dx);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y.data()[i] == 0.0f)
+            ASSERT_EQ(dx.data()[i], 0.0f);
+        else
+            ASSERT_NEAR(dx.data()[i], 1.0f / 0.7f, 1e-5f);
+    }
+}
+
+TEST(SoftmaxCe, UniformLogitsGiveLogC)
+{
+    Matrix logits(4, 8); // all zeros -> uniform distribution
+    std::vector<std::uint32_t> labels{0, 1, 2, 3};
+    std::vector<std::uint8_t> mask{1, 1, 1, 1};
+    const LossResult r = softmaxCrossEntropy(logits, labels, mask);
+    EXPECT_NEAR(r.loss, std::log(8.0), 1e-5);
+}
+
+TEST(SoftmaxCe, MaskedRowsGetZeroGradient)
+{
+    Matrix logits(3, 4);
+    logits.at(0, 1) = 2.0f;
+    std::vector<std::uint32_t> labels{1, 0, 2};
+    std::vector<std::uint8_t> mask{1, 0, 1};
+    const LossResult r = softmaxCrossEntropy(logits, labels, mask);
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(r.gradLogits.at(1, c), 0.0f);
+}
+
+TEST(SoftmaxCe, GradientRowsSumToZero)
+{
+    Rng rng(11);
+    Matrix logits(5, 6);
+    fillNormal(logits, rng, 0.0f, 1.0f);
+    std::vector<std::uint32_t> labels{0, 1, 2, 3, 4};
+    std::vector<std::uint8_t> mask{1, 1, 1, 1, 1};
+    const LossResult r = softmaxCrossEntropy(logits, labels, mask);
+    for (std::size_t row = 0; row < 5; ++row) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < 6; ++c)
+            s += r.gradLogits.at(row, c);
+        EXPECT_NEAR(s, 0.0, 1e-6);
+    }
+}
+
+TEST(SoftmaxCe, GradientNumericalCheck)
+{
+    Rng rng(12);
+    Matrix logits(2, 3);
+    fillNormal(logits, rng, 0.0f, 1.0f);
+    std::vector<std::uint32_t> labels{2, 0};
+    std::vector<std::uint8_t> mask{1, 1};
+    const LossResult r = softmaxCrossEntropy(logits, labels, mask);
+    const Float eps = 1e-3f;
+    for (std::size_t row = 0; row < 2; ++row)
+        for (std::size_t c = 0; c < 3; ++c) {
+            Matrix probe = logits;
+            probe.at(row, c) += eps;
+            const double lp =
+                softmaxCrossEntropy(probe, labels, mask).loss;
+            EXPECT_NEAR(r.gradLogits.at(row, c), (lp - r.loss) / eps,
+                        5e-3);
+        }
+}
+
+TEST(Bce, KnownValueAtZeroLogits)
+{
+    Matrix logits(1, 2); // zeros -> p = 0.5
+    Matrix targets(1, 2);
+    targets.at(0, 0) = 1.0f;
+    std::vector<std::uint8_t> mask{1};
+    const LossResult r = sigmoidBce(logits, targets, mask);
+    EXPECT_NEAR(r.loss, std::log(2.0), 1e-5);
+}
+
+TEST(Bce, GradientNumericalCheck)
+{
+    Rng rng(13);
+    Matrix logits(2, 3);
+    fillNormal(logits, rng, 0.0f, 1.0f);
+    Matrix targets(2, 3);
+    targets.at(0, 1) = 1.0f;
+    targets.at(1, 2) = 1.0f;
+    std::vector<std::uint8_t> mask{1, 1};
+    const LossResult r = sigmoidBce(logits, targets, mask);
+    const Float eps = 1e-3f;
+    for (std::size_t row = 0; row < 2; ++row)
+        for (std::size_t c = 0; c < 3; ++c) {
+            Matrix probe = logits;
+            probe.at(row, c) += eps;
+            const double lp = sigmoidBce(probe, targets, mask).loss;
+            EXPECT_NEAR(r.gradLogits.at(row, c), (lp - r.loss) / eps,
+                        5e-3);
+        }
+}
+
+TEST(Bce, MultiLabelTargetsSetTwoBits)
+{
+    std::vector<std::uint32_t> labels{0, 5, 15};
+    const Matrix t = multiLabelTargets(labels, 16);
+    EXPECT_EQ(t.at(0, 0), 1.0f);
+    EXPECT_EQ(t.at(0, 1), 1.0f);
+    EXPECT_EQ(t.at(1, 5), 1.0f);
+    EXPECT_EQ(t.at(1, 6), 1.0f);
+    EXPECT_EQ(t.at(2, 15), 1.0f);
+    EXPECT_EQ(t.at(2, 0), 1.0f); // wraps around
+    EXPECT_DOUBLE_EQ(t.sum(), 6.0);
+}
+
+TEST(Metrics, AccuracySimpleCases)
+{
+    Matrix logits(3, 2);
+    logits.at(0, 1) = 1.0f; // predict 1
+    logits.at(1, 0) = 1.0f; // predict 0
+    logits.at(2, 1) = 1.0f; // predict 1
+    std::vector<std::uint32_t> labels{1, 0, 0};
+    std::vector<std::uint8_t> mask{1, 1, 1};
+    EXPECT_NEAR(accuracy(logits, labels, mask), 2.0 / 3.0, 1e-9);
+    std::vector<std::uint8_t> partial{1, 1, 0};
+    EXPECT_NEAR(accuracy(logits, labels, partial), 1.0, 1e-9);
+}
+
+TEST(Metrics, MicroF1PerfectAndWorst)
+{
+    Matrix logits(2, 2);
+    logits.at(0, 0) = 5.0f;
+    logits.at(1, 1) = 5.0f;
+    logits.at(0, 1) = -5.0f;
+    logits.at(1, 0) = -5.0f;
+    Matrix targets(2, 2);
+    targets.at(0, 0) = 1.0f;
+    targets.at(1, 1) = 1.0f;
+    std::vector<std::uint8_t> mask{1, 1};
+    EXPECT_NEAR(microF1(logits, targets, mask), 1.0, 1e-9);
+
+    Matrix inverted(2, 2);
+    inverted.at(0, 1) = 5.0f;
+    inverted.at(1, 0) = 5.0f;
+    inverted.at(0, 0) = -5.0f;
+    inverted.at(1, 1) = -5.0f;
+    EXPECT_NEAR(microF1(inverted, targets, mask), 0.0, 1e-9);
+}
+
+TEST(Metrics, RocAucPerfectRankingIsOne)
+{
+    Matrix logits(4, 1);
+    logits.at(0, 0) = 0.9f;
+    logits.at(1, 0) = 0.8f;
+    logits.at(2, 0) = 0.2f;
+    logits.at(3, 0) = 0.1f;
+    Matrix targets(4, 1);
+    targets.at(0, 0) = 1.0f;
+    targets.at(1, 0) = 1.0f;
+    std::vector<std::uint8_t> mask{1, 1, 1, 1};
+    EXPECT_NEAR(rocAuc(logits, targets, mask), 1.0, 1e-9);
+}
+
+TEST(Metrics, RocAucRandomScoresNearHalf)
+{
+    Rng rng(14);
+    Matrix logits(2000, 1);
+    Matrix targets(2000, 1);
+    std::vector<std::uint8_t> mask(2000, 1);
+    for (int i = 0; i < 2000; ++i) {
+        logits.at(i, 0) = rng.normal();
+        targets.at(i, 0) = rng.bernoulli(0.5f) ? 1.0f : 0.0f;
+    }
+    EXPECT_NEAR(rocAuc(logits, targets, mask), 0.5, 0.05);
+}
+
+TEST(Metrics, RocAucHandlesTiedScores)
+{
+    Matrix logits(4, 1); // all equal
+    Matrix targets(4, 1);
+    targets.at(0, 0) = 1.0f;
+    targets.at(1, 0) = 1.0f;
+    std::vector<std::uint8_t> mask{1, 1, 1, 1};
+    EXPECT_NEAR(rocAuc(logits, targets, mask), 0.5, 1e-9);
+}
+
+TEST(Adam, MinimisesQuadratic)
+{
+    // Minimise f(w) = sum (w - 3)^2.
+    Param p;
+    p.name = "w";
+    p.value.resize(1, 4);
+    p.resetGrad();
+    Adam adam({&p}, 0.1f);
+    for (int it = 0; it < 500; ++it) {
+        for (std::size_t i = 0; i < 4; ++i)
+            p.grad.data()[i] = 2.0f * (p.value.data()[i] - 3.0f);
+        adam.step();
+    }
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(p.value.data()[i], 3.0f, 1e-2f);
+}
+
+TEST(Adam, StepZeroesGradients)
+{
+    Param p;
+    p.value.resize(1, 2);
+    p.resetGrad();
+    p.grad.at(0, 0) = 1.0f;
+    Adam adam({&p}, 0.01f);
+    adam.step();
+    EXPECT_EQ(p.grad.at(0, 0), 0.0f);
+}
+
+TEST(Adam, WeightDecayShrinksWeights)
+{
+    Param p;
+    p.value.resize(1, 1);
+    p.value.fill(10.0f);
+    p.resetGrad();
+    Adam adam({&p}, 0.1f, 0.9f, 0.999f, 1e-8f, 1.0f);
+    for (int i = 0; i < 200; ++i)
+        adam.step(); // gradient is pure decay
+    EXPECT_LT(std::fabs(p.value.at(0, 0)), 1.0f);
+}
+
+TEST(Sgd, TakesPlainSteps)
+{
+    Param p;
+    p.value.resize(1, 1);
+    p.value.fill(1.0f);
+    p.resetGrad();
+    p.grad.at(0, 0) = 0.5f;
+    Sgd sgd({&p}, 0.2f);
+    sgd.step();
+    EXPECT_NEAR(p.value.at(0, 0), 0.9f, 1e-6f);
+    EXPECT_EQ(p.grad.at(0, 0), 0.0f);
+}
+
+} // namespace
+} // namespace maxk::nn

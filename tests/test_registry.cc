@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the dataset registry: Table 1 fidelity, twin scaling rules,
+ * and training-data materialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "graph/registry.hh"
+#include "graph/stats.hh"
+
+namespace maxk
+{
+namespace
+{
+
+TEST(Registry, HasAll24Table1Datasets)
+{
+    EXPECT_EQ(kernelSuite().size(), 24u);
+}
+
+TEST(Registry, Table1NumbersMatchPaper)
+{
+    const auto reddit = findDataset("Reddit");
+    ASSERT_TRUE(reddit.has_value());
+    EXPECT_EQ(reddit->paperNodes, 232965u);
+    EXPECT_EQ(reddit->paperEdges, 114615891u);
+
+    const auto proteins = findDataset("ogbn-proteins");
+    ASSERT_TRUE(proteins.has_value());
+    EXPECT_EQ(proteins->paperNodes, 132534u);
+    EXPECT_EQ(proteins->paperEdges, 79122504u);
+
+    const auto pubmed = findDataset("pubmed");
+    ASSERT_TRUE(pubmed.has_value());
+    EXPECT_EQ(pubmed->paperNodes, 19717u);
+    EXPECT_EQ(pubmed->paperEdges, 99203u);
+
+    const auto products = findDataset("ogbn-products");
+    ASSERT_TRUE(products.has_value());
+    EXPECT_EQ(products->paperEdges, 123718280u);
+}
+
+TEST(Registry, UnknownDatasetReturnsNullopt)
+{
+    EXPECT_FALSE(findDataset("not-a-dataset").has_value());
+}
+
+TEST(Registry, TwinPreservesPaperAverageDegree)
+{
+    for (const auto &d : kernelSuite()) {
+        const double paper_avg = d.paperAvgDegree();
+        const double twin_avg =
+            static_cast<double>(d.twinEdges) / d.twinNodes;
+        // Preserved within 2% by construction.
+        EXPECT_NEAR(twin_avg / paper_avg, 1.0, 0.02) << d.name;
+    }
+}
+
+TEST(Registry, TwinEdgeBudgetRespected)
+{
+    for (const auto &d : kernelSuite()) {
+        EXPECT_LE(d.twinEdges, (1u << 20) + d.twinNodes) << d.name;
+        EXPECT_LE(d.twinNodes, 1u << 16) << d.name;
+        EXPECT_GE(d.twinNodes, 128u) << d.name;
+    }
+}
+
+TEST(Registry, SmallDatasetsKeepTheirNodeCount)
+{
+    // pubmed (19717 nodes, low degree) fits the budget unscaled.
+    const auto pubmed = findDataset("pubmed");
+    EXPECT_EQ(pubmed->twinNodes, 19717u);
+}
+
+TEST(Registry, HighDegreeTwinsShrinkNodes)
+{
+    const auto reddit = findDataset("Reddit");
+    EXPECT_LT(reddit->twinNodes, 5000u); // avg degree ~492 caps nodes
+    EXPECT_GT(reddit->paperAvgDegree(), 400.0);
+}
+
+TEST(Registry, MaterializePowerLawTwin)
+{
+    Rng rng(1);
+    const auto artist = findDataset("artist");
+    const CsrGraph g = materializeGraph(*artist, rng);
+    EXPECT_TRUE(g.validate());
+    const DegreeStats s = computeDegreeStats(g);
+    EXPECT_GT(s.skewRatio, 4.0); // power-law shape
+}
+
+TEST(Registry, MaterializeMeshTwinIsBalanced)
+{
+    Rng rng(2);
+    const auto dd = findDataset("DD");
+    ASSERT_EQ(dd->kind, GraphKind::Mesh);
+    const CsrGraph g = materializeGraph(*dd, rng);
+    const DegreeStats s = computeDegreeStats(g);
+    EXPECT_LT(s.skewRatio, 2.0); // molecule datasets are near-regular
+}
+
+TEST(Registry, TrainingSuiteHasFiveDatasets)
+{
+    const auto &suite = trainingSuite();
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(suite[0].info.name, "Flickr");
+    EXPECT_EQ(suite[2].info.name, "Reddit");
+}
+
+TEST(Registry, TrainingMetricsMatchTable5)
+{
+    EXPECT_EQ(findTrainingTask("Yelp")->metric, MetricKind::MicroF1);
+    EXPECT_EQ(findTrainingTask("ogbn-proteins")->metric,
+              MetricKind::RocAuc);
+    EXPECT_EQ(findTrainingTask("Reddit")->metric, MetricKind::Accuracy);
+    EXPECT_TRUE(findTrainingTask("Yelp")->multiLabel);
+    EXPECT_FALSE(findTrainingTask("Flickr")->multiLabel);
+}
+
+TEST(Registry, MetricNames)
+{
+    EXPECT_STREQ(metricName(MetricKind::Accuracy), "Acc");
+    EXPECT_STREQ(metricName(MetricKind::MicroF1), "F1");
+    EXPECT_STREQ(metricName(MetricKind::RocAuc), "AUC");
+}
+
+TEST(Registry, TrainingDataMasksPartitionNodes)
+{
+    Rng rng(3);
+    const auto task = findTrainingTask("Flickr");
+    const TrainingData data = materializeTrainingData(*task, rng);
+    const NodeId n = data.graph.numNodes();
+    ASSERT_EQ(data.trainMask.size(), n);
+    for (NodeId v = 0; v < n; ++v) {
+        const int marks =
+            data.trainMask[v] + data.valMask[v] + data.testMask[v];
+        ASSERT_EQ(marks, 1) << "node " << v;
+    }
+}
+
+TEST(Registry, TrainingFeaturesCarryClassSignal)
+{
+    Rng rng(4);
+    const auto task = findTrainingTask("Flickr");
+    const TrainingData data = materializeTrainingData(*task, rng);
+    // Mean intra-class feature distance should be below inter-class.
+    const Matrix &x = data.features;
+    double intra = 0.0, inter = 0.0;
+    int n_intra = 0, n_inter = 0;
+    Rng pick(5);
+    for (int t = 0; t < 4000; ++t) {
+        const NodeId a =
+            static_cast<NodeId>(pick.nextBounded(x.rows()));
+        const NodeId b =
+            static_cast<NodeId>(pick.nextBounded(x.rows()));
+        double d = 0.0;
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            const double diff = x.at(a, c) - x.at(b, c);
+            d += diff * diff;
+        }
+        if (data.labels[a] == data.labels[b]) {
+            intra += d;
+            ++n_intra;
+        } else {
+            inter += d;
+            ++n_inter;
+        }
+    }
+    ASSERT_GT(n_intra, 0);
+    ASSERT_GT(n_inter, 0);
+    EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(Registry, TrainingDataDeterministicBySeed)
+{
+    const auto task = findTrainingTask("Reddit");
+    Rng r1(9), r2(9);
+    const TrainingData d1 = materializeTrainingData(*task, r1);
+    const TrainingData d2 = materializeTrainingData(*task, r2);
+    EXPECT_EQ(d1.graph.colIdx(), d2.graph.colIdx());
+    EXPECT_EQ(d1.labels, d2.labels);
+    EXPECT_TRUE(d1.features.equals(d2.features));
+}
+
+TEST(Registry, AccuracyTwinSmallerThanKernelTwin)
+{
+    for (const auto &t : trainingSuite()) {
+        EXPECT_LE(t.accuracyNodes, 2048u) << t.info.name;
+        EXPECT_LE(t.accuracyAvgDegree, 24.0) << t.info.name;
+    }
+}
+
+} // namespace
+} // namespace maxk

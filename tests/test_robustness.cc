@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Robustness and degenerate-input tests across the stack: empty
+ * graphs, single-node graphs, extreme k values, malformed input files,
+ * zero-byte device accesses, and minimal training configurations. The
+ * library must either handle these or fail loudly via fatal()/panic()
+ * — never silently corrupt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "core/spgemm_forward.hh"
+#include "core/sspmm_backward.hh"
+#include "gpusim/context.hh"
+#include "graph/edge_groups.hh"
+#include "graph/generators.hh"
+#include "graph/io.hh"
+#include "graph/registry.hh"
+#include "graph/stats.hh"
+#include "nn/trainer.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+TEST(Degenerate, EmptyGraphThroughKernelPipeline)
+{
+    const CsrGraph g = CsrGraph::fromEdges(0, {}, false, false);
+    EXPECT_TRUE(g.validate());
+    EXPECT_EQ(g.numEdges(), 0u);
+    const auto part = EdgeGroupPartition::build(g, 32);
+    EXPECT_TRUE(part.groups().empty());
+    EXPECT_TRUE(part.covers(g));
+
+    const DegreeStats s = computeDegreeStats(g);
+    EXPECT_EQ(s.numNodes, 0u);
+}
+
+TEST(Degenerate, EdgelessGraphSpgemm)
+{
+    const CsrGraph g = CsrGraph::fromEdges(8, {}, false, false);
+    const auto part = EdgeGroupPartition::build(g, 8);
+    Rng rng(1);
+    Matrix x(8, 16);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    SimOptions opt;
+    opt.simulateCaches = false;
+    MaxKResult mk = maxkCompress(x, 4, opt);
+    Matrix y;
+    const auto stats = spgemmForward(g, part, mk.cbsr, y, opt);
+    EXPECT_DOUBLE_EQ(y.sum(), 0.0);
+    EXPECT_EQ(stats.aggregate().flops, 0u);
+}
+
+TEST(Degenerate, SingleNodeSelfLoopGraph)
+{
+    CsrGraph g = CsrGraph::fromEdges(1, {}, false, true);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.values()[0], 1.0f); // degree 1 -> mean weight 1
+
+    const auto part = EdgeGroupPartition::build(g, 32);
+    Rng rng(2);
+    Matrix x(1, 8);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    SimOptions opt;
+    opt.simulateCaches = false;
+    MaxKResult mk = maxkCompress(x, 8, opt); // k == dim keeps all
+    Matrix y;
+    spgemmForward(g, part, mk.cbsr, y, opt);
+    EXPECT_TRUE(y.approxEquals(x, 1e-5f)); // identity aggregation
+}
+
+TEST(Degenerate, MaxkOnSingleColumnMatrix)
+{
+    Matrix x(5, 1);
+    for (int i = 0; i < 5; ++i)
+        x.at(i, 0) = static_cast<Float>(i - 2);
+    Matrix out;
+    maxkDense(x, 1, out);
+    EXPECT_TRUE(out.equals(x)); // k == dim == 1: everything survives
+}
+
+TEST(Degenerate, SspmmWithFullDensityPattern)
+{
+    // k == dimOrigin: CBSR degenerates to dense; the backward must
+    // equal the dense transposed aggregation exactly.
+    Rng rng(3);
+    CsrGraph g = erdosRenyi(40, 200, rng);
+    g.setAggregatorWeights(Aggregator::Gin);
+    const auto part = EdgeGroupPartition::build(g, 16);
+    Matrix x(40, 12);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    SimOptions opt;
+    opt.simulateCaches = false;
+    MaxKResult mk = maxkCompress(x, 12, opt);
+    Matrix dxl(40, 12);
+    fillNormal(dxl, rng, 0.0f, 1.0f);
+    CbsrMatrix dxs;
+    dxs.adoptPattern(mk.cbsr);
+    sspmmBackward(g, part, dxl, dxs, opt);
+
+    Matrix dense;
+    dxs.decompress(dense);
+    Matrix expect;
+    nn::aggregateDenseTransposed(g, dxl, expect);
+    EXPECT_TRUE(dense.approxEquals(expect, 1e-3f));
+}
+
+TEST(Degenerate, ZeroByteDeviceAccessesAreFree)
+{
+    gpusim::KernelContext ctx(gpusim::DeviceConfig::a100(), "t", true);
+    static float f;
+    ctx.globalRead(0, &f, 0);
+    ctx.globalWrite(0, &f, 0);
+    ctx.globalAtomicAccum(0, &f, 0);
+    const auto stats = ctx.finish();
+    EXPECT_EQ(stats.aggregate().reqBytes, 0u);
+    EXPECT_EQ(stats.aggregate().atomicSectors, 0u);
+}
+
+TEST(Degenerate, HugeWarpIdsWrapSafely)
+{
+    gpusim::KernelContext ctx(gpusim::DeviceConfig::a100(), "t", true);
+    static float f;
+    ctx.globalRead(~0ull, &f, 4);
+    ctx.globalRead(0x123456789abcdefull, &f, 4);
+    SUCCEED();
+}
+
+TEST(IoRobustness, BadMagicIsFatal)
+{
+    const std::string path = "/tmp/maxk_bad_magic.csr";
+    std::ofstream(path) << "not-a-graph 1 2 2\n0 1 2\n1 0\n";
+    EXPECT_EXIT(loadGraph(path), ::testing::ExitedWithCode(1),
+                "bad header");
+    std::remove(path.c_str());
+}
+
+TEST(IoRobustness, WrongVersionIsFatal)
+{
+    const std::string path = "/tmp/maxk_bad_version.csr";
+    std::ofstream(path) << "maxk-csr 9 2 2\n0 1 2\n1 0\n";
+    EXPECT_EXIT(loadGraph(path), ::testing::ExitedWithCode(1),
+                "bad header");
+    std::remove(path.c_str());
+}
+
+TEST(IoRobustness, TruncatedRowPtrIsFatal)
+{
+    const std::string path = "/tmp/maxk_trunc_rowptr.csr";
+    std::ofstream(path) << "maxk-csr 1 4 2\n0 1\n";
+    EXPECT_EXIT(loadGraph(path), ::testing::ExitedWithCode(1),
+                "truncated rowPtr");
+    std::remove(path.c_str());
+}
+
+TEST(IoRobustness, TruncatedColIdxIsFatal)
+{
+    const std::string path = "/tmp/maxk_trunc_col.csr";
+    std::ofstream(path) << "maxk-csr 1 2 3\n0 2 3\n1\n";
+    EXPECT_EXIT(loadGraph(path), ::testing::ExitedWithCode(1),
+                "truncated colIdx");
+    std::remove(path.c_str());
+}
+
+TEST(IoRobustness, InconsistentCsrIsFatal)
+{
+    // rowPtr.back() != numEdges -> CSR validation failure (panic).
+    const std::string path = "/tmp/maxk_inconsistent.csr";
+    std::ofstream(path) << "maxk-csr 1 2 2\n0 1 1\n0 1\n";
+    EXPECT_DEATH(loadGraph(path), "invalid CSR");
+    std::remove(path.c_str());
+}
+
+TEST(TrainerRobustness, SingleEpochRunWorks)
+{
+    TrainingTask task = *findTrainingTask("Flickr");
+    task.accuracyNodes = 128;
+    task.accuracyAvgDegree = 6.0;
+    Rng rng(4);
+    TrainingData data = materializeTrainingData(task, rng);
+    nn::ModelConfig cfg;
+    cfg.kind = nn::GnnKind::Gcn;
+    cfg.nonlin = nn::Nonlinearity::MaxK;
+    cfg.maxkK = 4;
+    cfg.numLayers = 1;
+    cfg.inDim = task.featureDim;
+    cfg.hiddenDim = 16;
+    cfg.outDim = task.numClasses;
+    nn::GnnModel model(cfg);
+    nn::Trainer trainer(model, data, task);
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    const auto r = trainer.run(tc);
+    EXPECT_EQ(r.trainLoss.size(), 1u);
+    EXPECT_EQ(r.evalEpochs.size(), 1u);
+}
+
+TEST(TrainerRobustness, EvalCadenceBeyondEpochsStillEvaluatesLast)
+{
+    TrainingTask task = *findTrainingTask("Flickr");
+    task.accuracyNodes = 128;
+    task.accuracyAvgDegree = 6.0;
+    Rng rng(5);
+    TrainingData data = materializeTrainingData(task, rng);
+    nn::ModelConfig cfg;
+    cfg.kind = nn::GnnKind::Sage;
+    cfg.nonlin = nn::Nonlinearity::Relu;
+    cfg.numLayers = 2;
+    cfg.inDim = task.featureDim;
+    cfg.hiddenDim = 16;
+    cfg.outDim = task.numClasses;
+    nn::GnnModel model(cfg);
+    nn::Trainer trainer(model, data, task);
+    nn::TrainConfig tc;
+    tc.epochs = 5;
+    tc.evalEvery = 100;
+    const auto r = trainer.run(tc);
+    // Epoch 0 (cadence) and the final epoch are always evaluated.
+    EXPECT_EQ(r.evalEpochs.size(), 2u);
+    EXPECT_EQ(r.evalEpochs.back(), 4u);
+}
+
+TEST(RegistryRobustness, AllTwentyFourTwinsValidate)
+{
+    // Materialise every Table-1 twin once and validate its CSR. Uses a
+    // shared RNG so the whole sweep stays fast and deterministic.
+    Rng rng(6);
+    for (const auto &info : kernelSuite()) {
+        const CsrGraph g = materializeGraph(info, rng);
+        ASSERT_TRUE(g.validate()) << info.name;
+        ASSERT_GT(g.numEdges(), 0u) << info.name;
+        // RMAT twins round |V| up to the next power of two.
+        ASSERT_GE(g.numNodes(), info.twinNodes) << info.name;
+        ASSERT_LT(g.numNodes(), 2 * info.twinNodes + 2) << info.name;
+    }
+}
+
+TEST(CbsrRobustness, DecompressOfZeroPatternIsZeroMatrix)
+{
+    CbsrMatrix m(3, 2, 8); // default indices 0,0 are invalid-ascending
+    m.setIndex(0, 1, 1);   // fix rows to be valid
+    m.setIndex(1, 1, 1);
+    m.setIndex(2, 1, 1);
+    EXPECT_TRUE(m.validate());
+    Matrix dense;
+    m.decompress(dense);
+    EXPECT_DOUBLE_EQ(dense.sum(), 0.0);
+}
+
+TEST(PivotRobustness, InfinityAndTinyValues)
+{
+    const Float row[] = {1e30f, -1e30f, 1e-30f, 0.0f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 4, 2, sel);
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0], 0u); // 1e30
+    EXPECT_EQ(sel[1], 2u); // 1e-30 beats 0 and -1e30
+}
+
+} // namespace
+} // namespace maxk

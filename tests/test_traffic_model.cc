@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the Sec. 4.3 analytical traffic model, including the paper's
+ * own worked numbers (Reddit, dim 256) as regression anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/traffic_model.hh"
+
+namespace maxk
+{
+namespace
+{
+
+// Paper constants for the Reddit profile (Table 2).
+constexpr EdgeId kRedditNnz = 114615891u;
+constexpr NodeId kRedditNodes = 232965u;
+constexpr std::uint32_t kDim = 256;
+
+TEST(Traffic, SpmmFeatureBytesFormula)
+{
+    EXPECT_EQ(traffic::spmmFeatureBytes(10, 8), 320u);
+    // Reddit at dim 256: 4 * 256 * nnz ~= 117.4 GB, the dominant term
+    // of Table 2's measured 138 GB SpMM traffic.
+    const double gb =
+        static_cast<double>(traffic::spmmFeatureBytes(kRedditNnz, kDim)) /
+        1e9;
+    EXPECT_NEAR(gb, 117.4, 0.5);
+}
+
+TEST(Traffic, SpgemmFiveBytesPerElementWithUint8)
+{
+    EXPECT_EQ(traffic::spgemmFeatureBytes(10, 8, 1), 400u);
+    // Reddit k=32 uint8: 5 * 32 * nnz ~= 18.3 GB; L1 filtering brings
+    // the measured Table 2 value to 13.1 GB.
+    const double gb = static_cast<double>(traffic::spgemmFeatureBytes(
+                          kRedditNnz, 32, 1)) /
+                      1e9;
+    EXPECT_NEAR(gb, 18.3, 0.2);
+}
+
+TEST(Traffic, SavedBytesMatchesPaperExpression)
+{
+    // (4*dim_origin - 5*dim_k) * nnz
+    const std::int64_t saved =
+        traffic::spgemmSavedBytes(1000, 256, 16, 1);
+    EXPECT_EQ(saved, (4 * 256 - 5 * 16) * 1000);
+}
+
+TEST(Traffic, SavedBytesNegativeWhenKTooLarge)
+{
+    // Past the crossover (5k > 4*dim) the format loses.
+    EXPECT_LT(traffic::spgemmSavedBytes(100, 64, 64, 1), 0);
+}
+
+TEST(Traffic, ReductionFractionAnchors)
+{
+    // dim 256, k=16, uint8: 1 - 80/1024 = 92.2% feature-traffic cut —
+    // the Sec. 1 claim of ~90% for the Reddit configuration.
+    EXPECT_NEAR(traffic::spgemmReductionFraction(256, 16, 1), 0.9219,
+                1e-3);
+    // k=32: 84.4%.
+    EXPECT_NEAR(traffic::spgemmReductionFraction(256, 32, 1), 0.8438,
+                1e-3);
+    // k = dim with uint8 index costs 25% MORE than dense.
+    EXPECT_NEAR(traffic::spgemmReductionFraction(256, 256, 1), -0.25,
+                1e-6);
+}
+
+TEST(Traffic, ReductionMonotoneInK)
+{
+    double prev = 1.0;
+    for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u, 96u, 128u, 192u}) {
+        const double r = traffic::spgemmReductionFraction(256, k, 1);
+        EXPECT_LT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Traffic, SspmmReadFormula)
+{
+    // 4*N*dim + 5*k*nnz with uint8.
+    EXPECT_EQ(traffic::sspmmReadBytes(100, 64, 1000, 8, 1),
+              4u * 100 * 64 + 5u * 8 * 1000);
+    // Reddit k=32: ~0.24 GB prefetch + 18.3 GB sparse fetch.
+    const double gb = static_cast<double>(traffic::sspmmReadBytes(
+                          kRedditNodes, kDim, kRedditNnz, 32, 1)) /
+                      1e9;
+    EXPECT_NEAR(gb, 18.6, 0.3);
+}
+
+TEST(Traffic, SspmmWriteFormula)
+{
+    EXPECT_EQ(traffic::sspmmWriteBytes(1000, 8), 4u * 8 * 1000);
+}
+
+TEST(Traffic, SspmmSavingsVsNaiveOuterMatchPaper)
+{
+    // Reads saved: (4*dim - 5*k) * nnz; writes saved: (4*dim - 4*k)*nnz.
+    const EdgeId nnz = 5000;
+    const Bytes naive_r = traffic::outerNaiveReadBytes(nnz, 256);
+    const Bytes sspmm_r =
+        traffic::sspmmReadBytes(100, 256, nnz, 16, 1) -
+        Bytes(4) * 100 * 256; // exclude the N-proportional prefetch
+    EXPECT_EQ(naive_r - sspmm_r, Bytes(4 * 256 - 5 * 16) * nnz);
+
+    const Bytes naive_w = traffic::outerNaiveWriteBytes(nnz, 256);
+    const Bytes sspmm_w = traffic::sspmmWriteBytes(nnz, 16);
+    EXPECT_EQ(naive_w - sspmm_w, Bytes(4 * 256 - 4 * 16) * nnz);
+}
+
+TEST(Traffic, BackwardReductionOver90PercentAtK16)
+{
+    // The paper's Sec. 1 claim: SSpMM cuts global traffic > 90% on
+    // Reddit with dim 256, k=16.
+    const double naive = static_cast<double>(
+        traffic::outerNaiveReadBytes(kRedditNnz, kDim) +
+        traffic::outerNaiveWriteBytes(kRedditNnz, kDim));
+    const double sspmm = static_cast<double>(
+        traffic::sspmmReadBytes(kRedditNodes, kDim, kRedditNnz, 16, 1) +
+        traffic::sspmmWriteBytes(kRedditNnz, 16));
+    EXPECT_GT(1.0 - sspmm / naive, 0.90);
+}
+
+TEST(Traffic, AtomicOpsFormula)
+{
+    // N * dim * ceil(avg_deg / w).
+    EXPECT_EQ(traffic::spgemmAtomicOps(100, 64, 50.0, 32), 100u * 64 * 2);
+    EXPECT_EQ(traffic::spgemmAtomicOps(100, 64, 32.0, 32), 100u * 64 * 1);
+}
+
+TEST(Traffic, AtomicOpsIndependentOfK)
+{
+    // The write-back cost does not shrink with k — the reason Fig. 8
+    // speedups saturate at small k (Sec. 5.2).
+    const auto ops = traffic::spgemmAtomicOps(kRedditNodes, kDim,
+                                              492.0, 32);
+    EXPECT_GT(ops, 900'000'000u); // ~0.95G atomic ops per SpGEMM
+}
+
+} // namespace
+} // namespace maxk
