@@ -29,8 +29,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Ablation: MaxK-GNN kernel design choices "
                   "(Reddit twin, dim_org = 256, k = 32)");
 

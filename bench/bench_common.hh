@@ -91,6 +91,41 @@ fastMode()
     return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+/**
+ * Parse bench CLI arguments. `--smoke` switches the bench into fast
+ * mode (tiny sweeps, same code paths) — equivalent to exporting
+ * MAXK_BENCH_FAST=1 — so CTest can smoke-run every bench binary and
+ * catch bench rot without paying for the full paper sweeps.
+ */
+inline void
+initBench(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            setenv("MAXK_BENCH_FAST", "1", 1);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--smoke]\n  --smoke  tiny sweeps "
+                        "(same as MAXK_BENCH_FAST=1 in the env)\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+/** In fast mode keep only the first `keep` entries of a sweep. */
+template <class T>
+void
+smokeShrink(std::vector<T> &v, std::size_t keep = 1)
+{
+    if (fastMode() && v.size() > keep)
+        v.resize(keep);
+}
+
 /** Print a section banner matching the other bench binaries. */
 inline void
 banner(const std::string &title)

@@ -17,8 +17,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Extension: partition-parallel training (BNS-GCN "
                   "deployment) with MaxK-GNN");
 

@@ -20,8 +20,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Extension (Sec. 6): MaxK-sparsified Transformer FFN "
                   "second GEMM");
 

@@ -54,8 +54,9 @@ runCurve(TrainingTask task, nn::Nonlinearity nonlin,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Fig. 10: convergence on ogbn-products — ReLU "
                   "baseline vs MaxK-GNN (k = 64, 32, 8)");
 

@@ -15,8 +15,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Fig. 1: GraphSAGE training time breakdown on "
                   "ogbn-proteins (ReLU baseline)");
 

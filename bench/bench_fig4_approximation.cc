@@ -15,8 +15,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Fig. 4: MLP universal approximation of y = x^2 "
                   "(MaxK vs ReLU)");
 

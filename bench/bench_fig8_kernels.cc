@@ -97,8 +97,9 @@ printSeries(const char *title, const std::vector<GraphResult> &results,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Fig. 8: SpGEMM / SSpMM kernel speedup over SpMM "
                   "baselines (dim_origin = 256)");
 

@@ -46,8 +46,9 @@ archFor(const std::string &name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Fig. 9: MaxK-GNN system training speedup vs k "
                   "(Table 3 architectures)");
     std::printf("Table 3 setup: layers/hidden = Flickr 3/256, Yelp "
@@ -57,11 +58,15 @@ main()
     const auto ks = bench::fastMode()
                         ? std::vector<std::uint32_t>{8, 32, 128}
                         : bench::paperKSweep();
-    const auto models = {nn::GnnKind::Sage, nn::GnnKind::Gcn,
-                         nn::GnnKind::Gin};
+    std::vector<nn::GnnKind> models = {nn::GnnKind::Sage,
+                                       nn::GnnKind::Gcn,
+                                       nn::GnnKind::Gin};
+    bench::smokeShrink(models);
+    std::vector<TrainingTask> tasks = trainingSuite();
+    bench::smokeShrink(tasks);
 
     Stopwatch watch;
-    for (const auto &task : trainingSuite()) {
+    for (const auto &task : tasks) {
         const ArchSetup arch = archFor(task.info.name);
         bench::TwinBundle twin = bench::makeTwin(
             task.info, static_cast<std::uint32_t>(arch.hidden),

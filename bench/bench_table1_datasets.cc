@@ -14,8 +14,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Table 1: graph datasets — paper sizes vs synthetic "
                   "twins");
 

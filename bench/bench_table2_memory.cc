@@ -20,8 +20,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Table 2: memory-system profiling on Reddit "
                   "(dim_org = 256, dim_k = 32)");
 

@@ -19,8 +19,9 @@
 using namespace maxk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Table 4: MaxK nonlinearity kernel profiling on "
                   "Reddit (dim_org = 256, dim_k = 32)");
 

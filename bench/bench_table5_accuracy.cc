@@ -65,8 +65,9 @@ trainOnce(const TrainingTask &task, TrainingData data, nn::GnnKind kind,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::banner("Table 5: MaxK-GNN accuracy & speedup vs ReLU "
                   "baseline (DGL/cuSPARSE and GNNAdvisor)");
     std::printf("Accuracy: SBM twin, hidden %zu, k scaled by "
@@ -76,10 +77,14 @@ main()
                 kAccuracyHidden);
 
     Stopwatch watch;
-    const auto models = {nn::GnnKind::Sage, nn::GnnKind::Gcn,
-                         nn::GnnKind::Gin};
+    std::vector<nn::GnnKind> models = {nn::GnnKind::Sage,
+                                       nn::GnnKind::Gcn,
+                                       nn::GnnKind::Gin};
+    bench::smokeShrink(models);
+    std::vector<TrainingTask> tasks = trainingSuite();
+    bench::smokeShrink(tasks);
 
-    for (const auto &task : trainingSuite()) {
+    for (const auto &task : tasks) {
         const auto [k_hi, k_lo] = paperKs(task.info.name);
         bench::TwinBundle twin =
             bench::makeTwin(task.info, 256, Aggregator::SageMean);

@@ -1,7 +1,7 @@
 #include "gpusim/cache.hh"
 
 #include <algorithm>
-#include <bit>
+#include <bit> // std::has_single_bit / countr_zero / bit_floor (C++20)
 
 #include "common/logging.hh"
 

@@ -1,0 +1,89 @@
+#include "support/fixtures.hh"
+
+#include <bit>
+
+#include "tensor/init.hh"
+
+namespace maxk::test
+{
+
+std::string
+graphShapeName(GraphShape shape)
+{
+    switch (shape) {
+    case GraphShape::ErdosRenyi: return "ErdosRenyi";
+    case GraphShape::PowerLaw: return "PowerLaw";
+    case GraphShape::Star: return "Star";
+    case GraphShape::Ring: return "Ring";
+    case GraphShape::Community: return "Community";
+    }
+    return "Unknown";
+}
+
+CsrGraph
+makeGraph(GraphShape shape, NodeId num_nodes, EdgeId num_edges, Rng &rng,
+          Aggregator agg)
+{
+    CsrGraph g;
+    switch (shape) {
+    case GraphShape::ErdosRenyi:
+        g = erdosRenyi(num_nodes, num_edges, rng);
+        break;
+    case GraphShape::PowerLaw: {
+        const std::uint32_t scale =
+            std::bit_width(std::bit_ceil(std::uint64_t(num_nodes))) - 1;
+        g = rmat(scale, num_edges, rng);
+        break;
+    }
+    case GraphShape::Star:
+        g = star(num_nodes);
+        break;
+    case GraphShape::Ring:
+        g = ringLattice(num_nodes, 4);
+        break;
+    case GraphShape::Community: {
+        const double avg_degree =
+            static_cast<double>(num_edges) / num_nodes;
+        g = stochasticBlockModel(num_nodes, 4, avg_degree, 0.8, rng)
+                .graph;
+        break;
+    }
+    }
+    g.setAggregatorWeights(agg);
+    return g;
+}
+
+CsrGraph
+makeGraph(GraphShape shape, NodeId num_nodes, EdgeId num_edges,
+          std::uint64_t seed, Aggregator agg)
+{
+    Rng rng(seed);
+    return makeGraph(shape, num_nodes, num_edges, rng, agg);
+}
+
+SpmmFixture::SpmmFixture(NodeId num_nodes, EdgeId num_edges,
+                         std::size_t dim, std::uint64_t seed,
+                         Aggregator agg, GraphShape shape)
+{
+    Rng rng(seed);
+    g = makeGraph(shape, num_nodes, num_edges, rng, agg);
+    x.resize(g.numNodes(), dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    opt.simulateCaches = false;
+}
+
+MaxKFixture::MaxKFixture(NodeId num_nodes, EdgeId num_edges,
+                         std::uint32_t dim, std::uint32_t k,
+                         std::uint64_t seed, Aggregator agg,
+                         GraphShape shape, std::uint32_t workload_cap)
+{
+    Rng rng(seed);
+    g = makeGraph(shape, num_nodes, num_edges, rng, agg);
+    part = EdgeGroupPartition::build(g, workload_cap);
+    x.resize(g.numNodes(), dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    opt.simulateCaches = false;
+    mk = maxkCompress(x, k, opt);
+}
+
+} // namespace maxk::test

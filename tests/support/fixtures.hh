@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared graph/feature fixtures for the test suites. Before this library
+ * existed every suite re-implemented a `Fixture` struct that drew an
+ * Erdős–Rényi (or RMAT) graph, attached aggregator weights, filled a
+ * feature matrix, and disabled cache simulation; the variants here cover
+ * all of those uses plus named graph shapes for parameterised sweeps.
+ */
+
+#ifndef MAXK_TESTS_SUPPORT_FIXTURES_HH
+#define MAXK_TESTS_SUPPORT_FIXTURES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "graph/edge_groups.hh"
+#include "graph/generators.hh"
+#include "kernels/sim_options.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk::test
+{
+
+/** Named graph families the suites sweep over. */
+enum class GraphShape
+{
+    ErdosRenyi, //!< uniform random (the default unit-test graph)
+    PowerLaw,   //!< RMAT twin of the paper's skewed datasets
+    Star,       //!< extreme imbalance: one hub row
+    Ring,       //!< k-regular lattice: perfectly balanced rows
+    Community,  //!< stochastic block model (learnable labels)
+};
+
+/** Human-readable shape name (test parameter labels). */
+std::string graphShapeName(GraphShape shape);
+
+/**
+ * Materialise a graph of the given shape with roughly `num_nodes` nodes
+ * and `num_edges` nnz, aggregator weights attached. RMAT rounds the node
+ * count up to a power of two; Star/Ring ignore `num_edges`.
+ */
+CsrGraph makeGraph(GraphShape shape, NodeId num_nodes, EdgeId num_edges,
+                   Rng &rng, Aggregator agg = Aggregator::SageMean);
+
+/** Seeded convenience overload (suites that don't keep an Rng). */
+CsrGraph makeGraph(GraphShape shape, NodeId num_nodes, EdgeId num_edges,
+                   std::uint64_t seed,
+                   Aggregator agg = Aggregator::SageMean);
+
+/**
+ * Graph + dense feature matrix + no-cache SimOptions: the fixture most
+ * kernel suites used to re-implement locally.
+ */
+struct SpmmFixture
+{
+    CsrGraph g;
+    Matrix x;
+    SimOptions opt;
+
+    SpmmFixture(NodeId num_nodes, EdgeId num_edges, std::size_t dim,
+                std::uint64_t seed, Aggregator agg = Aggregator::SageMean,
+                GraphShape shape = GraphShape::ErdosRenyi);
+};
+
+/**
+ * SpmmFixture plus the Edge-Group partition and a MaxK-compressed copy
+ * of the features: everything the SpGEMM/SSpMM suites need.
+ */
+struct MaxKFixture
+{
+    CsrGraph g;
+    EdgeGroupPartition part;
+    Matrix x;
+    MaxKResult mk;
+    SimOptions opt;
+
+    MaxKFixture(NodeId num_nodes, EdgeId num_edges, std::uint32_t dim,
+                std::uint32_t k, std::uint64_t seed,
+                Aggregator agg = Aggregator::SageMean,
+                GraphShape shape = GraphShape::ErdosRenyi,
+                std::uint32_t workload_cap = 32);
+};
+
+} // namespace maxk::test
+
+#endif // MAXK_TESTS_SUPPORT_FIXTURES_HH

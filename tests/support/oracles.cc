@@ -1,0 +1,51 @@
+#include "support/oracles.hh"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "kernels/spmm_ref.hh"
+
+namespace maxk::test
+{
+
+std::multiset<Float>
+topKOracle(const Float *row, std::uint32_t n, std::uint32_t k)
+{
+    std::vector<Float> v(row, row + n);
+    std::sort(v.begin(), v.end(), std::greater<Float>());
+    return std::multiset<Float>(v.begin(), v.begin() + k);
+}
+
+std::vector<std::uint32_t>
+topKIndicesOracle(const Float *row, std::uint32_t n, std::uint32_t k)
+{
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    // Stable sort by descending value keeps earlier columns ahead on
+    // ties, matching pivotSelect's deterministic tie-break.
+    std::stable_sort(order.begin(), order.end(),
+                     [row](std::uint32_t a, std::uint32_t b) {
+                         return row[a] > row[b];
+                     });
+    std::vector<std::uint32_t> top(order.begin(), order.begin() + k);
+    std::sort(top.begin(), top.end());
+    return top;
+}
+
+void
+spgemmOracle(const CsrGraph &g, const CbsrMatrix &h, Matrix &y)
+{
+    Matrix dense;
+    h.decompress(dense);
+    spmmReference(g, dense, y);
+}
+
+void
+sspmmOracle(const CsrGraph &g, const Matrix &dxl, Matrix &dense)
+{
+    spmmTransposedReference(g, dxl, dense);
+}
+
+} // namespace maxk::test

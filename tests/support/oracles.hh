@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Golden oracles shared by the suites: the sort-based top-k reference the
+ * MaxK tests compare pivot selection against, and dense aggregation
+ * oracles (built on the double-precision `spmmReference` loops) for the
+ * SpGEMM-forward / SSpMM-backward kernel pair.
+ */
+
+#ifndef MAXK_TESTS_SUPPORT_ORACLES_HH
+#define MAXK_TESTS_SUPPORT_ORACLES_HH
+
+#include <cstdint>
+#include <set>
+
+#include "core/cbsr.hh"
+#include "graph/csr.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk::test
+{
+
+/** The k largest values of row[0..n) as a multiset (sort-based). */
+std::multiset<Float> topKOracle(const Float *row, std::uint32_t n,
+                                std::uint32_t k);
+
+/** Ascending positions of the k largest values, ties broken by column
+ *  order — the exact contract of `pivotSelect`. */
+std::vector<std::uint32_t> topKIndicesOracle(const Float *row,
+                                             std::uint32_t n,
+                                             std::uint32_t k);
+
+/** Dense oracle for the forward SpGEMM: y = A * decompress(h). */
+void spgemmOracle(const CsrGraph &g, const CbsrMatrix &h, Matrix &y);
+
+/** Dense oracle for the backward SSpMM: the full A^T * dxl matrix, to be
+ *  gathered at the CBSR pattern by the caller's comparator. */
+void sspmmOracle(const CsrGraph &g, const Matrix &dxl, Matrix &dense);
+
+} // namespace maxk::test
+
+#endif // MAXK_TESTS_SUPPORT_ORACLES_HH

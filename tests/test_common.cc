@@ -222,9 +222,11 @@ TEST(LoggingDeathTest, CheckInvariantAbortsOnFalse)
 TEST(Stopwatch, MeasuresNonNegativeTime)
 {
     Stopwatch w;
+    // Plain assignment: compound assignment on a volatile operand is
+    // deprecated in C++20 (gcc 12 warns under -Werror).
     volatile double sink = 0.0;
     for (int i = 0; i < 100000; ++i)
-        sink += i;
+        sink = sink + i;
     EXPECT_GE(w.seconds(), 0.0);
     EXPECT_GE(w.milliseconds(), w.seconds() * 1e3 - 1e-9);
 }

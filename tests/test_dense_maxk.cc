@@ -11,6 +11,7 @@
 #include "core/dense_maxk.hh"
 #include "core/maxk.hh"
 #include "nn/gnn_layer.hh"
+#include "support/comparators.hh"
 #include "tensor/init.hh"
 #include "tensor/ops.hh"
 
@@ -46,7 +47,7 @@ TEST(CbsrGemm, MatchesDenseOracle)
     cbsrGemm(f.h, f.w, y, f.opt);
     f.h.decompress(dense);
     gemm(dense, f.w, y_ref);
-    EXPECT_TRUE(y.approxEquals(y_ref, 1e-3f));
+    EXPECT_TRUE(test::matricesNear(y, y_ref, 1e-3f));
 }
 
 TEST(CbsrGemm, FlopsScaleWithKNotDff)
@@ -106,7 +107,7 @@ TEST(CbsrGemmBackward, WeightGradientMatchesDenseOracle)
     Matrix dense, dw_ref;
     f.h.decompress(dense);
     gemmTransA(dense, dy, dw_ref);
-    EXPECT_TRUE(dw.approxEquals(dw_ref, 1e-3f));
+    EXPECT_TRUE(test::matricesNear(dw, dw_ref, 1e-3f));
 }
 
 TEST(CbsrGemmBackward, WeightGradientAccumulates)

@@ -10,6 +10,7 @@
 #include "common/rng.hh"
 #include "graph/edge_groups.hh"
 #include "graph/generators.hh"
+#include "support/fixtures.hh"
 
 namespace maxk
 {
@@ -19,7 +20,7 @@ namespace
 TEST(EdgeGroups, CoversEveryEdgeExactlyOnce)
 {
     Rng rng(1);
-    const CsrGraph g = erdosRenyi(200, 2000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 200, 2000, rng);
     const auto part = EdgeGroupPartition::build(g, 32);
     EXPECT_TRUE(part.covers(g));
 }
@@ -27,7 +28,7 @@ TEST(EdgeGroups, CoversEveryEdgeExactlyOnce)
 TEST(EdgeGroups, RespectsWorkloadCap)
 {
     Rng rng(2);
-    const CsrGraph g = rmat(10, 30000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::PowerLaw, 1024, 30000, rng);
     const auto part = EdgeGroupPartition::build(g, 16);
     for (const EdgeGroup &eg : part.groups()) {
         EXPECT_GT(eg.end, eg.begin);
@@ -72,7 +73,7 @@ TEST(EdgeGroups, EgsPerWarpFollowsPaperCases)
 TEST(EdgeGroups, WarpCountScalesWithPacking)
 {
     Rng rng(3);
-    const CsrGraph g = erdosRenyi(100, 1000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 100, 1000, rng);
     const auto part = EdgeGroupPartition::build(g, 32);
     const std::uint64_t groups = part.groups().size();
     EXPECT_EQ(part.warpCount(32), groups);
@@ -83,7 +84,7 @@ TEST(EdgeGroups, WarpCountScalesWithPacking)
 TEST(EdgeGroups, BalancesPowerLawGraphs)
 {
     Rng rng(4);
-    const CsrGraph g = rmat(12, 150000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::PowerLaw, 4096, 150000, rng);
     const auto part = EdgeGroupPartition::build(g, 32);
     // Capped EGs keep warp load within a small constant of the mean even
     // on heavy-tailed inputs — the property the paper's partitioner
@@ -101,8 +102,8 @@ TEST(EdgeGroups, ImbalanceOfUniformGraphIsNearOne)
 TEST(EdgeGroups, CoverDetectsForeignPartition)
 {
     Rng rng(5);
-    const CsrGraph g1 = erdosRenyi(50, 200, rng);
-    const CsrGraph g2 = erdosRenyi(50, 210, rng);
+    const CsrGraph g1 = test::makeGraph(test::GraphShape::ErdosRenyi, 50, 200, rng);
+    const CsrGraph g2 = test::makeGraph(test::GraphShape::ErdosRenyi, 50, 210, rng);
     const auto part = EdgeGroupPartition::build(g1, 16);
     EXPECT_TRUE(part.covers(g1));
     EXPECT_FALSE(part.covers(g2));
@@ -122,7 +123,7 @@ class EdgeGroupsPropertyTest
 TEST_P(EdgeGroupsPropertyTest, CoverageHoldsForAnyCap)
 {
     Rng rng(100 + GetParam());
-    const CsrGraph g = rmat(9, 12000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::PowerLaw, 512, 12000, rng);
     const auto part = EdgeGroupPartition::build(g, GetParam());
     EXPECT_TRUE(part.covers(g));
     // Total edges across groups equals nnz.

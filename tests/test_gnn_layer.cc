@@ -14,6 +14,8 @@
 #include "graph/generators.hh"
 #include "kernels/spmm_ref.hh"
 #include "nn/gnn_layer.hh"
+#include "support/comparators.hh"
+#include "support/fixtures.hh"
 #include "tensor/init.hh"
 #include "tensor/ops.hh"
 
@@ -31,8 +33,8 @@ struct Fixture
     explicit Fixture(GnnKind kind, NodeId n = 30, std::size_t dim = 8)
     {
         Rng gen(21);
-        g = erdosRenyi(n, n * 3, gen);
-        g.setAggregatorWeights(aggregatorFor(kind));
+        g = maxk::test::makeGraph(maxk::test::GraphShape::ErdosRenyi, n,
+                                  n * 3, gen, aggregatorFor(kind));
         x.resize(n, dim);
         fillNormal(x, gen, 0.0f, 1.0f);
     }
@@ -69,7 +71,7 @@ TEST(GnnLayer, GcnReluForwardMatchesReference)
     reluForward(y, h);
     Matrix expect;
     spmmReference(f.g, h, expect);
-    EXPECT_TRUE(out.approxEquals(expect, 1e-4f));
+    EXPECT_TRUE(maxk::test::matricesNear(out, expect, 1e-4f));
 }
 
 TEST(GnnLayer, GcnMaxkForwardMatchesReference)
@@ -90,7 +92,7 @@ TEST(GnnLayer, GcnMaxkForwardMatchesReference)
     maxkDense(y, 3, h);
     Matrix expect;
     spmmReference(f.g, h, expect);
-    EXPECT_TRUE(out.approxEquals(expect, 1e-4f));
+    EXPECT_TRUE(maxk::test::matricesNear(out, expect, 1e-4f));
 }
 
 TEST(GnnLayer, SageAddsSelfPath)
@@ -116,7 +118,7 @@ TEST(GnnLayer, SageAddsSelfPath)
     gemm(f.x, params[2]->value, self);
     addRowVector(self, params[3]->value);
     addInPlace(agg, self);
-    EXPECT_TRUE(out.approxEquals(agg, 1e-4f));
+    EXPECT_TRUE(maxk::test::matricesNear(out, agg, 1e-4f));
 }
 
 TEST(GnnLayer, GinAddsEpsScaledActivation)
@@ -139,7 +141,7 @@ TEST(GnnLayer, GinAddsEpsScaledActivation)
     Matrix expect;
     spmmReference(f.g, h, expect);
     axpy(expect, 1.25f, h);
-    EXPECT_TRUE(out.approxEquals(expect, 1e-4f));
+    EXPECT_TRUE(maxk::test::matricesNear(out, expect, 1e-4f));
 }
 
 TEST(GnnLayer, GinMaxkDirectPathUsesSparseActivation)
@@ -162,7 +164,7 @@ TEST(GnnLayer, GinMaxkDirectPathUsesSparseActivation)
     Matrix expect;
     spmmReference(f.g, h, expect);
     axpy(expect, 1.5f, h);
-    EXPECT_TRUE(out.approxEquals(expect, 1e-4f));
+    EXPECT_TRUE(maxk::test::matricesNear(out, expect, 1e-4f));
 }
 
 TEST(GnnLayer, LastLayerSkipsNonlinearityForBothVariants)
@@ -180,7 +182,7 @@ TEST(GnnLayer, LastLayerSkipsNonlinearityForBothVariants)
     relu_layer.forward(f.g, f.x, out_relu, false, f.rng);
     maxk_layer.forward(f.g, f.x, out_maxk, false, f.rng);
     // Same seed -> same weights -> identical dense last-layer outputs.
-    EXPECT_TRUE(out_relu.approxEquals(out_maxk, 1e-6f));
+    EXPECT_TRUE(maxk::test::matricesNear(out_relu, out_maxk, 1e-6f));
 }
 
 TEST(GnnLayer, EffectiveKClampedToWidth)

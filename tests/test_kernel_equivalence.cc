@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Cross-kernel equivalence harness. The paper's central functional claim
+ * is that MaxK sparsity changes the *cost* of aggregation, never its
+ * *result*: every SpMM variant must compute the same Y = A * X, the
+ * CBSR SpGEMM forward must equal dense aggregation of the decompressed
+ * activations, and the SSpMM backward must be the pattern-gather of the
+ * dense transposed aggregation. This suite sweeps all of those pairwise
+ * agreements across graph shapes × feature dims × k values, instead of
+ * the single-kernel spot checks the per-kernel suites perform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "core/spgemm_forward.hh"
+#include "core/sspmm_backward.hh"
+#include "graph/edge_groups.hh"
+#include "kernels/spmm_gnna.hh"
+#include "kernels/spmm_outer_naive.hh"
+#include "kernels/spmm_ref.hh"
+#include "kernels/spmm_row_wise.hh"
+#include "nn/gnn_layer.hh"
+#include "support/comparators.hh"
+#include "support/fixtures.hh"
+#include "support/oracles.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+using test::GraphShape;
+
+constexpr Float kTol = 1e-3f;
+
+/** (graph shape, feature dim, k). */
+using SweepParam = std::tuple<GraphShape, std::uint32_t, std::uint32_t>;
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    const auto [shape, dim, k] = info.param;
+    return test::graphShapeName(shape) + "_dim" + std::to_string(dim) +
+           "_k" + std::to_string(k);
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto [shape, dim, k] = GetParam();
+        const std::uint64_t seed =
+            1000 + static_cast<std::uint64_t>(shape) * 100 + dim * 7 + k;
+        Rng rng(seed);
+        g_ = test::makeGraph(shape, 128, 1100, rng);
+        part_ = EdgeGroupPartition::build(g_, 16);
+        x_.resize(g_.numNodes(), dim);
+        fillNormal(x_, rng, 0.0f, 1.0f);
+        opt_.simulateCaches = false;
+        k_ = k;
+    }
+
+    CsrGraph g_;
+    EdgeGroupPartition part_;
+    Matrix x_;
+    SimOptions opt_;
+    std::uint32_t k_ = 0;
+};
+
+/** All forward SpMM variants agree pairwise on dense inputs. */
+TEST_P(KernelEquivalence, DenseSpmmVariantsAgreePairwise)
+{
+    Matrix y_ref, y_row, y_gnna;
+    spmmReference(g_, x_, y_ref);
+    spmmRowWise(g_, x_, y_row, opt_);
+    spmmGnna(g_, part_, x_, y_gnna, opt_);
+
+    EXPECT_TRUE(test::matricesNear(y_row, y_ref, kTol));
+    EXPECT_TRUE(test::matricesNear(y_gnna, y_ref, kTol));
+    EXPECT_TRUE(test::matricesNear(y_row, y_gnna, kTol));
+}
+
+/** The outer-product kernel computes A^T X: it must agree both with the
+ *  transposed reference and with the row-wise kernel run on an
+ *  explicitly transposed graph. */
+TEST_P(KernelEquivalence, OuterProductMatchesBothTransposePaths)
+{
+    Matrix y_outer, y_t, y_row_t;
+    spmmOuterNaive(g_, x_, y_outer, opt_);
+    spmmTransposedReference(g_, x_, y_t);
+    const CsrGraph gt = g_.transposed();
+    spmmRowWise(gt, x_, y_row_t, opt_);
+
+    EXPECT_TRUE(test::matricesNear(y_outer, y_t, kTol));
+    EXPECT_TRUE(test::matricesNear(y_outer, y_row_t, kTol));
+}
+
+/** SpGEMM forward equals every dense kernel applied to decompress(h). */
+TEST_P(KernelEquivalence, SpgemmForwardMatchesAllDenseKernels)
+{
+    const MaxKResult mk = maxkCompress(x_, k_, opt_);
+    Matrix y, y_oracle, dense, y_row, y_fast;
+    spgemmForward(g_, part_, mk.cbsr, y, opt_);
+
+    test::spgemmOracle(g_, mk.cbsr, y_oracle);
+    EXPECT_TRUE(test::matricesNear(y, y_oracle, kTol));
+
+    mk.cbsr.decompress(dense);
+    spmmRowWise(g_, dense, y_row, opt_);
+    EXPECT_TRUE(test::matricesNear(y, y_row, kTol));
+
+    nn::aggregateCbsr(g_, mk.cbsr, y_fast);
+    EXPECT_TRUE(test::matricesNear(y, y_fast, kTol));
+}
+
+/** SSpMM backward equals the pattern-gather of both A^T-aggregation
+ *  paths (the dense transposed reference and the outer-product kernel). */
+TEST_P(KernelEquivalence, SspmmBackwardMatchesTransposedKernels)
+{
+    const MaxKResult mk = maxkCompress(x_, k_, opt_);
+    Rng grad_rng(77);
+    Matrix dxl(g_.numNodes(), x_.cols());
+    fillNormal(dxl, grad_rng, 0.0f, 1.0f);
+
+    CbsrMatrix dxs;
+    dxs.adoptPattern(mk.cbsr);
+    sspmmBackward(g_, part_, dxl, dxs, opt_);
+
+    Matrix dense_t;
+    test::sspmmOracle(g_, dxl, dense_t);
+    EXPECT_TRUE(test::cbsrMatchesDenseGather(dxs, dense_t, kTol));
+
+    Matrix y_outer;
+    spmmOuterNaive(g_, dxl, y_outer, opt_);
+    EXPECT_TRUE(test::cbsrMatchesDenseGather(dxs, y_outer, kTol));
+}
+
+/** Gradient-mask consistency: the backward CBSR inherits the forward
+ *  pattern exactly, and that pattern is the dense MaxK backward mask. */
+TEST_P(KernelEquivalence, GradientMaskConsistentWithForwardPattern)
+{
+    const MaxKResult mk = maxkCompress(x_, k_, opt_);
+
+    CbsrMatrix dxs;
+    dxs.adoptPattern(mk.cbsr);
+    ASSERT_TRUE(test::cbsrSamePattern(dxs, mk.cbsr));
+
+    Matrix ones(x_.rows(), x_.cols(), 1.0f);
+    Matrix mask;
+    maxkBackwardDense(x_, k_, ones, mask);
+    for (NodeId r = 0; r < mk.cbsr.rows(); ++r) {
+        std::set<std::uint32_t> live;
+        for (std::uint32_t c = 0; c < x_.cols(); ++c)
+            if (mask.at(r, c) != 0.0f)
+                live.insert(c);
+        std::set<std::uint32_t> pattern;
+        for (std::uint32_t kk = 0; kk < mk.cbsr.dimK(); ++kk)
+            pattern.insert(mk.cbsr.indexAt(r, kk));
+        ASSERT_EQ(live, pattern) << "row " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeDimK, KernelEquivalence,
+    ::testing::Combine(::testing::Values(GraphShape::ErdosRenyi,
+                                         GraphShape::PowerLaw,
+                                         GraphShape::Star),
+                       ::testing::Values(16u, 33u, 64u),
+                       ::testing::Values(4u, 8u, 16u)),
+    sweepName);
+
+/** Aggregator weights must not break any equivalence: repeat the core
+ *  agreements under GCN and GIN weighting on the power-law twin. */
+class AggregatorEquivalence
+    : public ::testing::TestWithParam<Aggregator>
+{
+};
+
+TEST_P(AggregatorEquivalence, AllKernelsAgreeUnderWeighting)
+{
+    Rng rng(4242);
+    CsrGraph g =
+        test::makeGraph(GraphShape::PowerLaw, 128, 1500, rng, GetParam());
+    const auto part = EdgeGroupPartition::build(g, 32);
+    Matrix x(g.numNodes(), 48);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    SimOptions opt;
+    opt.simulateCaches = false;
+
+    Matrix y_ref, y_row, y_gnna;
+    spmmReference(g, x, y_ref);
+    spmmRowWise(g, x, y_row, opt);
+    spmmGnna(g, part, x, y_gnna, opt);
+    EXPECT_TRUE(test::matricesNear(y_row, y_ref, kTol));
+    EXPECT_TRUE(test::matricesNear(y_gnna, y_ref, kTol));
+
+    const MaxKResult mk = maxkCompress(x, 12, opt);
+    Matrix y, y_oracle;
+    spgemmForward(g, part, mk.cbsr, y, opt);
+    test::spgemmOracle(g, mk.cbsr, y_oracle);
+    EXPECT_TRUE(test::matricesNear(y, y_oracle, kTol));
+
+    CbsrMatrix dxs;
+    dxs.adoptPattern(mk.cbsr);
+    sspmmBackward(g, part, x, dxs, opt);
+    Matrix dense_t;
+    test::sspmmOracle(g, x, dense_t);
+    EXPECT_TRUE(test::cbsrMatchesDenseGather(dxs, dense_t, kTol));
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, AggregatorEquivalence,
+                         ::testing::Values(Aggregator::SageMean,
+                                           Aggregator::Gcn,
+                                           Aggregator::Gin));
+
+} // namespace
+} // namespace maxk

@@ -16,6 +16,8 @@
 #include "kernels/spmm_outer_naive.hh"
 #include "kernels/spmm_ref.hh"
 #include "kernels/spmm_row_wise.hh"
+#include "support/comparators.hh"
+#include "support/fixtures.hh"
 #include "tensor/init.hh"
 
 namespace maxk
@@ -23,23 +25,8 @@ namespace maxk
 namespace
 {
 
-struct Fixture
-{
-    CsrGraph g;
-    Matrix x;
-    SimOptions opt;
-
-    Fixture(NodeId n, EdgeId edges, std::size_t dim, std::uint64_t seed,
-            Aggregator agg = Aggregator::SageMean)
-    {
-        Rng rng(seed);
-        g = erdosRenyi(n, edges, rng);
-        g.setAggregatorWeights(agg);
-        x.resize(n, dim);
-        fillNormal(x, rng, 0.0f, 1.0f);
-        opt.simulateCaches = false;
-    }
-};
+using Fixture = test::SpmmFixture;
+using test::matricesNear;
 
 TEST(SpmmRowWise, MatchesReference)
 {
@@ -47,7 +34,7 @@ TEST(SpmmRowWise, MatchesReference)
     Matrix y, y_ref;
     spmmRowWise(f.g, f.x, y, f.opt);
     spmmReference(f.g, f.x, y_ref);
-    EXPECT_TRUE(y.approxEquals(y_ref, 1e-4f));
+    EXPECT_TRUE(matricesNear(y, y_ref, 1e-4f));
 }
 
 TEST(SpmmRowWise, HandlesEmptyRows)
@@ -102,7 +89,7 @@ TEST(SpmmGnna, MatchesReference)
     Matrix y, y_ref;
     spmmGnna(f.g, part, f.x, y, f.opt);
     spmmReference(f.g, f.x, y_ref);
-    EXPECT_TRUE(y.approxEquals(y_ref, 1e-4f));
+    EXPECT_TRUE(matricesNear(y, y_ref, 1e-4f));
 }
 
 TEST(SpmmGnna, SlowerThanCuSparseModel)
@@ -134,7 +121,7 @@ TEST(SpmmOuterNaive, MatchesTransposedReference)
     Matrix y, y_ref;
     spmmOuterNaive(f.g, f.x, y, f.opt);
     spmmTransposedReference(f.g, f.x, y_ref);
-    EXPECT_TRUE(y.approxEquals(y_ref, 1e-4f));
+    EXPECT_TRUE(matricesNear(y, y_ref, 1e-4f));
 }
 
 TEST(SpmmOuterNaive, EqualsExplicitTransposeSpmm)
@@ -144,7 +131,7 @@ TEST(SpmmOuterNaive, EqualsExplicitTransposeSpmm)
     spmmOuterNaive(f.g, f.x, y_outer, f.opt);
     const CsrGraph gt = f.g.transposed();
     spmmReference(gt, f.x, y_t);
-    EXPECT_TRUE(y_outer.approxEquals(y_t, 1e-4f));
+    EXPECT_TRUE(matricesNear(y_outer, y_t, 1e-4f));
 }
 
 TEST(SpmmOuterNaive, WriteTrafficMatchesFormula)
@@ -219,8 +206,8 @@ TEST_P(SpmmEquivalenceSweep, AllBaselinesAgreeWithReference)
     spmmRowWise(f.g, f.x, y_row, f.opt);
     spmmGnna(f.g, part, f.x, y_gnna, f.opt);
     spmmReference(f.g, f.x, y_ref);
-    EXPECT_TRUE(y_row.approxEquals(y_ref, 1e-3f));
-    EXPECT_TRUE(y_gnna.approxEquals(y_ref, 1e-3f));
+    EXPECT_TRUE(matricesNear(y_row, y_ref, 1e-3f));
+    EXPECT_TRUE(matricesNear(y_gnna, y_ref, 1e-3f));
 }
 
 INSTANTIATE_TEST_SUITE_P(DimSweep, SpmmEquivalenceSweep,

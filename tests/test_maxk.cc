@@ -12,6 +12,7 @@
 
 #include "common/rng.hh"
 #include "core/maxk.hh"
+#include "support/oracles.hh"
 #include "tensor/init.hh"
 
 namespace maxk
@@ -19,14 +20,8 @@ namespace maxk
 namespace
 {
 
-/** Oracle: the k largest values of the row (multiset). */
-std::multiset<Float>
-topKOracle(const Float *row, std::uint32_t n, std::uint32_t k)
-{
-    std::vector<Float> v(row, row + n);
-    std::sort(v.begin(), v.end(), std::greater<Float>());
-    return std::multiset<Float>(v.begin(), v.begin() + k);
-}
+using test::topKIndicesOracle;
+using test::topKOracle;
 
 TEST(PivotSelect, SelectsExactlyKDistinctValues)
 {
@@ -134,10 +129,8 @@ TEST_P(PivotSelectSweep, MatchesOracleOnRandomRows)
     for (std::size_t r = 0; r < x.rows(); ++r) {
         pivotSelect(x.row(r), 128, k, sel);
         ASSERT_EQ(sel.size(), k);
-        std::multiset<Float> got;
-        for (auto idx : sel)
-            got.insert(x.row(r)[idx]);
-        ASSERT_EQ(got, topKOracle(x.row(r), 128, k));
+        // Exact positions, including the ascending-column tie-break.
+        ASSERT_EQ(sel, topKIndicesOracle(x.row(r), 128, k));
     }
 }
 
@@ -261,8 +254,9 @@ TEST(MaxKBackward, SparsityMatchesForwardExactly)
     for (std::size_t i = 0; i < out.size(); ++i) {
         const bool fwd_live = out.data()[i] != 0.0f || x.data()[i] == 0.0f;
         const bool bwd_live = gin.data()[i] != 0.0f;
-        if (bwd_live)
+        if (bwd_live) {
             ASSERT_TRUE(fwd_live);
+        }
     }
 }
 

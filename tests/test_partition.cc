@@ -11,6 +11,7 @@
 
 #include "common/rng.hh"
 #include "graph/generators.hh"
+#include "support/fixtures.hh"
 #include "graph/partition.hh"
 #include "graph/registry.hh"
 #include "nn/trainer.hh"
@@ -23,7 +24,7 @@ namespace
 TEST(Partition, AssignsEveryNode)
 {
     Rng rng(1);
-    const CsrGraph g = erdosRenyi(500, 3000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 500, 3000, rng);
     const Partition p = bfsPartition(g, 4, rng);
     ASSERT_EQ(p.assignment.size(), 500u);
     for (std::uint32_t a : p.assignment)
@@ -33,7 +34,7 @@ TEST(Partition, AssignsEveryNode)
 TEST(Partition, BalanceNearOne)
 {
     Rng rng(2);
-    const CsrGraph g = erdosRenyi(1000, 8000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 1000, 8000, rng);
     const Partition p = bfsPartition(g, 8, rng);
     EXPECT_LE(p.balance(1000), 1.15);
 }
@@ -41,7 +42,7 @@ TEST(Partition, BalanceNearOne)
 TEST(Partition, SinglePartHasNoCut)
 {
     Rng rng(3);
-    const CsrGraph g = erdosRenyi(100, 500, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 100, 500, rng);
     const Partition p = bfsPartition(g, 1, rng);
     EXPECT_DOUBLE_EQ(p.edgeCutFraction(g), 0.0);
     EXPECT_DOUBLE_EQ(p.balance(100), 1.0);
@@ -68,7 +69,7 @@ TEST(Partition, BfsCutBeatsRandomAssignmentOnCommunityGraph)
 TEST(Partition, MembersMatchAssignment)
 {
     Rng rng(5);
-    const CsrGraph g = erdosRenyi(200, 800, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 200, 800, rng);
     const Partition p = bfsPartition(g, 3, rng);
     std::size_t total = 0;
     for (std::uint32_t part = 0; part < 3; ++part) {
@@ -112,7 +113,7 @@ TEST(Subgraph, DeduplicatesRequestedNodes)
 TEST(Subgraph, RowsStaySorted)
 {
     Rng rng(6);
-    const CsrGraph g = erdosRenyi(300, 2500, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 300, 2500, rng);
     std::vector<NodeId> picks;
     for (NodeId v = 0; v < 300; v += 2)
         picks.push_back(299 - v); // descending order on purpose
@@ -123,7 +124,7 @@ TEST(Subgraph, RowsStaySorted)
 TEST(Sampling, FractionRoughlyHonoured)
 {
     Rng rng(7);
-    const CsrGraph g = erdosRenyi(4000, 20000, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 4000, 20000, rng);
     const SampledSubgraph s = sampleNodes(g, 0.25, rng);
     EXPECT_NEAR(static_cast<double>(s.graph.numNodes()) / 4000.0, 0.25,
                 0.04);
@@ -134,7 +135,7 @@ TEST(Sampling, FractionRoughlyHonoured)
 TEST(Sampling, FullFractionKeepsEverything)
 {
     Rng rng(8);
-    const CsrGraph g = erdosRenyi(100, 400, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 100, 400, rng);
     const SampledSubgraph s = sampleNodes(g, 1.0, rng);
     EXPECT_EQ(s.graph.numNodes(), g.numNodes());
     EXPECT_EQ(s.graph.numEdges(), g.numEdges());
@@ -143,7 +144,7 @@ TEST(Sampling, FullFractionKeepsEverything)
 TEST(SamplingDeathTest, RejectsZeroFraction)
 {
     Rng rng(9);
-    const CsrGraph g = erdosRenyi(10, 20, rng);
+    const CsrGraph g = test::makeGraph(test::GraphShape::ErdosRenyi, 10, 20, rng);
     EXPECT_DEATH(sampleNodes(g, 0.0, rng), "fraction");
 }
 

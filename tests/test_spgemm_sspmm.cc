@@ -21,6 +21,9 @@
 #include "kernels/spmm_ref.hh"
 #include "kernels/spmm_row_wise.hh"
 #include "nn/gnn_layer.hh"
+#include "support/comparators.hh"
+#include "support/fixtures.hh"
+#include "support/oracles.hh"
 #include "tensor/init.hh"
 
 namespace maxk
@@ -28,36 +31,17 @@ namespace maxk
 namespace
 {
 
-struct Fixture
-{
-    CsrGraph g;
-    EdgeGroupPartition part;
-    Matrix x;
-    MaxKResult mk;
-    SimOptions opt;
-
-    Fixture(NodeId n, EdgeId edges, std::uint32_t dim, std::uint32_t k,
-            std::uint64_t seed)
-    {
-        Rng rng(seed);
-        g = erdosRenyi(n, edges, rng);
-        g.setAggregatorWeights(Aggregator::SageMean);
-        part = EdgeGroupPartition::build(g, 32);
-        x.resize(n, dim);
-        fillNormal(x, rng, 0.0f, 1.0f);
-        opt.simulateCaches = false;
-        mk = maxkCompress(x, k, opt);
-    }
-};
+using Fixture = test::MaxKFixture;
+using test::cbsrMatchesDenseGather;
+using test::matricesNear;
 
 TEST(SpgemmForward, MatchesDenseOracle)
 {
     Fixture f(200, 1600, 64, 16, 1);
-    Matrix y, dense, y_ref;
+    Matrix y, y_ref;
     spgemmForward(f.g, f.part, f.mk.cbsr, y, f.opt);
-    f.mk.cbsr.decompress(dense);
-    spmmReference(f.g, dense, y_ref);
-    EXPECT_TRUE(y.approxEquals(y_ref, 1e-4f));
+    test::spgemmOracle(f.g, f.mk.cbsr, y_ref);
+    EXPECT_TRUE(matricesNear(y, y_ref, 1e-4f));
 }
 
 TEST(SpgemmForward, FastPathAgreesWithSimulatedKernel)
@@ -66,7 +50,7 @@ TEST(SpgemmForward, FastPathAgreesWithSimulatedKernel)
     Matrix y_sim, y_fast;
     spgemmForward(f.g, f.part, f.mk.cbsr, y_sim, f.opt);
     nn::aggregateCbsr(f.g, f.mk.cbsr, y_fast);
-    EXPECT_TRUE(y_sim.approxEquals(y_fast, 1e-5f));
+    EXPECT_TRUE(matricesNear(y_sim, y_fast, 1e-5f));
 }
 
 TEST(SpgemmForward, FeatureTrafficMatchesFormula)
@@ -145,12 +129,8 @@ TEST(SspmmBackward, MatchesGatheredDenseOracle)
 
     // Oracle: dense A^T * dxl, gathered at the pattern.
     Matrix dense;
-    spmmTransposedReference(f.g, dxl, dense);
-    for (NodeId r = 0; r < dxs.rows(); ++r)
-        for (std::uint32_t kk = 0; kk < dxs.dimK(); ++kk)
-            ASSERT_NEAR(dxs.dataRow(r)[kk],
-                        dense.at(r, dxs.indexAt(r, kk)), 1e-3f)
-                << "row " << r << " kk " << kk;
+    test::sspmmOracle(f.g, dxl, dense);
+    ASSERT_TRUE(cbsrMatchesDenseGather(dxs, dense, 1e-3f));
 }
 
 TEST(SspmmBackward, FastPathAgreesWithSimulatedKernel)
@@ -165,9 +145,7 @@ TEST(SspmmBackward, FastPathAgreesWithSimulatedKernel)
     fast.adoptPattern(f.mk.cbsr);
     sspmmBackward(f.g, f.part, dxl, sim, f.opt);
     nn::aggregateCbsrBackward(f.g, dxl, fast);
-    for (NodeId r = 0; r < sim.rows(); ++r)
-        for (std::uint32_t kk = 0; kk < sim.dimK(); ++kk)
-            ASSERT_NEAR(sim.dataRow(r)[kk], fast.dataRow(r)[kk], 1e-5f);
+    ASSERT_TRUE(test::cbsrNear(sim, fast, 1e-5f));
 }
 
 TEST(SspmmBackward, PrefetchReadsEachGradientRowOnce)
@@ -293,11 +271,10 @@ TEST_P(SpgemmOracleSweep, MatchesOracleAcrossKAndGraphs)
     opt.simulateCaches = false;
     MaxKResult mk = maxkCompress(x, k, opt);
 
-    Matrix y, dense, y_ref;
+    Matrix y, y_ref;
     spgemmForward(g, part, mk.cbsr, y, opt);
-    mk.cbsr.decompress(dense);
-    spmmReference(g, dense, y_ref);
-    ASSERT_TRUE(y.approxEquals(y_ref, 1e-3f));
+    test::spgemmOracle(g, mk.cbsr, y_ref);
+    ASSERT_TRUE(matricesNear(y, y_ref, 1e-3f));
 
     Matrix dxl(g.numNodes(), 64);
     fillNormal(dxl, rng, 0.0f, 1.0f);
@@ -305,11 +282,8 @@ TEST_P(SpgemmOracleSweep, MatchesOracleAcrossKAndGraphs)
     dxs.adoptPattern(mk.cbsr);
     sspmmBackward(g, part, dxl, dxs, opt);
     Matrix dense_t;
-    spmmTransposedReference(g, dxl, dense_t);
-    for (NodeId r = 0; r < dxs.rows(); ++r)
-        for (std::uint32_t kk = 0; kk < dxs.dimK(); ++kk)
-            ASSERT_NEAR(dxs.dataRow(r)[kk],
-                        dense_t.at(r, dxs.indexAt(r, kk)), 1e-3f);
+    test::sspmmOracle(g, dxl, dense_t);
+    ASSERT_TRUE(cbsrMatchesDenseGather(dxs, dense_t, 1e-3f));
 }
 
 INSTANTIATE_TEST_SUITE_P(
