@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/maxk.hh"
 #include "gpusim/cache.hh"
@@ -112,6 +113,94 @@ BM_AggregateDense(benchmark::State &state)
                             state.range(0));
 }
 BENCHMARK(BM_AggregateDense)->Arg(64)->Arg(256);
+
+/* ------------------------------------------------ thread scaling ----- */
+// Wall-clock scaling of the row-parallel hot paths over the worker
+// count (Arg = MAXK_THREADS equivalent). Results are bitwise-identical
+// across counts, so items/s differences are pure scheduling. Compare
+// e.g. BM_AggregateDenseThreads/1 vs /4 for the host-side speedup.
+
+void
+BM_AggregateDenseThreads(benchmark::State &state)
+{
+    setDefaultThreads(static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(8);
+    CsrGraph g = rmat(12, 200000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    Matrix x(g.numNodes(), 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    Matrix y;
+    for (auto _ : state) {
+        nn::aggregateDense(g, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges() * 256);
+    setDefaultThreads(0);
+}
+BENCHMARK(BM_AggregateDenseThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void
+BM_AggregateCbsrThreads(benchmark::State &state)
+{
+    setDefaultThreads(static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(9);
+    CsrGraph g = rmat(12, 200000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    Matrix x(g.numNodes(), 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    CbsrMatrix cbsr;
+    nn::maxkCompressFast(x, 32, cbsr);
+    Matrix y;
+    for (auto _ : state) {
+        nn::aggregateCbsr(g, cbsr, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges() * 32);
+    setDefaultThreads(0);
+}
+BENCHMARK(BM_AggregateCbsrThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void
+BM_MaxkCompressFastThreads(benchmark::State &state)
+{
+    setDefaultThreads(static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(10);
+    Matrix x(8192, 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    CbsrMatrix out;
+    for (auto _ : state) {
+        nn::maxkCompressFast(x, 32, out);
+        benchmark::DoNotOptimize(out.rows());
+    }
+    state.SetItemsProcessed(state.iterations() * x.size());
+    setDefaultThreads(0);
+}
+BENCHMARK(BM_MaxkCompressFastThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void
+BM_AggregateCbsrBackwardThreads(benchmark::State &state)
+{
+    // Scatter-shaped backward path: >1 worker takes the stable
+    // transpose-gather branch (the transpose is rebuilt per call, so
+    // this also prices that overhead honestly).
+    setDefaultThreads(static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(11);
+    CsrGraph g = rmat(12, 200000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    Matrix x(g.numNodes(), 256);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    CbsrMatrix pattern;
+    nn::maxkCompressFast(x, 32, pattern);
+    CbsrMatrix dxs;
+    dxs.adoptPattern(pattern);
+    for (auto _ : state) {
+        nn::aggregateCbsrBackward(g, x, dxs);
+        benchmark::DoNotOptimize(dxs.rows());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges() * 32);
+    setDefaultThreads(0);
+}
+BENCHMARK(BM_AggregateCbsrBackwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void
 BM_EdgeGroupPartition(benchmark::State &state)

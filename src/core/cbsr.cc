@@ -47,6 +47,27 @@ CbsrMatrix::zeroData()
     std::fill(spData_.begin(), spData_.end(), 0.0f);
 }
 
+void
+CbsrMatrix::reshape(NodeId rows, std::uint32_t dim_k,
+                    std::uint32_t dim_origin)
+{
+    checkInvariant(dim_k >= 1 && dim_k <= dim_origin,
+                   "CBSR: need 1 <= dimK <= dimOrigin");
+    checkInvariant(dim_origin <= 65536, "CBSR: dimOrigin exceeds uint16");
+    rows_ = rows;
+    dimK_ = dim_k;
+    dimOrigin_ = dim_origin;
+    narrowIndex_ = dim_origin <= 256;
+    spData_.assign(std::size_t(rows) * dim_k, 0.0f);
+    if (narrowIndex_) {
+        spIndex8_.assign(std::size_t(rows) * dim_k, 0);
+        spIndex16_.clear();
+    } else {
+        spIndex16_.assign(std::size_t(rows) * dim_k, 0);
+        spIndex8_.clear();
+    }
+}
+
 bool
 CbsrMatrix::validate() const
 {

@@ -99,6 +99,16 @@ class CbsrMatrix
     void zeroData();
 
     /**
+     * Resize to the given shape, reusing the existing storage when the
+     * element counts match (unlike assigning a fresh CbsrMatrix, the
+     * buffers keep their addresses — which also keeps simulated traffic
+     * stats reproducible across repeated kernel launches). Contents are
+     * zeroed.
+     */
+    void reshape(NodeId rows, std::uint32_t dim_k,
+                 std::uint32_t dim_origin);
+
+    /**
      * Structural validity: every index < dimOrigin and strictly
      * ascending within each row (the MaxK kernel emits them in column
      * order, Fig. 5).

@@ -48,6 +48,16 @@ MaxKResult maxkCompress(const Matrix &x, std::uint32_t k,
                         const SimOptions &opt = {});
 
 /**
+ * In-place variant: compress into an existing result, reusing its CBSR
+ * storage when the shape matches. Because the simulator treats host
+ * pointers as device addresses, repeated launches into the same result
+ * also produce identical simulated stats — useful for epoch loops and
+ * the determinism tests.
+ */
+void maxkCompress(const Matrix &x, std::uint32_t k, const SimOptions &opt,
+                  MaxKResult &result);
+
+/**
  * Dense reference: out = MaxK(x) with zeros in non-surviving positions.
  * Used for validation and by the CPU training fallback path.
  */

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "gpusim/context.hh"
 
 namespace maxk
@@ -28,66 +29,79 @@ spgemmForward(const CsrGraph &a, const EdgeGroupPartition &part,
     // Warp packing: Case 1 packs several EGs per warp when dim_k <= 16.
     const std::uint32_t egs_per_warp = EdgeGroupPartition::egsPerWarp(dim_k);
 
-    std::vector<Float> buf(dim_origin);
-    std::vector<const void *> scatter_addrs(dim_k);
-    std::size_t eg_index = 0;
-    for (const EdgeGroup &eg : part.groups()) {
-        const std::uint64_t warp = eg_index++ / egs_per_warp;
+    // EG-parallel with row-aligned chunk boundaries: all EGs of one
+    // adjacency row stay in one chunk, so every output row has exactly
+    // one writer accumulating in serial EG order (bitwise-identical
+    // result), and the first-EG-of-row write-back discount stays local.
+    const auto chunks = rowAlignedChunks(part.groups(), 32,
+                                         resolveThreads(opt.threads));
+    gpusim::runSharded(ctx, chunks, [&](auto &dev, std::uint32_t,
+                                        IndexRange egs) {
+        std::vector<Float> buf(dim_origin);
+        std::vector<const void *> scatter_addrs(dim_k);
+        for (std::size_t gi = egs.begin; gi < egs.end; ++gi) {
+            const EdgeGroup &eg = part.groups()[gi];
+            const std::uint64_t warp = gi / egs_per_warp;
 
-        ctx.usePhase("compute+accumulate");
-        // Edge values and destination columns for this EG (coalesced).
-        ctx.globalReadStreaming(warp, &a.values()[eg.begin],
-                       (eg.end - eg.begin) * sizeof(Float));
-        ctx.globalReadStreaming(warp, &a.colIdx()[eg.begin],
-                       (eg.end - eg.begin) * sizeof(NodeId));
+            dev.usePhase("compute+accumulate");
+            // Edge values and destination columns for this EG (coalesced).
+            dev.globalReadStreaming(warp, &a.values()[eg.begin],
+                                    (eg.end - eg.begin) * sizeof(Float));
+            dev.globalReadStreaming(warp, &a.colIdx()[eg.begin],
+                                    (eg.end - eg.begin) * sizeof(NodeId));
 
-        std::fill(buf.begin(), buf.end(), 0.0f);
-        Float *yr = y.row(eg.row);
-        for (EdgeId e = eg.begin; e < eg.end; ++e) {
-            const NodeId j = a.colIdx()[e];
-            const Float v = a.values()[e];
-            // CBSR fetch: both segments are contiguous, coalesced reads —
-            // (4 + indexBytes) * dim_k bytes per nonzero (Sec. 4.3).
-            ctx.globalRead(warp, xs.dataRow(j), xs.dataRowBytes());
-            ctx.globalRead(warp, xs.indexRowAddr(j), xs.indexRowBytes());
-            ctx.flops(2ull * dim_k);
-            const Float *data = xs.dataRow(j);
-            if (opt.spgemmSharedBuffer) {
-                // Sparse accumulation into the shared-memory buffer,
-                // mapped through sp_index (Algorithm 1 line 8).
-                ctx.sharedOps(dim_k, dim_k * sizeof(Float));
-                for (std::uint32_t kk = 0; kk < dim_k; ++kk)
-                    buf[xs.indexAt(j, kk)] += v * data[kk];
-            } else {
-                // Ablation: scatter each product straight into global
-                // memory — one uncoalesced atomic per element.
-                for (std::uint32_t kk = 0; kk < dim_k; ++kk) {
-                    const std::uint32_t col = xs.indexAt(j, kk);
-                    scatter_addrs[kk] = yr + col;
-                    yr[col] += v * data[kk];
+            std::fill(buf.begin(), buf.end(), 0.0f);
+            Float *yr = y.row(eg.row);
+            for (EdgeId e = eg.begin; e < eg.end; ++e) {
+                const NodeId j = a.colIdx()[e];
+                const Float v = a.values()[e];
+                // CBSR fetch: both segments are contiguous, coalesced
+                // reads — (4 + indexBytes) * dim_k bytes per nonzero
+                // (Sec. 4.3).
+                dev.globalRead(warp, xs.dataRow(j), xs.dataRowBytes());
+                dev.globalRead(warp, xs.indexRowAddr(j),
+                               xs.indexRowBytes());
+                dev.flops(2ull * dim_k);
+                const Float *data = xs.dataRow(j);
+                if (opt.spgemmSharedBuffer) {
+                    // Sparse accumulation into the shared-memory buffer,
+                    // mapped through sp_index (Algorithm 1 line 8).
+                    dev.sharedOps(dim_k, dim_k * sizeof(Float));
+                    for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+                        buf[xs.indexAt(j, kk)] += v * data[kk];
+                } else {
+                    // Ablation: scatter each product straight into global
+                    // memory — one uncoalesced atomic per element.
+                    for (std::uint32_t kk = 0; kk < dim_k; ++kk) {
+                        const std::uint32_t col = xs.indexAt(j, kk);
+                        scatter_addrs[kk] = yr + col;
+                        yr[col] += v * data[kk];
+                    }
+                    dev.globalAtomicScattered(warp, scatter_addrs.data(),
+                                              dim_k, sizeof(Float));
                 }
-                ctx.globalAtomicScattered(warp, scatter_addrs.data(),
-                                          dim_k, sizeof(Float));
+            }
+
+            if (opt.spgemmSharedBuffer) {
+                // Stage 2 (after barrier): atomic, coalesced merge of the
+                // buffer into the output row (Algorithm 1 lines 13-16).
+                // The first EG of a row costs a vectorised store; every
+                // further EG serializes against it (same-address RMW
+                // contention), which is the k-independent low-k floor of
+                // Sec. 5.2.
+                dev.usePhase("writeback");
+                for (std::uint32_t d = 0; d < dim_origin; ++d)
+                    yr[d] += buf[d];
+                const bool first_eg_of_row =
+                    eg.begin == a.rowPtr()[eg.row];
+                dev.sharedOps(first_eg_of_row ? dim_origin / 4
+                                              : 2ull * dim_origin,
+                              dim_origin * sizeof(Float));
+                dev.globalAtomicAccum(warp, yr,
+                                      dim_origin * sizeof(Float));
             }
         }
-
-        if (opt.spgemmSharedBuffer) {
-            // Stage 2 (after barrier): atomic, coalesced merge of the
-            // buffer into the output row (Algorithm 1 lines 13-16). The
-            // first EG of a row costs a vectorised store; every further
-            // EG serializes against it (same-address RMW contention),
-            // which is the k-independent low-k floor of Sec. 5.2.
-            ctx.usePhase("writeback");
-            for (std::uint32_t d = 0; d < dim_origin; ++d)
-                yr[d] += buf[d];
-            const bool first_eg_of_row =
-                eg.begin == a.rowPtr()[eg.row];
-            ctx.sharedOps(first_eg_of_row ? dim_origin / 4
-                                          : 2ull * dim_origin,
-                          dim_origin * sizeof(Float));
-            ctx.globalAtomicAccum(warp, yr, dim_origin * sizeof(Float));
-        }
-    }
+    });
 
     return ctx.finish(opt.efficiency);
 }

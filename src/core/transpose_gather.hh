@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared gather-form implementations of the scatter-shaped kernels.
+ *
+ * Every scatter loop in the codebase ("for each source row i, for each
+ * edge (i, j): out[j] += v * f(x[i])") is parallelised by rewriting it
+ * as a gather over the *stable* transpose of the adjacency matrix:
+ * destination row j folds its in-edge contributions in exactly the
+ * order the serial scatter applied them (CsrGraph::transposed() is a
+ * counting sort over the original edge sweep, so per-destination source
+ * order is preserved). Each output row then has a single writer doing a
+ * plain left-to-right fp32 fold — bitwise-identical to the serial
+ * scatter for ANY thread count, which per-thread partial buffers (which
+ * re-associate the sums) could not guarantee.
+ *
+ * This invariant lives here, in one place, so a future change (e.g.
+ * caching the transpose on CsrGraph — see ROADMAP.md) cannot fix one
+ * kernel and silently break another.
+ */
+
+#ifndef MAXK_CORE_TRANSPOSE_GATHER_HH
+#define MAXK_CORE_TRANSPOSE_GATHER_HH
+
+#include <cstdint>
+
+#include "core/cbsr.hh"
+#include "graph/csr.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/**
+ * out.row(j) += v_e * x.row(i) for every edge (i, j) of `a`, folded in
+ * serial edge order. `out` must already be sized (numNodes x x.cols())
+ * and hold the initial values (normally zeros).
+ *
+ * @param threads explicit worker count; 0 = process default
+ */
+void gatherTransposedDense(const CsrGraph &a, const Matrix &x,
+                           Matrix &out, std::uint32_t threads = 0);
+
+/**
+ * dxs.dataRow(j)[kk] += v_e * dxl.row(i)[dxs.indexAt(j, kk)] for every
+ * edge (i, j) of `a`, folded in serial edge order — the SSpMM /
+ * CBSR-backward accumulation. `dxs` carries the pattern and the initial
+ * (normally zeroed) data.
+ */
+void gatherTransposedCbsr(const CsrGraph &a, const Matrix &dxl,
+                          CbsrMatrix &dxs, std::uint32_t threads = 0);
+
+} // namespace maxk
+
+#endif // MAXK_CORE_TRANSPOSE_GATHER_HH

@@ -17,6 +17,98 @@ sectorRound(Bytes bytes, std::uint32_t sector)
 }
 } // namespace
 
+void
+KernelShard::usePhase(const std::string &name)
+{
+    for (std::size_t i = 0; i < phaseNames_.size(); ++i) {
+        if (phaseNames_[i] == name) {
+            phase_ = static_cast<std::int16_t>(i);
+            return;
+        }
+    }
+    phaseNames_.push_back(name);
+    phase_ = static_cast<std::int16_t>(phaseNames_.size() - 1);
+}
+
+void
+KernelShard::push(OpKind kind, std::uint64_t warp, std::uint64_t addr,
+                  Bytes bytes)
+{
+    // Pure counter ops are order-independent, so adjacent ones of the
+    // same kind and phase fold into a single record.
+    if ((kind == OpKind::SharedOps || kind == OpKind::Flops) &&
+        !ops_.empty()) {
+        Op &last = ops_.back();
+        if (last.kind == kind && last.phase == phase_) {
+            last.warp += warp;
+            last.bytes += bytes;
+            return;
+        }
+    }
+    ops_.push_back(Op{warp, addr, bytes, kind, phase_});
+}
+
+void
+KernelShard::globalRead(std::uint64_t warp, const void *addr, Bytes bytes)
+{
+    push(OpKind::Read, warp, reinterpret_cast<std::uint64_t>(addr), bytes);
+}
+
+void
+KernelShard::globalWrite(std::uint64_t warp, const void *addr, Bytes bytes)
+{
+    push(OpKind::Write, warp, reinterpret_cast<std::uint64_t>(addr),
+         bytes);
+}
+
+void
+KernelShard::globalReadStreaming(std::uint64_t warp, const void *addr,
+                                 Bytes bytes)
+{
+    push(OpKind::ReadStreaming, warp,
+         reinterpret_cast<std::uint64_t>(addr), bytes);
+}
+
+void
+KernelShard::globalAtomicAccum(std::uint64_t warp, const void *addr,
+                               Bytes bytes)
+{
+    push(OpKind::AtomicAccum, warp, reinterpret_cast<std::uint64_t>(addr),
+         bytes);
+}
+
+void
+KernelShard::globalReadScattered(std::uint64_t warp,
+                                 const void *const *addrs, std::size_t n,
+                                 Bytes elem_bytes)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        push(OpKind::ReadScattered1, warp,
+             reinterpret_cast<std::uint64_t>(addrs[i]), elem_bytes);
+}
+
+void
+KernelShard::globalAtomicScattered(std::uint64_t warp,
+                                   const void *const *addrs,
+                                   std::size_t n, Bytes elem_bytes)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        push(OpKind::AtomicScattered1, warp,
+             reinterpret_cast<std::uint64_t>(addrs[i]), elem_bytes);
+}
+
+void
+KernelShard::sharedOps(std::uint64_t count, Bytes bytes_touched)
+{
+    push(OpKind::SharedOps, count, 0, bytes_touched);
+}
+
+void
+KernelShard::flops(std::uint64_t count)
+{
+    push(OpKind::Flops, count, 0, 0);
+}
+
 KernelContext::KernelContext(const DeviceConfig &cfg,
                              std::string kernel_name, bool simulate_caches)
     : cfg_(cfg),
@@ -221,6 +313,50 @@ void
 KernelContext::flops(std::uint64_t count)
 {
     phase().flops += count;
+}
+
+void
+KernelContext::merge(const KernelShard &shard)
+{
+    checkInvariant(!finished_, "KernelContext::merge after finish()");
+    std::int16_t applied = -2; // force the first phase switch
+    for (const KernelShard::Op &op : shard.ops_) {
+        if (op.phase != applied) {
+            // -1 records ops issued before the shard's first usePhase:
+            // they accrue to whatever phase the context is in, exactly
+            // as the serial loop's ops would.
+            if (op.phase >= 0)
+                usePhase(shard.phaseNames_[op.phase]);
+            applied = op.phase;
+        }
+        const void *addr = reinterpret_cast<const void *>(op.addr);
+        switch (op.kind) {
+          case KernelShard::OpKind::Read:
+            globalRead(op.warp, addr, op.bytes);
+            break;
+          case KernelShard::OpKind::Write:
+            globalWrite(op.warp, addr, op.bytes);
+            break;
+          case KernelShard::OpKind::ReadStreaming:
+            globalReadStreaming(op.warp, addr, op.bytes);
+            break;
+          case KernelShard::OpKind::AtomicAccum:
+            globalAtomicAccum(op.warp, addr, op.bytes);
+            break;
+          case KernelShard::OpKind::ReadScattered1:
+            globalReadScattered(op.warp, &addr, 1, op.bytes);
+            break;
+          case KernelShard::OpKind::AtomicScattered1:
+            globalAtomicScattered(op.warp, &addr, 1, op.bytes);
+            break;
+          case KernelShard::OpKind::SharedOps:
+            sharedOps(op.warp, op.bytes);
+            break;
+          case KernelShard::OpKind::Flops:
+            flops(op.warp);
+            break;
+        }
+    }
 }
 
 KernelStats

@@ -23,12 +23,82 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "gpusim/cache.hh"
 #include "gpusim/device.hh"
 #include "gpusim/kernel_stats.hh"
 
 namespace maxk::gpusim
 {
+
+/**
+ * Order-preserving recorder for one worker thread's slice of a kernel's
+ * warps. Row-parallel kernels give each chunk of their static partition
+ * a private shard; the shard exposes the same device-API surface as
+ * KernelContext but only appends (kind, phase, warp, addr, bytes)
+ * records — every quantity is structural (graph topology, row
+ * addresses), never a computed value, so recording is race-free.
+ *
+ * KernelContext::merge replays shards in chunk order, which reproduces
+ * the exact serial access sequence: cache state, hit counts, and every
+ * other counter come out identical to the single-threaded run.
+ *
+ * Memory cost: one ~32-byte Op per device-API call is buffered until
+ * merge (only adjacent sharedOps/flops records fold), so a sharded
+ * simulated kernel transiently holds O(nnz) trace — roughly 100 bytes
+ * per nonzero for SpGEMM-shaped kernels. Fine for the twin graphs this
+ * repo simulates; if OGB-scale graphs ever run with stats on, replay
+ * shards pipelined (merge chunk c as soon as chunks < c are merged)
+ * instead of holding all of them.
+ */
+class KernelShard
+{
+  public:
+    void usePhase(const std::string &name);
+    void globalRead(std::uint64_t warp, const void *addr, Bytes bytes);
+    void globalWrite(std::uint64_t warp, const void *addr, Bytes bytes);
+    void globalReadStreaming(std::uint64_t warp, const void *addr,
+                             Bytes bytes);
+    void globalAtomicAccum(std::uint64_t warp, const void *addr,
+                           Bytes bytes);
+    void globalReadScattered(std::uint64_t warp, const void *const *addrs,
+                             std::size_t n, Bytes elem_bytes);
+    void globalAtomicScattered(std::uint64_t warp,
+                               const void *const *addrs, std::size_t n,
+                               Bytes elem_bytes);
+    void sharedOps(std::uint64_t count, Bytes bytes_touched);
+    void flops(std::uint64_t count);
+
+  private:
+    friend class KernelContext;
+
+    enum class OpKind : std::uint8_t {
+        Read,
+        Write,
+        ReadStreaming,
+        AtomicAccum,
+        ReadScattered1,    //!< one element of a scattered read
+        AtomicScattered1,  //!< one element of a scattered atomic
+        SharedOps,         //!< warp field holds the count
+        Flops,             //!< warp field holds the count
+    };
+
+    struct Op
+    {
+        std::uint64_t warp;  //!< issuing warp, or count for counters
+        std::uint64_t addr;  //!< byte address (unused for counters)
+        Bytes bytes;         //!< request size / bytes touched
+        OpKind kind;
+        std::int16_t phase;  //!< index into phaseNames_, -1 = inherit
+    };
+
+    void push(OpKind kind, std::uint64_t warp, std::uint64_t addr,
+              Bytes bytes);
+
+    std::vector<Op> ops_;
+    std::vector<std::string> phaseNames_;
+    std::int16_t phase_ = -1;
+};
 
 /**
  * Execution context for one simulated kernel launch.
@@ -105,6 +175,14 @@ class KernelContext
     /** fp32 operation count for the compute roofline term. */
     void flops(std::uint64_t count);
 
+    /**
+     * Replay one worker's recorded operations into this context, in
+     * recording order. Merging the shards of a static row partition in
+     * chunk order reproduces the serial access sequence exactly, so all
+     * counters (including cache hits) match the single-threaded run.
+     */
+    void merge(const KernelShard &shard);
+
     /** Finalise: compute per-phase and total time. */
     KernelStats finish(double efficiency = 1.0);
 
@@ -131,6 +209,33 @@ class KernelContext
     std::size_t currentPhase_ = 0;
     bool finished_ = false;
 };
+
+/**
+ * Run a statically-partitioned kernel loop, sharding the context when
+ * more than one chunk exists. `body(device, chunkIndex, range)` is
+ * instantiated both with KernelContext& (single chunk: the serial path,
+ * zero recording overhead) and with KernelShard& (parallel chunks);
+ * shards are merged back in chunk order, so stats are identical either
+ * way.
+ */
+template <class Body>
+void
+runSharded(KernelContext &ctx, const std::vector<IndexRange> &chunks,
+           Body &&body)
+{
+    if (chunks.empty())
+        return;
+    if (chunks.size() == 1) {
+        body(ctx, 0u, chunks[0]);
+        return;
+    }
+    std::vector<KernelShard> shards(chunks.size());
+    runChunks(chunks.size(), [&](std::uint32_t t) {
+        body(shards[t], t, chunks[t]);
+    });
+    for (const KernelShard &s : shards)
+        ctx.merge(s);
+}
 
 } // namespace maxk::gpusim
 

@@ -92,4 +92,36 @@ EdgeGroupPartition::covers(const CsrGraph &g) const
     return gi == groups_.size();
 }
 
+std::vector<IndexRange>
+rowAlignedChunks(const std::vector<EdgeGroup> &groups, std::size_t grain,
+                 std::uint32_t threads)
+{
+    std::vector<IndexRange> chunks =
+        splitRange(0, groups.size(), grain, threads);
+    if (chunks.size() <= 1)
+        return chunks;
+
+    // Snap every interior boundary forward to the next row change, then
+    // drop chunks a snap emptied. Boundaries move monotonically, so the
+    // result stays contiguous, ascending, and covering.
+    std::size_t prev_end = 0;
+    std::vector<IndexRange> out;
+    out.reserve(chunks.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+        std::size_t end = chunks[c].end;
+        if (c + 1 < chunks.size()) {
+            while (end < groups.size() &&
+                   groups[end].row == groups[end - 1].row)
+                ++end;
+        } else {
+            end = groups.size();
+        }
+        if (end > prev_end) {
+            out.push_back({prev_end, end});
+            prev_end = end;
+        }
+    }
+    return out;
+}
+
 } // namespace maxk

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "graph/csr.hh"
 
 namespace maxk
@@ -68,6 +69,19 @@ class EdgeGroupPartition
     std::vector<EdgeGroup> groups_;
     std::uint32_t workloadCap_ = 0;
 };
+
+/**
+ * Static partition of [0, groups.size()) into at most `threads`
+ * contiguous chunks of roughly equal size whose boundaries never split
+ * one adjacency row's EGs across chunks (the partitioner emits EGs
+ * row-contiguous). Row alignment keeps per-row state — the SSpMM
+ * prefetch buffer, SpGEMM's first-EG-of-row write-back discount, output
+ * row ownership — entirely within one chunk, so the parallel kernels
+ * behave exactly like the serial sweep. Deterministic in its arguments.
+ */
+std::vector<IndexRange> rowAlignedChunks(
+    const std::vector<EdgeGroup> &groups, std::size_t grain,
+    std::uint32_t threads);
 
 } // namespace maxk
 

@@ -51,6 +51,15 @@ struct SimOptions
      * through sp_index (uncoalesced).
      */
     bool sspmmPrefetch = true;
+
+    /**
+     * Host worker threads for the row-parallel kernel loops. 0 = use
+     * the process default (MAXK_THREADS env var, else serial). Results
+     * and simulated stats are bitwise-identical for every value — the
+     * loops use static range partitioning and ordered shard replay
+     * (see common/parallel.hh).
+     */
+    std::uint32_t threads = 0;
 };
 
 } // namespace maxk

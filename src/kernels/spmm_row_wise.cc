@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "gpusim/context.hh"
 
 namespace maxk
@@ -21,42 +22,51 @@ spmmRowWise(const CsrGraph &a, const Matrix &x, Matrix &y,
                               opt.simulateCaches);
     ctx.beginPhase("compute");
 
-    std::vector<double> acc(dim);
-    std::uint64_t warp = 0;
-    for (NodeId i = 0; i < a.numNodes(); ++i, ++warp) {
-        const EdgeId begin = a.rowPtr()[i], end = a.rowPtr()[i + 1];
-        if (begin == end) {
-            // Row of zeros still writes its (zero) output slice.
+    // Row-parallel: each output row is owned by exactly one chunk, so
+    // the numeric path needs no reduction and matches the serial sweep
+    // bitwise; accounting shards replay in row order.
+    const auto chunks =
+        splitRange(0, a.numNodes(), 16, resolveThreads(opt.threads));
+    gpusim::runSharded(ctx, chunks, [&](auto &dev, std::uint32_t,
+                                        IndexRange rows) {
+        std::vector<double> acc(dim);
+        for (std::size_t r = rows.begin; r < rows.end; ++r) {
+            const NodeId i = static_cast<NodeId>(r);
+            const std::uint64_t warp = r; // one warp per row, id == row
+            const EdgeId begin = a.rowPtr()[i], end = a.rowPtr()[i + 1];
+            if (begin == end) {
+                // Row of zeros still writes its (zero) output slice.
+                Float *yr = y.row(i);
+                for (std::size_t d = 0; d < dim; ++d)
+                    yr[d] = 0.0f;
+                dev.globalWrite(warp, y.row(i), dim * sizeof(Float));
+                continue;
+            }
+
+            // CSR metadata for the row: edge values + column indices.
+            dev.globalReadStreaming(warp, &a.values()[begin],
+                                    (end - begin) * sizeof(Float));
+            dev.globalReadStreaming(warp, &a.colIdx()[begin],
+                                    (end - begin) * sizeof(NodeId));
+
+            std::fill(acc.begin(), acc.end(), 0.0);
+            for (EdgeId e = begin; e < end; ++e) {
+                const NodeId j = a.colIdx()[e];
+                const Float v = a.values()[e];
+                const Float *xr = x.row(j);
+                // Full dense row fetch per nonzero: the 4*dim*nnz term.
+                dev.globalRead(warp, xr, dim * sizeof(Float));
+                dev.flops(2 * dim);
+                for (std::size_t d = 0; d < dim; ++d)
+                    acc[d] += static_cast<double>(v) * xr[d];
+            }
+
             Float *yr = y.row(i);
             for (std::size_t d = 0; d < dim; ++d)
-                yr[d] = 0.0f;
-            ctx.globalWrite(warp, y.row(i), dim * sizeof(Float));
-            continue;
+                yr[d] = static_cast<Float>(acc[d]);
+            dev.globalWrite(warp, yr, dim * sizeof(Float));
         }
-
-        // CSR metadata for the row: edge values + column indices.
-        ctx.globalReadStreaming(warp, &a.values()[begin],
-                       (end - begin) * sizeof(Float));
-        ctx.globalReadStreaming(warp, &a.colIdx()[begin],
-                       (end - begin) * sizeof(NodeId));
-
-        std::fill(acc.begin(), acc.end(), 0.0);
-        for (EdgeId e = begin; e < end; ++e) {
-            const NodeId j = a.colIdx()[e];
-            const Float v = a.values()[e];
-            const Float *xr = x.row(j);
-            // Full dense row fetch per nonzero: the 4*dim*nnz term.
-            ctx.globalRead(warp, xr, dim * sizeof(Float));
-            ctx.flops(2 * dim);
-            for (std::size_t d = 0; d < dim; ++d)
-                acc[d] += static_cast<double>(v) * xr[d];
-        }
-
-        Float *yr = y.row(i);
-        for (std::size_t d = 0; d < dim; ++d)
-            yr[d] = static_cast<Float>(acc[d]);
-        ctx.globalWrite(warp, yr, dim * sizeof(Float));
-    }
+    });
     return ctx.finish(opt.efficiency);
 }
 

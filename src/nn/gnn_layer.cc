@@ -3,11 +3,19 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "core/maxk.hh"
+#include "core/transpose_gather.hh"
 #include "tensor/ops.hh"
 
 namespace maxk::nn
 {
+
+namespace
+{
+/** Rows per chunk for the row-parallel aggregation loops. */
+constexpr std::size_t kRowGrain = 16;
+} // namespace
 
 const char *
 gnnKindName(GnnKind kind)
@@ -43,15 +51,20 @@ aggregateDense(const CsrGraph &a, const Matrix &x, Matrix &out)
     const std::size_t dim = x.cols();
     out.resize(a.numNodes(), dim);
     out.setZero();
-    for (NodeId i = 0; i < a.numNodes(); ++i) {
-        Float *o = out.row(i);
-        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
-            const Float v = a.values()[e];
-            const Float *xr = x.row(a.colIdx()[e]);
-            for (std::size_t d = 0; d < dim; ++d)
-                o[d] += v * xr[d];
-        }
-    }
+    parallelFor(0, a.numNodes(), kRowGrain,
+                [&](std::uint32_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t r = begin; r < end; ++r) {
+                        const NodeId i = static_cast<NodeId>(r);
+                        Float *o = out.row(i);
+                        for (EdgeId e = a.rowPtr()[i];
+                             e < a.rowPtr()[i + 1]; ++e) {
+                            const Float v = a.values()[e];
+                            const Float *xr = x.row(a.colIdx()[e]);
+                            for (std::size_t d = 0; d < dim; ++d)
+                                o[d] += v * xr[d];
+                        }
+                    }
+                });
 }
 
 void
@@ -60,15 +73,22 @@ aggregateDenseTransposed(const CsrGraph &a, const Matrix &x, Matrix &out)
     const std::size_t dim = x.cols();
     out.resize(a.numNodes(), dim);
     out.setZero();
-    for (NodeId i = 0; i < a.numNodes(); ++i) {
-        const Float *xr = x.row(i);
-        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
-            const Float v = a.values()[e];
-            Float *o = out.row(a.colIdx()[e]);
-            for (std::size_t d = 0; d < dim; ++d)
-                o[d] += v * xr[d];
+    if (resolveThreads(0) <= 1) {
+        for (NodeId i = 0; i < a.numNodes(); ++i) {
+            const Float *xr = x.row(i);
+            for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
+                const Float v = a.values()[e];
+                Float *o = out.row(a.colIdx()[e]);
+                for (std::size_t d = 0; d < dim; ++d)
+                    o[d] += v * xr[d];
+            }
         }
+        return;
     }
+
+    // Scatter-shaped: bitwise-deterministic gather over the stable
+    // transpose (see core/transpose_gather.hh).
+    gatherTransposedDense(a, x, out);
 }
 
 void
@@ -77,16 +97,21 @@ aggregateCbsr(const CsrGraph &a, const CbsrMatrix &xs, Matrix &out)
     const std::uint32_t dim_k = xs.dimK();
     out.resize(a.numNodes(), xs.dimOrigin());
     out.setZero();
-    for (NodeId i = 0; i < a.numNodes(); ++i) {
-        Float *o = out.row(i);
-        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
-            const NodeId j = a.colIdx()[e];
-            const Float v = a.values()[e];
-            const Float *data = xs.dataRow(j);
-            for (std::uint32_t kk = 0; kk < dim_k; ++kk)
-                o[xs.indexAt(j, kk)] += v * data[kk];
-        }
-    }
+    parallelFor(0, a.numNodes(), kRowGrain,
+                [&](std::uint32_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t r = begin; r < end; ++r) {
+                        const NodeId i = static_cast<NodeId>(r);
+                        Float *o = out.row(i);
+                        for (EdgeId e = a.rowPtr()[i];
+                             e < a.rowPtr()[i + 1]; ++e) {
+                            const NodeId j = a.colIdx()[e];
+                            const Float v = a.values()[e];
+                            const Float *data = xs.dataRow(j);
+                            for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+                                o[xs.indexAt(j, kk)] += v * data[kk];
+                        }
+                    }
+                });
 }
 
 void
@@ -95,16 +120,23 @@ aggregateCbsrBackward(const CsrGraph &a, const Matrix &dxl,
 {
     const std::uint32_t dim_k = dxs.dimK();
     dxs.zeroData();
-    for (NodeId i = 0; i < a.numNodes(); ++i) {
-        const Float *g = dxl.row(i);
-        for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
-            const NodeId j = a.colIdx()[e];
-            const Float v = a.values()[e];
-            Float *out = dxs.dataRow(j);
-            for (std::uint32_t kk = 0; kk < dim_k; ++kk)
-                out[kk] += v * g[dxs.indexAt(j, kk)];
+    if (resolveThreads(0) <= 1) {
+        for (NodeId i = 0; i < a.numNodes(); ++i) {
+            const Float *g = dxl.row(i);
+            for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
+                const NodeId j = a.colIdx()[e];
+                const Float v = a.values()[e];
+                Float *out = dxs.dataRow(j);
+                for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+                    out[kk] += v * g[dxs.indexAt(j, kk)];
+            }
         }
+        return;
     }
+
+    // Scatter-shaped: bitwise-deterministic gather over the stable
+    // transpose (see core/transpose_gather.hh).
+    gatherTransposedCbsr(a, dxl, dxs);
 }
 
 void
@@ -113,16 +145,21 @@ maxkCompressFast(const Matrix &x, std::uint32_t k, CbsrMatrix &out)
     const NodeId n = static_cast<NodeId>(x.rows());
     const std::uint32_t dim = static_cast<std::uint32_t>(x.cols());
     out = CbsrMatrix(n, k, dim);
-    std::vector<std::uint32_t> selected;
-    for (NodeId r = 0; r < n; ++r) {
-        const Float *row = x.row(r);
-        pivotSelect(row, dim, k, selected);
-        Float *data = out.dataRow(r);
-        for (std::uint32_t kk = 0; kk < k; ++kk) {
-            data[kk] = row[selected[kk]];
-            out.setIndex(r, kk, selected[kk]);
-        }
-    }
+    parallelFor(0, n, kRowGrain,
+                [&](std::uint32_t, std::size_t begin, std::size_t end) {
+                    std::vector<std::uint32_t> selected;
+                    for (std::size_t r = begin; r < end; ++r) {
+                        const Float *row = x.row(r);
+                        pivotSelect(row, dim, k, selected);
+                        Float *data =
+                            out.dataRow(static_cast<NodeId>(r));
+                        for (std::uint32_t kk = 0; kk < k; ++kk) {
+                            data[kk] = row[selected[kk]];
+                            out.setIndex(static_cast<NodeId>(r), kk,
+                                         selected[kk]);
+                        }
+                    }
+                });
 }
 
 GnnLayer::GnnLayer(const GnnLayerConfig &cfg, std::size_t in_dim,

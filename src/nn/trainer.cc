@@ -46,6 +46,7 @@ profileEpoch(const ModelConfig &cfg, const CsrGraph &a,
     const NodeId n = a.numNodes();
     Rng rng(0xBADF00Dull + cfg.maxkK * 7919 + cfg.numLayers);
 
+    std::uint64_t param_elems = 0;
     for (std::uint32_t l = 0; l < cfg.numLayers; ++l) {
         const std::size_t in_dim =
             l == 0 ? cfg.inDim : cfg.hiddenDim;
@@ -59,6 +60,12 @@ profileEpoch(const ModelConfig &cfg, const CsrGraph &a,
         // adds the self-path linear with identical shapes.
         const std::uint32_t linears =
             cfg.kind == GnnKind::Sage ? 2 : 1;
+        // Optimizer-sweep footprint of this layer: weight + bias of
+        // every linear, honouring the true layer shapes (the last layer
+        // is hiddenDim x outDim, and SAGE carries a second linear).
+        param_elems += static_cast<std::uint64_t>(linears) *
+                       (static_cast<std::uint64_t>(in_dim) * out_dim +
+                        out_dim);
         const double fwd = gemmSimSeconds(n, in_dim, out_dim, opt.device);
         const double bwd_dw =
             gemmSimSeconds(in_dim, n, out_dim, opt.device);
@@ -108,10 +115,6 @@ profileEpoch(const ModelConfig &cfg, const CsrGraph &a,
 
     // Loss + metric + optimizer sweeps: a few elementwise passes over
     // logits and parameters.
-    const std::uint64_t param_elems =
-        static_cast<std::uint64_t>(cfg.inDim + cfg.numLayers *
-                                                   cfg.hiddenDim) *
-        cfg.hiddenDim;
     t.other = 3.0 * elementwiseSimSeconds(
                         static_cast<std::uint64_t>(n) * cfg.outDim +
                             param_elems,
@@ -152,6 +155,14 @@ Trainer::run(const TrainConfig &cfg)
 {
     checkInvariant(model_.config().outDim == task_.numClasses,
                    "Trainer: model outDim != task classes");
+    // evalEvery == 0 would divide by zero in the eval-cadence check
+    // below; treat it as "evaluate every epoch" rather than aborting a
+    // long run on a config slip.
+    const std::uint32_t eval_every =
+        std::max<std::uint32_t>(cfg.evalEvery, 1);
+    if (cfg.evalEvery == 0)
+        logMessage(LogLevel::Warn,
+                   "Trainer: evalEvery=0 clamped to 1 (every epoch)");
     Stopwatch watch;
     TrainResult result;
 
@@ -170,7 +181,7 @@ Trainer::run(const TrainConfig &cfg)
         model_.backward(data_.graph, loss.gradLogits);
         adam.step();
 
-        if (epoch % cfg.evalEvery == 0 || epoch + 1 == cfg.epochs) {
+        if (epoch % eval_every == 0 || epoch + 1 == cfg.epochs) {
             const Matrix &eval_logits =
                 model_.forward(data_.graph, data_.features, false);
             const double val = evalMetric(eval_logits, data_.valMask);

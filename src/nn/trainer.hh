@@ -69,7 +69,8 @@ struct TrainConfig
     std::uint32_t epochs = 100;
     Float lr = 0.01f;
     Float weightDecay = 0.0f;
-    std::uint32_t evalEvery = 1;  //!< metric sampling cadence
+    std::uint32_t evalEvery = 1;  //!< metric sampling cadence (0 is
+                                  //!< clamped to 1: eval every epoch)
     std::uint64_t seed = 7;
     bool verbose = false;
 };

@@ -107,6 +107,99 @@ TEST(PivotSelect, ConvergesInFewIterationsOnGaussian)
     EXPECT_LT(static_cast<double>(total) / x.rows(), 12.0);
 }
 
+/* Non-finite inputs used to break the bisection invariant (±inf) or
+ * leave too few selectable values (NaN), aborting on the
+ * `selected.size() == k` invariant. The defined ordering is:
+ * +inf > finite (by value) > -inf > NaN, ties ascending by column. */
+
+TEST(PivotSelect, PositiveInfinityAlwaysSelected)
+{
+    const Float inf = std::numeric_limits<Float>::infinity();
+    const Float row[] = {0.1f, inf, -0.5f, 3.0f, inf, 0.2f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 6, 3, sel);
+    ASSERT_EQ(sel.size(), 3u);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{1, 3, 4}));
+}
+
+TEST(PivotSelect, MorePlusInfThanKPicksFirstColumns)
+{
+    const Float inf = std::numeric_limits<Float>::infinity();
+    const Float row[] = {inf, 1.0f, inf, inf, inf};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 5, 2, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(PivotSelect, NanSortsLast)
+{
+    const Float nan = std::numeric_limits<Float>::quiet_NaN();
+    const Float row[] = {nan, -5.0f, nan, 2.0f, 0.0f, nan};
+    std::vector<std::uint32_t> sel;
+    // k = 3: every finite value outranks every NaN.
+    pivotSelect(row, 6, 3, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{1, 3, 4}));
+    // k = 5: NaNs fill the remaining slots in ascending column order.
+    pivotSelect(row, 6, 5, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(PivotSelect, NegativeInfinityRanksBelowFiniteAboveNan)
+{
+    const Float inf = std::numeric_limits<Float>::infinity();
+    const Float nan = std::numeric_limits<Float>::quiet_NaN();
+    const Float row[] = {nan, -inf, -100.0f, 0.5f};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 4, 2, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{2, 3}));
+    pivotSelect(row, 4, 3, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(PivotSelect, AllNanRowSelectsFirstKColumns)
+{
+    const Float nan = std::numeric_limits<Float>::quiet_NaN();
+    const Float row[] = {nan, nan, nan, nan};
+    std::vector<std::uint32_t> sel;
+    pivotSelect(row, 4, 2, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(PivotSelect, MixedNonFiniteFullOrdering)
+{
+    const Float inf = std::numeric_limits<Float>::infinity();
+    const Float nan = std::numeric_limits<Float>::quiet_NaN();
+    const Float row[] = {nan, -inf, 1.0f, inf, -1.0f, nan, 2.0f};
+    std::vector<std::uint32_t> sel;
+    // Ranking: +inf(3), 2.0(6), 1.0(2), -1.0(4), -inf(1), NaN(0), NaN(5).
+    pivotSelect(row, 7, 1, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{3}));
+    pivotSelect(row, 7, 4, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{2, 3, 4, 6}));
+    pivotSelect(row, 7, 5, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{1, 2, 3, 4, 6}));
+    pivotSelect(row, 7, 6, sel);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 6}));
+}
+
+TEST(PivotSelect, MaxkDenseToleratesNonFiniteRows)
+{
+    const Float inf = std::numeric_limits<Float>::infinity();
+    const Float nan = std::numeric_limits<Float>::quiet_NaN();
+    Matrix x(3, 4);
+    x.at(0, 0) = nan;
+    x.at(0, 1) = 1.0f;
+    x.at(1, 2) = inf;
+    x.at(1, 3) = -inf;
+    x.at(2, 0) = 0.5f;
+    x.at(2, 1) = 2.0f;
+    Matrix out;
+    maxkDense(x, 2, out); // must not abort
+    EXPECT_EQ(out.at(0, 1), 1.0f);
+    EXPECT_EQ(out.at(1, 2), inf);
+    EXPECT_EQ(out.at(2, 1), 2.0f);
+}
+
 TEST(PivotSelectDeathTest, RejectsZeroK)
 {
     const Float row[] = {1.0f};

@@ -167,6 +167,22 @@ TEST(Trainer, RecordsConvergenceCurve)
     EXPECT_GE(r.bestValMetric, r.valMetric.front());
 }
 
+TEST(Trainer, EvalEveryZeroClampedToEveryEpoch)
+{
+    // Regression: evalEvery == 0 used to hit `epoch % 0` and crash.
+    TinyTask t;
+    GnnModel model(tinyModel(GnnKind::Gcn, Nonlinearity::Relu, t.task));
+    Trainer trainer(model, t.data, t.task);
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.evalEvery = 0;
+    const TrainResult r = trainer.run(cfg);
+    EXPECT_EQ(r.trainLoss.size(), 5u);
+    // Clamped to 1: an eval point at every epoch.
+    ASSERT_EQ(r.evalEpochs.size(), 5u);
+    EXPECT_EQ(r.evalEpochs.back(), 4u);
+}
+
 TEST(Trainer, MultiLabelTaskTrainsWithBce)
 {
     TrainingTask task = *findTrainingTask("Yelp");
@@ -239,6 +255,44 @@ TEST(ProfileEpoch, MaxkEpochFasterThanBaselineOnHighDegreeGraph)
     const EpochTiming bt = profileEpoch(base, g, part, opt);
     const double amdahl = 1.0 / (1.0 - bt.aggFraction());
     EXPECT_LT(t_base / t_maxk, amdahl * 1.05);
+}
+
+TEST(ProfileEpoch, OptimizerSweepCountsTrueLayerShapes)
+{
+    // Regression: param_elems modelled the last layer as
+    // hiddenDim x hiddenDim and ignored SAGE's second linear, so the
+    // optimizer-sweep term was identical for SAGE and GCN. With the
+    // true shapes, SAGE (two linears per layer) must charge a strictly
+    // larger `other` term than GCN at identical dimensions.
+    Rng rng(9);
+    CsrGraph g = rmat(9, 40000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    const auto part = EdgeGroupPartition::build(g, 32);
+
+    ModelConfig sage;
+    sage.kind = GnnKind::Sage;
+    sage.nonlin = Nonlinearity::Relu;
+    sage.numLayers = 3;
+    sage.inDim = 128;
+    sage.hiddenDim = 4096; // params dwarf the n*outDim logits term
+    sage.outDim = 16;
+    ModelConfig gcn = sage;
+    gcn.kind = GnnKind::Gcn;
+
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.01);
+    // The old model charged them identically; the flat per-layer
+    // dispatch-overhead term keeps the ratio below a full 2x.
+    const EpochTiming ts = profileEpoch(sage, g, part, opt);
+    const EpochTiming tg = profileEpoch(gcn, g, part, opt);
+    EXPECT_GT(ts.other, tg.other * 1.25);
+
+    // And the sweep must scale with the output width of the last layer
+    // (the hiddenDim x outDim term the old model dropped).
+    ModelConfig wide = gcn;
+    wide.outDim = 2048;
+    const EpochTiming tw = profileEpoch(wide, g, part, opt);
+    EXPECT_GT(tw.other, tg.other);
 }
 
 TEST(ProfileEpoch, GnnaBaselineSlowerThanCuSparse)

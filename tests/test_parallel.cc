@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Determinism sweep for the parallel-execution subsystem
+ * (common/parallel.hh): every converted row-parallel kernel must
+ * produce bitwise-identical matrices AND identical simulated
+ * KernelStats at 1/2/4/8 threads, including the scatter-shaped
+ * backward paths and with cache simulation both on and off. Plus unit
+ * coverage of the pool primitives themselves (splitRange coverage,
+ * rowAlignedChunks row integrity, nesting, exception propagation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "core/maxk.hh"
+#include "core/spgemm_forward.hh"
+#include "core/sspmm_backward.hh"
+#include "graph/edge_groups.hh"
+#include "kernels/spmm_gnna.hh"
+#include "kernels/spmm_outer_naive.hh"
+#include "kernels/spmm_ref.hh"
+#include "kernels/spmm_row_wise.hh"
+#include "nn/gnn_layer.hh"
+#include "support/fixtures.hh"
+#include "tensor/init.hh"
+
+namespace maxk
+{
+namespace
+{
+
+const std::vector<std::uint32_t> kThreadSweep{1, 2, 4, 8};
+
+/** Restore the process default thread count on scope exit. */
+struct ThreadGuard
+{
+    ~ThreadGuard() { setDefaultThreads(0); }
+};
+
+::testing::AssertionResult
+matricesIdentical(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return ::testing::AssertionFailure() << "shape mismatch";
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            if (a.at(r, c) != b.at(r, c))
+                return ::testing::AssertionFailure()
+                       << "(" << r << "," << c << "): " << a.at(r, c)
+                       << " != " << b.at(r, c);
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+cbsrIdentical(const CbsrMatrix &a, const CbsrMatrix &b)
+{
+    if (a.rows() != b.rows() || a.dimK() != b.dimK() ||
+        a.dimOrigin() != b.dimOrigin())
+        return ::testing::AssertionFailure() << "shape mismatch";
+    for (NodeId r = 0; r < a.rows(); ++r) {
+        for (std::uint32_t kk = 0; kk < a.dimK(); ++kk) {
+            if (a.indexAt(r, kk) != b.indexAt(r, kk))
+                return ::testing::AssertionFailure()
+                       << "index (" << r << "," << kk << ")";
+            if (a.dataRow(r)[kk] != b.dataRow(r)[kk])
+                return ::testing::AssertionFailure()
+                       << "data (" << r << "," << kk
+                       << "): " << a.dataRow(r)[kk]
+                       << " != " << b.dataRow(r)[kk];
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+phaseStatsIdentical(const gpusim::PhaseStats &a,
+                    const gpusim::PhaseStats &b)
+{
+    if (a.name != b.name)
+        return ::testing::AssertionFailure()
+               << "phase name " << a.name << " != " << b.name;
+#define MAXK_CMP(field)                                                   \
+    if (a.field != b.field)                                               \
+    return ::testing::AssertionFailure()                                  \
+           << "phase " << a.name << " " #field " " << a.field             \
+           << " != " << b.field
+    MAXK_CMP(flops);
+    MAXK_CMP(reqBytes);
+    MAXK_CMP(l2ReqBytes);
+    MAXK_CMP(dramReadBytes);
+    MAXK_CMP(dramWriteBytes);
+    MAXK_CMP(l1Hits);
+    MAXK_CMP(l1Misses);
+    MAXK_CMP(l2Hits);
+    MAXK_CMP(l2Misses);
+    MAXK_CMP(sharedOps);
+    MAXK_CMP(sharedBytes);
+    MAXK_CMP(atomicSectors);
+#undef MAXK_CMP
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+statsIdentical(const gpusim::KernelStats &a, const gpusim::KernelStats &b)
+{
+    if (a.kernel != b.kernel)
+        return ::testing::AssertionFailure() << "kernel name";
+    if (a.phases.size() != b.phases.size())
+        return ::testing::AssertionFailure()
+               << "phase count " << a.phases.size()
+               << " != " << b.phases.size();
+    for (std::size_t i = 0; i < a.phases.size(); ++i) {
+        auto r = phaseStatsIdentical(a.phases[i], b.phases[i]);
+        if (!r)
+            return r;
+    }
+    if (a.totalSeconds != b.totalSeconds)
+        return ::testing::AssertionFailure()
+               << "totalSeconds " << a.totalSeconds
+               << " != " << b.totalSeconds;
+    if (a.bottleneck != b.bottleneck)
+        return ::testing::AssertionFailure() << "bottleneck";
+    return ::testing::AssertionSuccess();
+}
+
+/* ------------------------------------------------------- primitives -- */
+
+TEST(SplitRange, CoversRangeInOrder)
+{
+    for (std::size_t n : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+        for (std::uint32_t t : {1u, 2u, 4u, 8u, 32u}) {
+            const auto chunks = splitRange(0, n, 4, t);
+            std::size_t at = 0;
+            for (const auto &c : chunks) {
+                EXPECT_EQ(c.begin, at);
+                EXPECT_LT(c.begin, c.end);
+                at = c.end;
+            }
+            EXPECT_EQ(at, n);
+            EXPECT_LE(chunks.size(), t);
+            if (n >= 4) {
+                for (const auto &c : chunks)
+                    EXPECT_GE(c.size(), 4u);
+            }
+        }
+    }
+}
+
+TEST(SplitRange, GrainLimitsChunkCount)
+{
+    const auto chunks = splitRange(0, 10, 8, 8);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].begin, 0u);
+    EXPECT_EQ(chunks[0].end, 10u);
+}
+
+TEST(RowAlignedChunks, NeverSplitsARow)
+{
+    Rng rng(99);
+    const CsrGraph g =
+        test::makeGraph(test::GraphShape::PowerLaw, 128, 1500, rng);
+    const auto part = EdgeGroupPartition::build(g, 8);
+    for (std::uint32_t t : {1u, 2u, 4u, 8u}) {
+        const auto chunks = rowAlignedChunks(part.groups(), 4, t);
+        std::size_t at = 0;
+        for (const auto &c : chunks) {
+            EXPECT_EQ(c.begin, at);
+            EXPECT_LT(c.begin, c.end);
+            if (c.begin > 0) {
+                // A chunk boundary must coincide with a row change.
+                EXPECT_NE(part.groups()[c.begin].row,
+                          part.groups()[c.begin - 1].row);
+            }
+            at = c.end;
+        }
+        EXPECT_EQ(at, part.groups().size());
+    }
+}
+
+TEST(ParallelFor, ExecutesEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    parallelFor(
+        0, hits.size(), 8,
+        [&](std::uint32_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                ++hits[i];
+        },
+        4);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedRegionsDegradeToSerial)
+{
+    std::atomic<int> total{0};
+    parallelFor(
+        0, 8, 1,
+        [&](std::uint32_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                parallelFor(
+                    0, 4, 1,
+                    [&](std::uint32_t, std::size_t ib, std::size_t ie) {
+                        total += static_cast<int>(ie - ib);
+                    },
+                    4);
+            }
+        },
+        4);
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions)
+{
+    EXPECT_THROW(
+        parallelFor(
+            0, 64, 1,
+            [&](std::uint32_t, std::size_t b, std::size_t) {
+                if (b >= 32)
+                    throw std::runtime_error("boom");
+            },
+            8),
+        std::runtime_error);
+    // The pool must stay usable afterwards.
+    std::atomic<int> n{0};
+    parallelFor(
+        0, 16, 1,
+        [&](std::uint32_t, std::size_t b, std::size_t e) {
+            n += static_cast<int>(e - b);
+        },
+        4);
+    EXPECT_EQ(n.load(), 16);
+}
+
+TEST(ResolveThreads, PrecedenceAndOverride)
+{
+    ThreadGuard guard;
+    EXPECT_EQ(resolveThreads(3), 3u);
+    setDefaultThreads(5);
+    EXPECT_EQ(resolveThreads(0), 5u);
+    EXPECT_EQ(resolveThreads(2), 2u); // explicit request wins
+    setDefaultThreads(0);
+}
+
+/* -------------------------------------------- kernel determinism ----- */
+
+/** (graph shape, simulateCaches). */
+using SweepParam = std::tuple<test::GraphShape, bool>;
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    return test::graphShapeName(std::get<0>(info.param)) +
+           (std::get<1>(info.param) ? "_caches" : "_nocaches");
+}
+
+class ThreadSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto [shape, caches] = GetParam();
+        Rng rng(777);
+        g_ = test::makeGraph(shape, 128, 1400, rng);
+        part_ = EdgeGroupPartition::build(g_, 16);
+        x_.resize(g_.numNodes(), 48);
+        fillNormal(x_, rng, 0.0f, 1.0f);
+        opt_.simulateCaches = caches;
+    }
+
+    SimOptions
+    withThreads(std::uint32_t t) const
+    {
+        SimOptions o = opt_;
+        o.threads = t;
+        return o;
+    }
+
+    CsrGraph g_;
+    EdgeGroupPartition part_;
+    Matrix x_;
+    SimOptions opt_;
+    std::uint32_t k_ = 8;
+};
+
+// The simulator treats host pointers as device addresses, so simulated
+// cache stats are a function of the actual buffer addresses. Every test
+// below therefore reuses ONE output buffer for the baseline and every
+// thread count — exactly how a training loop launches kernels — and
+// snapshots the baseline values for comparison.
+
+TEST_P(ThreadSweep, MaxkCompressBitwiseAndStats)
+{
+    MaxKResult result; // shared across runs: stable CBSR addresses
+    maxkCompress(x_, k_, withThreads(1), result);
+    const CbsrMatrix base_cbsr = result.cbsr;
+    const gpusim::KernelStats base_stats = result.stats;
+    const std::uint32_t base_max = result.maxPivotIterations;
+    const double base_avg = result.avgPivotIterations;
+    for (std::uint32_t t : kThreadSweep) {
+        maxkCompress(x_, k_, withThreads(t), result);
+        EXPECT_TRUE(cbsrIdentical(result.cbsr, base_cbsr)) << t;
+        EXPECT_TRUE(statsIdentical(result.stats, base_stats)) << t;
+        EXPECT_EQ(result.maxPivotIterations, base_max);
+        EXPECT_DOUBLE_EQ(result.avgPivotIterations, base_avg);
+    }
+}
+
+TEST_P(ThreadSweep, SpmmRowWiseBitwiseAndStats)
+{
+    Matrix y;
+    const auto s_base = spmmRowWise(g_, x_, y, withThreads(1));
+    const Matrix y_base = y;
+    for (std::uint32_t t : kThreadSweep) {
+        const auto s = spmmRowWise(g_, x_, y, withThreads(t));
+        EXPECT_TRUE(matricesIdentical(y, y_base)) << t;
+        EXPECT_TRUE(statsIdentical(s, s_base)) << t;
+    }
+}
+
+TEST_P(ThreadSweep, SpmmGnnaBitwiseAndStats)
+{
+    Matrix y;
+    const auto s_base = spmmGnna(g_, part_, x_, y, withThreads(1));
+    const Matrix y_base = y;
+    for (std::uint32_t t : kThreadSweep) {
+        const auto s = spmmGnna(g_, part_, x_, y, withThreads(t));
+        EXPECT_TRUE(matricesIdentical(y, y_base)) << t;
+        EXPECT_TRUE(statsIdentical(s, s_base)) << t;
+    }
+}
+
+TEST_P(ThreadSweep, SpmmOuterNaiveBitwiseAndStats)
+{
+    Matrix y;
+    const auto s_base = spmmOuterNaive(g_, x_, y, withThreads(1));
+    const Matrix y_base = y;
+    for (std::uint32_t t : kThreadSweep) {
+        const auto s = spmmOuterNaive(g_, x_, y, withThreads(t));
+        EXPECT_TRUE(matricesIdentical(y, y_base)) << t;
+        EXPECT_TRUE(statsIdentical(s, s_base)) << t;
+    }
+}
+
+TEST_P(ThreadSweep, SpgemmForwardBitwiseAndStats)
+{
+    const MaxKResult mk = maxkCompress(x_, k_, withThreads(1));
+    Matrix y;
+    const auto s_base =
+        spgemmForward(g_, part_, mk.cbsr, y, withThreads(1));
+    const Matrix y_base = y;
+    for (std::uint32_t t : kThreadSweep) {
+        const auto s =
+            spgemmForward(g_, part_, mk.cbsr, y, withThreads(t));
+        EXPECT_TRUE(matricesIdentical(y, y_base)) << t;
+        EXPECT_TRUE(statsIdentical(s, s_base)) << t;
+    }
+}
+
+TEST_P(ThreadSweep, SpgemmForwardScatterAblationBitwiseAndStats)
+{
+    const MaxKResult mk = maxkCompress(x_, k_, withThreads(1));
+    Matrix y;
+    SimOptions o1 = withThreads(1);
+    o1.spgemmSharedBuffer = false;
+    const auto s_base = spgemmForward(g_, part_, mk.cbsr, y, o1);
+    const Matrix y_base = y;
+    for (std::uint32_t t : kThreadSweep) {
+        SimOptions o = withThreads(t);
+        o.spgemmSharedBuffer = false;
+        const auto s = spgemmForward(g_, part_, mk.cbsr, y, o);
+        EXPECT_TRUE(matricesIdentical(y, y_base)) << t;
+        EXPECT_TRUE(statsIdentical(s, s_base)) << t;
+    }
+}
+
+TEST_P(ThreadSweep, SspmmBackwardBitwiseAndStats)
+{
+    const MaxKResult mk = maxkCompress(x_, k_, withThreads(1));
+    Rng grad_rng(31);
+    Matrix dxl(g_.numNodes(), x_.cols());
+    fillNormal(dxl, grad_rng, 0.0f, 1.0f);
+
+    for (const bool prefetch : {true, false}) {
+        CbsrMatrix dxs; // shared across runs: stable addresses
+        dxs.adoptPattern(mk.cbsr);
+        SimOptions o1 = withThreads(1);
+        o1.sspmmPrefetch = prefetch;
+        const auto s_base = sspmmBackward(g_, part_, dxl, dxs, o1);
+        const CbsrMatrix base = dxs;
+        for (std::uint32_t t : kThreadSweep) {
+            SimOptions o = withThreads(t);
+            o.sspmmPrefetch = prefetch;
+            const auto s = sspmmBackward(g_, part_, dxl, dxs, o);
+            EXPECT_TRUE(cbsrIdentical(dxs, base))
+                << "t=" << t << " prefetch=" << prefetch;
+            EXPECT_TRUE(statsIdentical(s, s_base))
+                << "t=" << t << " prefetch=" << prefetch;
+        }
+    }
+}
+
+TEST_P(ThreadSweep, ReferenceAndAggregationPathsBitwise)
+{
+    ThreadGuard guard;
+
+    // Baselines at one thread (the scatter paths take their serial
+    // branch here; higher counts take the transpose-gather branch).
+    setDefaultThreads(1);
+    Matrix ref_base, reft_base, dense_base, denset_base, cbsr_base;
+    Matrix dense_mk_base, grad_base;
+    spmmReference(g_, x_, ref_base);
+    spmmTransposedReference(g_, x_, reft_base);
+    nn::aggregateDense(g_, x_, dense_base);
+    nn::aggregateDenseTransposed(g_, x_, denset_base);
+    CbsrMatrix mk_base;
+    nn::maxkCompressFast(x_, k_, mk_base);
+    nn::aggregateCbsr(g_, mk_base, cbsr_base);
+    CbsrMatrix back_base;
+    back_base.adoptPattern(mk_base);
+    nn::aggregateCbsrBackward(g_, x_, back_base);
+    maxkDense(x_, k_, dense_mk_base);
+    maxkBackwardDense(x_, k_, x_, grad_base);
+
+    for (std::uint32_t t : kThreadSweep) {
+        setDefaultThreads(t);
+        Matrix m;
+        spmmReference(g_, x_, m);
+        EXPECT_TRUE(matricesIdentical(m, ref_base)) << t;
+        spmmTransposedReference(g_, x_, m);
+        EXPECT_TRUE(matricesIdentical(m, reft_base)) << t;
+        nn::aggregateDense(g_, x_, m);
+        EXPECT_TRUE(matricesIdentical(m, dense_base)) << t;
+        nn::aggregateDenseTransposed(g_, x_, m);
+        EXPECT_TRUE(matricesIdentical(m, denset_base)) << t;
+
+        CbsrMatrix mk;
+        nn::maxkCompressFast(x_, k_, mk);
+        EXPECT_TRUE(cbsrIdentical(mk, mk_base)) << t;
+        nn::aggregateCbsr(g_, mk, m);
+        EXPECT_TRUE(matricesIdentical(m, cbsr_base)) << t;
+
+        CbsrMatrix back;
+        back.adoptPattern(mk_base);
+        nn::aggregateCbsrBackward(g_, x_, back);
+        EXPECT_TRUE(cbsrIdentical(back, back_base)) << t;
+
+        maxkDense(x_, k_, m);
+        EXPECT_TRUE(matricesIdentical(m, dense_mk_base)) << t;
+        maxkBackwardDense(x_, k_, x_, m);
+        EXPECT_TRUE(matricesIdentical(m, grad_base)) << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeCaches, ThreadSweep,
+    ::testing::Combine(::testing::Values(test::GraphShape::ErdosRenyi,
+                                         test::GraphShape::PowerLaw,
+                                         test::GraphShape::Star),
+                       ::testing::Bool()),
+    sweepName);
+
+} // namespace
+} // namespace maxk
