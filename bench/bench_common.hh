@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "graph/csr.hh"
 #include "graph/edge_groups.hh"
@@ -38,6 +39,16 @@ struct TwinBundle
     CsrGraph graph;
     EdgeGroupPartition part;
     SimOptions opt;  //!< device scaled for this twin's working set
+
+    /**
+     * Non-empty when the registry resolved a real on-disk dataset
+     * (DatasetInfo::onDiskPath or $MAXK_DATASET_DIR) instead of the
+     * synthetic twin. makeTwin logs the swap (stderr), so no result
+     * row is silently backed by a real graph; benches can additionally
+     * annotate their tables via fromDisk().
+     */
+    std::string sourcePath;
+    bool fromDisk() const { return !sourcePath.empty(); }
 };
 
 /**
@@ -53,8 +64,15 @@ makeTwin(const DatasetInfo &info, std::uint32_t dim_origin,
 {
     TwinBundle t;
     t.info = info;
+    DatasetInfo pinned = info;
+    if (auto source = pinResolvedSource(pinned)) {
+        t.sourcePath = *source;
+        logMessage(LogLevel::Info, "makeTwin(" + info.name +
+                                       "): loading on-disk dataset " +
+                                       *source);
+    }
     Rng rng(seed ^ std::hash<std::string>{}(info.name));
-    t.graph = materializeGraph(info, rng);
+    t.graph = materializeGraph(pinned, rng);
     t.graph.setAggregatorWeights(agg);
     t.part = EdgeGroupPartition::build(t.graph, workload_cap);
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal Expected<T, E>: a value-or-error sum type for recoverable
+ * failures (std::expected arrives only in C++23; this is the subset the
+ * I/O layer needs). Unlike fatal()/panic(), an Expected return makes the
+ * failure path *testable*: malformed input files become assertable
+ * IoError values instead of process exits.
+ *
+ * Accessing the wrong alternative is a programming error and panics —
+ * callers must branch on hasValue() / operator bool first.
+ */
+
+#ifndef MAXK_COMMON_EXPECTED_HH
+#define MAXK_COMMON_EXPECTED_HH
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace maxk
+{
+
+/** Tag wrapper selecting the error alternative of an Expected. */
+template <class E>
+struct Unexpected
+{
+    E error;
+};
+
+/** Deduction-friendly maker: `return unexpected(IoError{...});`. */
+template <class E>
+Unexpected<std::decay_t<E>>
+unexpected(E &&e)
+{
+    return {std::forward<E>(e)};
+}
+
+template <class T, class E>
+class Expected
+{
+  public:
+    Expected(T value) : storage_(std::in_place_index<0>, std::move(value))
+    {
+    }
+
+    Expected(Unexpected<E> err)
+        : storage_(std::in_place_index<1>, std::move(err.error))
+    {
+    }
+
+    bool hasValue() const { return storage_.index() == 0; }
+    explicit operator bool() const { return hasValue(); }
+
+    T &
+    value()
+    {
+        checkInvariant(hasValue(), "Expected::value() on error state");
+        return std::get<0>(storage_);
+    }
+
+    const T &
+    value() const
+    {
+        checkInvariant(hasValue(), "Expected::value() on error state");
+        return std::get<0>(storage_);
+    }
+
+    E &
+    error()
+    {
+        checkInvariant(!hasValue(), "Expected::error() on value state");
+        return std::get<1>(storage_);
+    }
+
+    const E &
+    error() const
+    {
+        checkInvariant(!hasValue(), "Expected::error() on value state");
+        return std::get<1>(storage_);
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return hasValue() ? std::get<0>(storage_) : std::move(fallback);
+    }
+
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+  private:
+    std::variant<T, E> storage_;
+};
+
+} // namespace maxk
+
+#endif // MAXK_COMMON_EXPECTED_HH

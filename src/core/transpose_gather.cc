@@ -19,7 +19,7 @@ gatherTransposedDense(const CsrGraph &a, const Matrix &x, Matrix &out,
     checkInvariant(out.rows() == a.numNodes() && out.cols() == x.cols(),
                    "gatherTransposedDense: output shape mismatch");
     const std::size_t dim = x.cols();
-    const CsrGraph at = a.transposed();
+    const CsrGraph &at = a.transposeCached();
     parallelFor(
         0, at.numNodes(), kRowGrain,
         [&](std::uint32_t, std::size_t begin, std::size_t end) {
@@ -45,7 +45,7 @@ gatherTransposedCbsr(const CsrGraph &a, const Matrix &dxl,
     checkInvariant(dxs.rows() == a.numNodes(),
                    "gatherTransposedCbsr: row count mismatch");
     const std::uint32_t dim_k = dxs.dimK();
-    const CsrGraph at = a.transposed();
+    const CsrGraph &at = a.transposeCached();
     parallelFor(
         0, at.numNodes(), kRowGrain,
         [&](std::uint32_t, std::size_t begin, std::size_t end) {

@@ -13,9 +13,11 @@
  * scatter for ANY thread count, which per-thread partial buffers (which
  * re-associate the sums) could not guarantee.
  *
- * This invariant lives here, in one place, so a future change (e.g.
- * caching the transpose on CsrGraph — see ROADMAP.md) cannot fix one
- * kernel and silently break another.
+ * This invariant lives here, in one place, so a change to how the
+ * transpose is obtained cannot fix one kernel and silently break
+ * another. The transpose itself comes from CsrGraph::transposeCached():
+ * built lazily on the first scatter-shaped launch, reused by every
+ * subsequent one, and invalidated when edge values mutate.
  */
 
 #ifndef MAXK_CORE_TRANSPOSE_GATHER_HH

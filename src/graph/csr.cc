@@ -95,6 +95,7 @@ CsrGraph::maxDegree() const
 void
 CsrGraph::setAggregatorWeights(Aggregator agg)
 {
+    transposeCache_.reset();
     switch (agg) {
       case Aggregator::Gin:
         std::fill(values_.begin(), values_.end(), 1.0f);
@@ -156,6 +157,17 @@ CsrGraph::transposed() const
         }
     }
     return t;
+}
+
+const CsrGraph &
+CsrGraph::transposeCached() const
+{
+    if (!transposeCache_) {
+        transposeCache_ =
+            std::make_shared<const CsrGraph>(transposed());
+        ++transposeBuilds_;
+    }
+    return *transposeCache_;
 }
 
 bool

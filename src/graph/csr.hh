@@ -13,6 +13,8 @@
 #ifndef MAXK_GRAPH_CSR_HH
 #define MAXK_GRAPH_CSR_HH
 
+#include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -66,7 +68,19 @@ class CsrGraph
     const std::vector<EdgeId> &rowPtr() const { return rowPtr_; }
     const std::vector<NodeId> &colIdx() const { return colIdx_; }
     const std::vector<Float> &values() const { return values_; }
-    std::vector<Float> &mutableValues() { return values_; }
+
+    /**
+     * Mutable access to the edge values. Invalidates the cached
+     * transpose (see transposeCached()): call it again for every
+     * mutation session rather than retaining the reference across
+     * later transposeCached() calls.
+     */
+    std::vector<Float> &
+    mutableValues()
+    {
+        transposeCache_.reset();
+        return values_;
+    }
 
     /** Out-degree of vertex v (row length). */
     EdgeId degree(NodeId v) const { return rowPtr_[v + 1] - rowPtr_[v]; }
@@ -93,6 +107,24 @@ class CsrGraph
      */
     CsrGraph transposed() const;
 
+    /**
+     * Lazily built, cached stable transpose — the scatter-shaped
+     * backward paths (transpose_gather.hh) call this once per kernel
+     * launch and used to rebuild A^T every time. The cache is
+     * invalidated by value mutation (mutableValues(),
+     * setAggregatorWeights()); the structure of a CsrGraph is immutable
+     * after construction, so no structural invalidation exists. Copies
+     * share the cached object (it is immutable).
+     *
+     * Not internally locked: like the kernels' other pre-launch setup,
+     * the first call for a given graph must come from the coordinating
+     * thread, never from inside a parallelFor body.
+     */
+    const CsrGraph &transposeCached() const;
+
+    /** Times transposeCached() actually built (test observability). */
+    std::size_t transposeBuildCount() const { return transposeBuilds_; }
+
     /** True when the sparsity pattern (not values) is symmetric. */
     bool structureSymmetric() const;
 
@@ -107,6 +139,8 @@ class CsrGraph
     std::vector<EdgeId> rowPtr_{0};
     std::vector<NodeId> colIdx_;
     std::vector<Float> values_;
+    mutable std::shared_ptr<const CsrGraph> transposeCache_;
+    mutable std::size_t transposeBuilds_ = 0;
 };
 
 } // namespace maxk

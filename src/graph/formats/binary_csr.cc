@@ -1,0 +1,266 @@
+#include "graph/formats/binary_csr.hh"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "graph/formats/detail.hh"
+
+namespace maxk::formats
+{
+
+namespace
+{
+
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFlagHasValues = 1u << 0;
+constexpr std::uint32_t kKnownFlags = kFlagHasValues;
+constexpr std::size_t kHeaderBytes = 40;
+constexpr std::uint64_t kIdxMax = std::numeric_limits<NodeId>::max();
+
+Unexpected<IoError>
+fail(IoErrorCode code, const std::string &path, std::string msg)
+{
+    return unexpected(IoError{code, path, 0, std::move(msg)});
+}
+
+template <class T>
+void
+appendRaw(std::string &out, T v)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+template <class T>
+T
+readRaw(const char *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+/** Decoded and size-validated header fields. */
+struct BinHeader
+{
+    std::uint64_t numNodes = 0;
+    std::uint64_t numEdges = 0;
+    std::uint64_t checksum = 0;
+    bool hasValues = false;
+    std::uint64_t payloadBytes = 0;
+};
+
+/**
+ * Decode the fixed 40-byte header and check it against the file size.
+ * Shared by the in-memory parser and the streaming loader so the two
+ * cannot drift on magic/version/flag/count validation.
+ */
+Expected<BinHeader, IoError>
+decodeHeader(const char *hdr, std::uint64_t file_size,
+             const std::string &path)
+{
+    if (file_size < kHeaderBytes)
+        return fail(IoErrorCode::Truncated, path,
+                    "file too short for the 40-byte header (" +
+                        std::to_string(file_size) + " bytes)");
+    if (std::memcmp(hdr, kBinaryCsrMagic, sizeof(kBinaryCsrMagic)) != 0)
+        return fail(IoErrorCode::BadMagic, path,
+                    "leading bytes are not the MAXKBIN magic");
+
+    const char *p = hdr + sizeof(kBinaryCsrMagic);
+    const std::uint32_t version = readRaw<std::uint32_t>(p);
+    const std::uint32_t flags = readRaw<std::uint32_t>(p + 4);
+    BinHeader h;
+    h.numNodes = readRaw<std::uint64_t>(p + 8);
+    h.numEdges = readRaw<std::uint64_t>(p + 16);
+    h.checksum = readRaw<std::uint64_t>(p + 24);
+
+    if (version != kVersion)
+        return fail(IoErrorCode::BadVersion, path,
+                    "unsupported version " + std::to_string(version));
+    if ((flags & ~kKnownFlags) != 0)
+        return fail(IoErrorCode::BadHeader, path,
+                    "unknown flag bits " + std::to_string(flags));
+    if (h.numNodes > kIdxMax || h.numEdges > kIdxMax)
+        return fail(IoErrorCode::BadHeader, path,
+                    "counts exceed 32-bit index space");
+
+    h.hasValues = (flags & kFlagHasValues) != 0;
+    h.payloadBytes = (h.numNodes + 1) * 8 + h.numEdges * 4 +
+                     (h.hasValues ? h.numEdges * 4 : 0);
+    const std::uint64_t expect = kHeaderBytes + h.payloadBytes;
+    if (file_size < expect)
+        return fail(IoErrorCode::Truncated, path,
+                    "payload truncated: " + std::to_string(file_size) +
+                        " bytes, header promises " +
+                        std::to_string(expect));
+    if (file_size > expect)
+        return fail(IoErrorCode::TrailingData, path,
+                    std::to_string(file_size - expect) +
+                        " trailing bytes after payload");
+    return h;
+}
+
+/** Checksum verdict + u64→u32 indptr narrowing + CSR validation. */
+GraphResult
+finalize(const BinHeader &h, std::uint64_t actual_checksum,
+         const std::vector<std::uint64_t> &indptr,
+         std::vector<NodeId> col_idx, std::vector<Float> values,
+         const std::string &path)
+{
+    if (actual_checksum != h.checksum)
+        return fail(IoErrorCode::ChecksumMismatch, path,
+                    "payload checksum mismatch (file says " +
+                        std::to_string(h.checksum) + ", computed " +
+                        std::to_string(actual_checksum) + ")");
+
+    std::vector<EdgeId> row_ptr(indptr.size());
+    for (std::size_t i = 0; i < indptr.size(); ++i) {
+        if (indptr[i] > kIdxMax)
+            return fail(IoErrorCode::RangeError, path,
+                        "indptr entry " + std::to_string(indptr[i]) +
+                            " exceeds 32-bit index space");
+        row_ptr[i] = static_cast<EdgeId>(indptr[i]);
+    }
+
+    if (auto e = validateCsrArrays(path, h.numNodes, row_ptr, col_idx))
+        return unexpected(std::move(*e));
+
+    return CsrGraph::fromCsr(static_cast<NodeId>(h.numNodes),
+                             std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+GraphResult
+parseBinaryCsr(std::string_view data, const std::string &path)
+{
+    auto header = decodeHeader(data.data(), data.size(), path);
+    if (!header)
+        return unexpected(std::move(header.error()));
+    const BinHeader &h = header.value();
+
+    const char *payload = data.data() + kHeaderBytes;
+    const std::uint64_t checksum = fnv1a64(payload, h.payloadBytes);
+
+    std::vector<std::uint64_t> indptr(h.numNodes + 1);
+    std::memcpy(indptr.data(), payload, indptr.size() * 8);
+    const char *cols = payload + indptr.size() * 8;
+    std::vector<NodeId> col_idx(h.numEdges);
+    if (!col_idx.empty())
+        std::memcpy(col_idx.data(), cols, col_idx.size() * 4);
+    std::vector<Float> values;
+    if (h.hasValues && h.numEdges != 0) {
+        values.resize(h.numEdges);
+        std::memcpy(values.data(), cols + h.numEdges * 4,
+                    values.size() * 4);
+    }
+    return finalize(h, checksum, indptr, std::move(col_idx),
+                    std::move(values), path);
+}
+
+GraphResult
+loadBinaryCsr(const std::string &path)
+{
+    // Streamed (not slurped): the container exists for fast reloads of
+    // multi-hundred-MB graphs, so peak memory is the CSR arrays plus
+    // one 40-byte header, not arrays + a full file copy. The payload
+    // checksum is chained section by section (FNV-1a is a sequential
+    // byte fold, so per-section seeding reproduces the whole-buffer
+    // hash exactly).
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(IoErrorCode::OpenFailed, path,
+                    "cannot open for reading");
+    in.seekg(0, std::ios::end);
+    const std::uint64_t file_size =
+        static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+
+    char hdr[kHeaderBytes] = {};
+    in.read(hdr, kHeaderBytes);
+    auto header = decodeHeader(
+        hdr, in ? file_size : static_cast<std::uint64_t>(in.gcount()),
+        path);
+    if (!header)
+        return unexpected(std::move(header.error()));
+    const BinHeader &h = header.value();
+
+    auto readSection = [&](void *dst, std::uint64_t bytes,
+                           std::uint64_t seed) -> std::uint64_t {
+        if (bytes == 0)
+            return seed;
+        in.read(static_cast<char *>(dst),
+                static_cast<std::streamsize>(bytes));
+        return fnv1a64(dst, bytes, seed);
+    };
+
+    std::vector<std::uint64_t> indptr(h.numNodes + 1);
+    std::uint64_t checksum = readSection(
+        indptr.data(), indptr.size() * 8, 0xcbf29ce484222325ull);
+    std::vector<NodeId> col_idx(h.numEdges);
+    checksum = readSection(col_idx.data(), col_idx.size() * 4, checksum);
+    std::vector<Float> values;
+    if (h.hasValues && h.numEdges != 0) {
+        values.resize(h.numEdges);
+        checksum =
+            readSection(values.data(), values.size() * 4, checksum);
+    }
+    if (!in)
+        return fail(IoErrorCode::Truncated, path,
+                    "read failed before the promised payload ended");
+
+    return finalize(h, checksum, indptr, std::move(col_idx),
+                    std::move(values), path);
+}
+
+bool
+saveBinaryCsr(const CsrGraph &g, const std::string &path, bool with_values)
+{
+    std::string payload;
+    payload.reserve(g.rowPtr().size() * 8 + g.colIdx().size() * 4 +
+                    (with_values ? g.values().size() * 4 : 0));
+    for (EdgeId v : g.rowPtr())
+        appendRaw(payload, static_cast<std::uint64_t>(v));
+    for (NodeId c : g.colIdx())
+        appendRaw(payload, static_cast<std::uint32_t>(c));
+    if (with_values)
+        for (Float f : g.values())
+            appendRaw(payload, f);
+
+    std::string header;
+    header.reserve(kHeaderBytes);
+    header.append(kBinaryCsrMagic, sizeof(kBinaryCsrMagic));
+    appendRaw(header, kVersion);
+    appendRaw(header, with_values ? kFlagHasValues : 0u);
+    appendRaw(header, static_cast<std::uint64_t>(g.numNodes()));
+    appendRaw(header, static_cast<std::uint64_t>(g.numEdges()));
+    appendRaw(header, fnv1a64(payload.data(), payload.size()));
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    return static_cast<bool>(out);
+}
+
+} // namespace maxk::formats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary CSR container (".maxkb") for fast reload of converted real
+ * datasets: parsing a multi-hundred-MB text edge list once and
+ * reloading the CSR arrays as raw bytes afterwards is the difference
+ * between minutes and milliseconds of ingest (cf. PyTorch-Direct's
+ * observation that data loading, not kernels, limits GNN training at
+ * scale).
+ *
+ * Layout (little-endian, fixed 40-byte header):
+ *   bytes  0..7   magic "MAXKBIN\0"
+ *   u32            version (currently 1)
+ *   u32            flags (bit 0: fp32 values present)
+ *   u64            numNodes
+ *   u64            numEdges
+ *   u64            FNV-1a 64 checksum of the payload bytes
+ *   payload        (numNodes+1) x u64 indptr
+ *                  numEdges     x u32 indices
+ *                  [numEdges    x f32 values]
+ *
+ * indptr is widened to u64 on disk so the container outlives the
+ * current 32-bit EdgeId (a load simply rejects files that do not fit).
+ */
+
+#ifndef MAXK_GRAPH_FORMATS_BINARY_CSR_HH
+#define MAXK_GRAPH_FORMATS_BINARY_CSR_HH
+
+#include <string>
+
+#include "graph/formats/io_error.hh"
+
+namespace maxk::formats
+{
+
+/** Leading bytes of a .maxkb file. */
+inline constexpr char kBinaryCsrMagic[8] = {'M', 'A', 'X', 'K',
+                                            'B', 'I', 'N', '\0'};
+
+/** Preferred file extension for the binary container. */
+inline constexpr const char *kBinaryCsrExtension = ".maxkb";
+
+/** Load a binary CSR dump; never terminates the process. */
+GraphResult loadBinaryCsr(const std::string &path);
+
+/** Parse binary CSR content already in memory (`path` labels errors). */
+GraphResult parseBinaryCsr(std::string_view data, const std::string &path);
+
+/** Serialise to the binary container. Returns false on I/O failure. */
+bool saveBinaryCsr(const CsrGraph &g, const std::string &path,
+                   bool with_values = true);
+
+/** FNV-1a 64-bit over a byte range (exposed for tests / the CLI). */
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+} // namespace maxk::formats
+
+#endif // MAXK_GRAPH_FORMATS_BINARY_CSR_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Internal helpers shared by the format loaders: whole-file slurping and
+ * the CSR-invariant check that turns broken arrays into IoError values
+ * (CsrGraph::fromCsr would panic on them, which is the right contract
+ * for programmer-built arrays but not for bytes that came off disk).
+ */
+
+#ifndef MAXK_GRAPH_FORMATS_DETAIL_HH
+#define MAXK_GRAPH_FORMATS_DETAIL_HH
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/formats/io_error.hh"
+
+namespace maxk::formats
+{
+
+/** Read a whole file (binary mode, so byte counts are exact). */
+inline bool
+readFileToString(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return static_cast<bool>(in) || in.eof();
+}
+
+/**
+ * Check the CSR invariants fromCsr() would enforce, as a recoverable
+ * error: rowPtr starts at 0, is monotone, ends at nnz; columns are in
+ * range and strictly increasing within each row.
+ */
+inline std::optional<IoError>
+validateCsrArrays(const std::string &path, std::uint64_t num_nodes,
+                  const std::vector<EdgeId> &row_ptr,
+                  const std::vector<NodeId> &col_idx)
+{
+    auto bad = [&](IoErrorCode code, const std::string &what) {
+        return IoError{code, path, 0, "invalid CSR structure: " + what};
+    };
+    if (row_ptr.empty() || row_ptr.front() != 0)
+        return bad(IoErrorCode::CountMismatch, "rowPtr must start at 0");
+    for (std::size_t v = 0; v + 1 < row_ptr.size(); ++v)
+        if (row_ptr[v] > row_ptr[v + 1])
+            return bad(IoErrorCode::CountMismatch,
+                       "rowPtr not monotone at row " + std::to_string(v));
+    if (row_ptr.back() != col_idx.size())
+        return bad(IoErrorCode::CountMismatch,
+                   "rowPtr ends at " + std::to_string(row_ptr.back()) +
+                       " but nnz is " + std::to_string(col_idx.size()));
+    for (std::size_t v = 0; v + 1 < row_ptr.size(); ++v) {
+        for (EdgeId e = row_ptr[v]; e < row_ptr[v + 1]; ++e) {
+            if (col_idx[e] >= num_nodes)
+                return bad(IoErrorCode::RangeError,
+                           "column " + std::to_string(col_idx[e]) +
+                               " out of range in row " + std::to_string(v));
+            if (e > row_ptr[v] && col_idx[e - 1] >= col_idx[e])
+                return bad(IoErrorCode::CountMismatch,
+                           "columns unsorted or duplicated in row " +
+                               std::to_string(v));
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace maxk::formats
+
+#endif // MAXK_GRAPH_FORMATS_DETAIL_HH

@@ -1,0 +1,311 @@
+#include "graph/formats/edge_list.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "common/logging.hh"
+#include "graph/formats/detail.hh"
+#include "graph/formats/scan.hh"
+
+namespace maxk::formats
+{
+
+namespace
+{
+
+constexpr std::uint64_t kIdxMax = std::numeric_limits<NodeId>::max();
+
+/** One parsed record, ids still in file space (before base shift). */
+struct RawEdge
+{
+    std::uint64_t src;
+    std::uint64_t dst;
+    Float weight;
+};
+
+Unexpected<IoError>
+fail(IoErrorCode code, const std::string &path, std::uint64_t line,
+     std::string msg)
+{
+    return unexpected(IoError{code, path, line, std::move(msg)});
+}
+
+bool
+rawEdgeKeyLess(const RawEdge &a, const RawEdge &b)
+{
+    return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+}
+
+bool
+rawEdgeKeyEq(const RawEdge &a, const RawEdge &b)
+{
+    return a.src == b.src && a.dst == b.dst;
+}
+
+/**
+ * The shared symmetrise/dedup contract: optionally mirror every edge,
+ * then stable-sort and keep the first occurrence of each (src, dst).
+ * Originals precede their mirrors in the array, so an existing weight
+ * always beats the mirrored one, deterministically.
+ */
+void
+mirrorSortDedup(std::vector<RawEdge> &edges, bool symmetrize)
+{
+    if (symmetrize) {
+        const std::size_t n = edges.size();
+        edges.reserve(n * 2);
+        for (std::size_t i = 0; i < n; ++i)
+            edges.push_back({edges[i].dst, edges[i].src,
+                             edges[i].weight});
+    }
+    std::stable_sort(edges.begin(), edges.end(), rawEdgeKeyLess);
+    edges.erase(std::unique(edges.begin(), edges.end(), rawEdgeKeyEq),
+                edges.end());
+}
+
+/** Counting-sort CSR assembly of in-range, sorted-unique triples. */
+CsrGraph
+buildCsr(NodeId num_nodes, const std::vector<RawEdge> &edges)
+{
+    std::vector<EdgeId> row_ptr(static_cast<std::size_t>(num_nodes) + 1,
+                                0);
+    std::vector<NodeId> col_idx(edges.size());
+    std::vector<Float> values(edges.size());
+    for (const auto &e : edges)
+        ++row_ptr[e.src + 1];
+    for (NodeId v = 0; v < num_nodes; ++v)
+        row_ptr[v + 1] += row_ptr[v];
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        col_idx[i] = static_cast<NodeId>(edges[i].dst);
+        values[i] = edges[i].weight;
+    }
+    return CsrGraph::fromCsr(num_nodes, std::move(row_ptr),
+                             std::move(col_idx), std::move(values));
+}
+
+/**
+ * Our own writer embeds "# maxk-edges nodes=<N>" so graphs with
+ * trailing isolated vertices (invisible in the records) round-trip
+ * exactly. Foreign files simply won't match and fall back to max-id
+ * inference.
+ */
+bool
+parseNodesHint(std::string_view comment, std::uint64_t &nodes)
+{
+    constexpr std::string_view kTag = "maxk-edges nodes=";
+    const std::size_t at = comment.find(kTag);
+    if (at == std::string_view::npos)
+        return false;
+    std::string_view rest = comment.substr(at + kTag.size());
+    const std::size_t end = rest.find_first_of(" \t\r");
+    if (end != std::string_view::npos)
+        rest = rest.substr(0, end);
+    return parseU64(rest, nodes);
+}
+
+} // namespace
+
+GraphResult
+parseEdgeList(std::string_view data, const std::string &path,
+              const EdgeListOptions &opt)
+{
+    std::vector<RawEdge> raw;
+    bool weighted = false;
+    bool have_arity = false;
+    std::uint64_t min_id = kIdxMax, max_id = 0;
+    std::uint64_t nodes_hint = 0;
+    bool have_hint = false;
+
+    std::uint64_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        std::size_t eol = data.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = data.size();
+        std::string_view line = data.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.remove_suffix(1);
+
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string_view::npos)
+            continue; // blank
+        if (line[first] == '#' || line[first] == '%') {
+            std::uint64_t n = 0;
+            if (!have_hint && parseNodesHint(line.substr(first), n)) {
+                nodes_hint = n;
+                have_hint = true;
+            }
+            continue;
+        }
+
+        // Tokenise the record: src dst [weight].
+        std::string_view tok[4];
+        std::size_t ntok = 0;
+        std::size_t p = first;
+        while (p < line.size()) {
+            const std::size_t start = line.find_first_not_of(" \t,", p);
+            if (start == std::string_view::npos)
+                break;
+            std::size_t stop = line.find_first_of(" \t,", start);
+            if (stop == std::string_view::npos)
+                stop = line.size();
+            if (ntok < 4)
+                tok[ntok] = line.substr(start, stop - start);
+            ++ntok;
+            p = stop;
+        }
+        if (ntok < 2 || ntok > 3)
+            return fail(IoErrorCode::ParseError, path, line_no,
+                        "expected 'src dst [weight]', got " +
+                            std::to_string(ntok) + " fields");
+        if (!have_arity) {
+            weighted = ntok == 3;
+            have_arity = true;
+        } else if ((ntok == 3) != weighted) {
+            return fail(IoErrorCode::ParseError, path, line_no,
+                        weighted ? "missing weight in weighted edge list"
+                                 : "unexpected weight in unweighted "
+                                   "edge list");
+        }
+
+        RawEdge e{0, 0, 1.0f};
+        if (!parseU64(tok[0], e.src))
+            return fail(IoErrorCode::ParseError, path, line_no,
+                        "non-numeric source id '" + std::string(tok[0]) +
+                            "'");
+        if (!parseU64(tok[1], e.dst))
+            return fail(IoErrorCode::ParseError, path, line_no,
+                        "non-numeric destination id '" +
+                            std::string(tok[1]) + "'");
+        if (weighted && !parseF32(tok[2], e.weight))
+            return fail(IoErrorCode::ParseError, path, line_no,
+                        "non-numeric weight '" + std::string(tok[2]) +
+                            "'");
+        min_id = std::min(min_id, std::min(e.src, e.dst));
+        max_id = std::max(max_id, std::max(e.src, e.dst));
+        raw.push_back(e);
+    }
+
+    if (raw.empty() && opt.numNodes == 0 && !have_hint)
+        return fail(IoErrorCode::Truncated, path, 0,
+                    "no edge records and no vertex-count hint");
+
+    // Index base: our own files carry the nodes hint and are 0-based by
+    // construction, so the hint pins Auto to Zero (a min id of 1 in
+    // such a file just means vertex 0 is isolated, not 1-based ids).
+    std::uint64_t shift = 0;
+    switch (opt.base) {
+      case IndexBase::Zero:
+        break;
+      case IndexBase::One:
+        shift = 1;
+        break;
+      case IndexBase::Auto:
+        shift = (!raw.empty() && !have_hint && min_id == 1) ? 1 : 0;
+        break;
+    }
+    if (shift == 1 && !raw.empty() && min_id == 0)
+        return fail(IoErrorCode::RangeError, path, 0,
+                    "id 0 present in a 1-based edge list");
+
+    std::uint64_t num_nodes64;
+    if (opt.numNodes != 0)
+        num_nodes64 = opt.numNodes;
+    else if (have_hint)
+        num_nodes64 = nodes_hint;
+    else
+        num_nodes64 = raw.empty() ? 0 : max_id + 1 - shift;
+    if (num_nodes64 > kIdxMax)
+        return fail(IoErrorCode::RangeError, path, 0,
+                    "vertex count " + std::to_string(num_nodes64) +
+                        " exceeds 32-bit index space");
+    const NodeId num_nodes = static_cast<NodeId>(num_nodes64);
+
+    std::vector<RawEdge> edges = std::move(raw);
+    for (auto &e : edges) {
+        e.src -= shift;
+        e.dst -= shift;
+        if (e.src >= num_nodes || e.dst >= num_nodes)
+            return fail(IoErrorCode::RangeError, path, 0,
+                        "edge (" + std::to_string(e.src) + ", " +
+                            std::to_string(e.dst) +
+                            ") out of range for " +
+                            std::to_string(num_nodes) + " vertices");
+    }
+
+    // Strict mode surfaces duplicates before mirroring: a symmetric
+    // input listing both directions is legitimate, a repeated record is
+    // not.
+    if (!opt.dedup) {
+        std::vector<RawEdge> probe = edges;
+        std::stable_sort(probe.begin(), probe.end(), rawEdgeKeyLess);
+        const auto dup = std::adjacent_find(probe.begin(), probe.end(),
+                                            rawEdgeKeyEq);
+        if (dup != probe.end())
+            return fail(IoErrorCode::DuplicateEdge, path, 0,
+                        "duplicate edge (" + std::to_string(dup->src) +
+                            ", " + std::to_string(dup->dst) +
+                            ") with dedup disabled");
+    }
+
+    mirrorSortDedup(edges, opt.symmetrize);
+    if (edges.size() > kIdxMax)
+        return fail(IoErrorCode::RangeError, path, 0,
+                    "edge count exceeds 32-bit index space");
+    return buildCsr(num_nodes, edges);
+}
+
+GraphResult
+loadEdgeList(const std::string &path, const EdgeListOptions &opt)
+{
+    std::string data;
+    if (!readFileToString(path, data))
+        return unexpected(IoError{IoErrorCode::OpenFailed, path, 0,
+                                  "cannot open for reading"});
+    return parseEdgeList(data, path, opt);
+}
+
+CsrGraph
+symmetrized(const CsrGraph &g)
+{
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<std::size_t>(g.numEdges()) * 2);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e)
+            edges.push_back({v, g.colIdx()[e], g.values()[e]});
+    mirrorSortDedup(edges, /*symmetrize=*/true);
+    checkInvariant(edges.size() <= kIdxMax,
+                   "symmetrized: edge count exceeds 32-bit index space");
+    return buildCsr(g.numNodes(), edges);
+}
+
+bool
+saveEdgeList(const CsrGraph &g, const std::string &path, bool with_values)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "# maxk-edges nodes=" << g.numNodes() << " edges="
+        << g.numEdges() << '\n';
+    char buf[64];
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e) {
+            out << v << '\t' << g.colIdx()[e];
+            if (with_values) {
+                std::snprintf(buf, sizeof(buf), "%.9g",
+                              static_cast<double>(g.values()[e]));
+                out << '\t' << buf;
+            }
+            out << '\n';
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+} // namespace maxk::formats

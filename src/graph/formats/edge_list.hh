@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SNAP-style plain edge-list ingestion — the format the paper's real
+ * evaluation graphs (Reddit, ogbn-*) are distributed in once unpacked:
+ * one "src dst [weight]" record per line, `#` or `%` comment lines,
+ * tabs or spaces, CRLF tolerated.
+ *
+ * Records are token-oriented: a record is two node ids plus an optional
+ * fp32 weight, and the weighted/unweighted decision is made by the
+ * first record (mixed arity is an error). Duplicate edges collapse to
+ * the first occurrence's weight under `dedup`, or are reported as
+ * IoErrorCode::DuplicateEdge in strict mode. Symmetrisation mirrors
+ * every edge (and its weight); a mirrored duplicate is never a strict
+ * violation because symmetric inputs legitimately list both directions.
+ */
+
+#ifndef MAXK_GRAPH_FORMATS_EDGE_LIST_HH
+#define MAXK_GRAPH_FORMATS_EDGE_LIST_HH
+
+#include <string>
+
+#include "graph/formats/io_error.hh"
+
+namespace maxk::formats
+{
+
+/** How node ids in the file map to [0, numNodes). */
+enum class IndexBase
+{
+    Auto, //!< 1-based iff the smallest id seen is exactly 1, else 0-based
+    Zero, //!< ids are used verbatim
+    One,  //!< every id is shifted down by one (Matrix-Market style)
+};
+
+struct EdgeListOptions
+{
+    bool symmetrize = false; //!< insert the reverse of every edge
+    bool dedup = true;       //!< collapse duplicates (false = error out)
+    IndexBase base = IndexBase::Auto;
+
+    /**
+     * Vertex-count override. 0 = infer as (max id + 1) after base
+     * adjustment; nonzero = exactly this many nodes, and any id at or
+     * beyond it is an IoErrorCode::RangeError.
+     */
+    NodeId numNodes = 0;
+};
+
+/** Load a plain edge list; never terminates the process. */
+GraphResult loadEdgeList(const std::string &path,
+                         const EdgeListOptions &opt = {});
+
+/** Parse edge-list content already in memory (`path` labels errors). */
+GraphResult parseEdgeList(std::string_view data, const std::string &path,
+                          const EdgeListOptions &opt = {});
+
+/**
+ * Serialise as an edge list: a `# maxk edge list` comment header, then
+ * one "src dst weight" line per nnz (weights at %.9g, so fp32 survives
+ * a round-trip bitwise). `with_values = false` writes "src dst" pairs.
+ */
+bool saveEdgeList(const CsrGraph &g, const std::string &path,
+                  bool with_values = true);
+
+/**
+ * Mirror every edge of an already-loaded graph with the same
+ * first-wins contract the loader's `symmetrize` option applies at
+ * parse time: an existing (i, j) value beats the mirrored (j, i) one.
+ * Used by maxk-convert for CSR-format inputs so `--symmetrize` means
+ * one thing regardless of input format.
+ */
+CsrGraph symmetrized(const CsrGraph &g);
+
+} // namespace maxk::formats
+
+#endif // MAXK_GRAPH_FORMATS_EDGE_LIST_HH

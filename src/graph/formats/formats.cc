@@ -1,0 +1,113 @@
+#include "graph/formats/formats.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "graph/formats/scan.hh"
+
+namespace maxk::formats
+{
+
+const char *
+graphFormatName(GraphFormat f)
+{
+    switch (f) {
+      case GraphFormat::BinaryCsr: return "bincsr";
+      case GraphFormat::TextCsr:   return "textcsr";
+      case GraphFormat::EdgeList:  return "edgelist";
+    }
+    return "?";
+}
+
+std::optional<GraphFormat>
+graphFormatFromName(const std::string &name)
+{
+    if (name == "bincsr" || name == "binary" || name == "maxkb")
+        return GraphFormat::BinaryCsr;
+    if (name == "textcsr" || name == "csr")
+        return GraphFormat::TextCsr;
+    if (name == "edgelist" || name == "el" || name == "edges")
+        return GraphFormat::EdgeList;
+    return std::nullopt;
+}
+
+std::optional<GraphFormat>
+graphFormatFromExtension(const std::string &path)
+{
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return std::nullopt;
+    const std::string ext = path.substr(dot);
+    if (ext == kBinaryCsrExtension)
+        return GraphFormat::BinaryCsr;
+    if (ext == ".csr" || ext == ".maxkcsr")
+        return GraphFormat::TextCsr;
+    if (ext == ".txt" || ext == ".tsv" || ext == ".el" || ext == ".edges")
+        return GraphFormat::EdgeList;
+    return std::nullopt;
+}
+
+Expected<GraphFormat, IoError>
+sniffFormat(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return unexpected(IoError{IoErrorCode::OpenFailed, path, 0,
+                                  "cannot open for reading"});
+    char head[64] = {};
+    in.read(head, sizeof(head));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+
+    if (got >= sizeof(kBinaryCsrMagic) &&
+        std::memcmp(head, kBinaryCsrMagic, sizeof(kBinaryCsrMagic)) == 0)
+        return GraphFormat::BinaryCsr;
+
+    TokenScanner sc(std::string_view(head, got));
+    std::string_view tok;
+    if (sc.next(tok) && tok == kTextCsrMagic)
+        return GraphFormat::TextCsr;
+
+    // Everything else — including comment-led SNAP headers — parses as
+    // an edge list; the edge-list loader produces the precise error if
+    // it is not one.
+    return GraphFormat::EdgeList;
+}
+
+GraphResult
+loadGraphAs(GraphFormat format, const std::string &path,
+            const EdgeListOptions &elopt)
+{
+    switch (format) {
+      case GraphFormat::BinaryCsr: return loadBinaryCsr(path);
+      case GraphFormat::TextCsr:   return loadTextCsr(path);
+      case GraphFormat::EdgeList:  return loadEdgeList(path, elopt);
+    }
+    return unexpected(IoError{IoErrorCode::BadMagic, path, 0,
+                              "unknown graph format"});
+}
+
+GraphResult
+loadAnyGraph(const std::string &path, const EdgeListOptions &elopt)
+{
+    auto format = sniffFormat(path);
+    if (!format)
+        return unexpected(std::move(format.error()));
+    return loadGraphAs(format.value(), path, elopt);
+}
+
+bool
+saveGraphAs(GraphFormat format, const CsrGraph &g, const std::string &path,
+            bool with_values)
+{
+    switch (format) {
+      case GraphFormat::BinaryCsr:
+        return saveBinaryCsr(g, path, with_values);
+      case GraphFormat::TextCsr:
+        return saveTextCsr(g, path, with_values);
+      case GraphFormat::EdgeList:
+        return saveEdgeList(g, path, with_values);
+    }
+    return false;
+}
+
+} // namespace maxk::formats

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Front door of the dataset-ingestion subsystem: format sniffing and
+ * `loadAnyGraph()`, the one call sites should use when they just want
+ * "this file, as a CsrGraph". Dispatches to the binary container, the
+ * text-CSR format, or the SNAP-style edge-list loader by *content*
+ * (magic bytes first, extension never lies the other way), so a
+ * renamed file still loads.
+ */
+
+#ifndef MAXK_GRAPH_FORMATS_FORMATS_HH
+#define MAXK_GRAPH_FORMATS_FORMATS_HH
+
+#include <optional>
+#include <string>
+
+#include "graph/formats/binary_csr.hh"
+#include "graph/formats/edge_list.hh"
+#include "graph/formats/io_error.hh"
+#include "graph/formats/text_csr.hh"
+
+namespace maxk::formats
+{
+
+/** The on-disk formats the subsystem speaks. */
+enum class GraphFormat
+{
+    BinaryCsr, //!< .maxkb container (magic "MAXKBIN\0")
+    TextCsr,   //!< "maxk-csr" text format
+    EdgeList,  //!< SNAP-style src/dst records
+};
+
+/** Stable name for CLI output ("bincsr", "textcsr", "edgelist"). */
+const char *graphFormatName(GraphFormat f);
+
+/** Inverse of graphFormatName; nullopt for unknown names. */
+std::optional<GraphFormat> graphFormatFromName(const std::string &name);
+
+/** Guess a format from a file extension (.maxkb/.csr/.txt/...). */
+std::optional<GraphFormat> graphFormatFromExtension(
+    const std::string &path);
+
+/**
+ * Sniff the format from leading file content: MAXKBIN magic → binary,
+ * "maxk-csr" first token → text CSR, anything else → edge list. Errors
+ * only when the file cannot be read at all.
+ */
+Expected<GraphFormat, IoError> sniffFormat(const std::string &path);
+
+/**
+ * Load a graph of any supported format, sniffing first. `elopt` applies
+ * only when the file turns out to be an edge list.
+ */
+GraphResult loadAnyGraph(const std::string &path,
+                         const EdgeListOptions &elopt = {});
+
+/** Load a graph of a known format (CLI --from dispatch). */
+GraphResult loadGraphAs(GraphFormat format, const std::string &path,
+                        const EdgeListOptions &elopt = {});
+
+/** Save a graph in the given format. Returns false on I/O failure. */
+bool saveGraphAs(GraphFormat format, const CsrGraph &g,
+                 const std::string &path, bool with_values = true);
+
+} // namespace maxk::formats
+
+#endif // MAXK_GRAPH_FORMATS_FORMATS_HH

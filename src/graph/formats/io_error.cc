@@ -1,0 +1,45 @@
+#include "graph/formats/io_error.hh"
+
+namespace maxk
+{
+
+const char *
+ioErrorCodeName(IoErrorCode code)
+{
+    switch (code) {
+      case IoErrorCode::OpenFailed:       return "OpenFailed";
+      case IoErrorCode::BadMagic:         return "BadMagic";
+      case IoErrorCode::BadVersion:       return "BadVersion";
+      case IoErrorCode::BadHeader:        return "BadHeader";
+      case IoErrorCode::Truncated:        return "Truncated";
+      case IoErrorCode::ParseError:       return "ParseError";
+      case IoErrorCode::RangeError:       return "RangeError";
+      case IoErrorCode::CountMismatch:    return "CountMismatch";
+      case IoErrorCode::DuplicateEdge:    return "DuplicateEdge";
+      case IoErrorCode::TrailingData:     return "TrailingData";
+      case IoErrorCode::ChecksumMismatch: return "ChecksumMismatch";
+      case IoErrorCode::WriteFailed:      return "WriteFailed";
+    }
+    return "?";
+}
+
+std::string
+IoError::describe() const
+{
+    std::string out = path.empty() ? std::string("<stream>") : path;
+    if (line != 0) {
+        // Separate appends: `out += ":" + ...` trips GCC's -Wrestrict
+        // false positive at -O3, which -Werror turns into a Release
+        // build failure.
+        out += ':';
+        out += std::to_string(line);
+    }
+    out += ": ";
+    out += message;
+    out += " [";
+    out += ioErrorCodeName(code);
+    out += "]";
+    return out;
+}
+
+} // namespace maxk

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Internal line-tracking token scanner shared by the text-format
+ * parsers. Not installed as public API: the loaders in graph/formats
+ * expose file-level entry points only.
+ *
+ * Whitespace (space, tab, CR, LF) separates tokens; CR is treated as
+ * plain whitespace so CRLF files parse identically to LF files. The
+ * scanner tracks the 1-based line of the *current* token so parse
+ * errors can point at the offending line.
+ */
+
+#ifndef MAXK_GRAPH_FORMATS_SCAN_HH
+#define MAXK_GRAPH_FORMATS_SCAN_HH
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace maxk::formats
+{
+
+class TokenScanner
+{
+  public:
+    explicit TokenScanner(std::string_view data) : data_(data) {}
+
+    /** Line (1-based) of the most recently returned token. */
+    std::uint64_t line() const { return token_line_; }
+
+    /** Line the scan position currently sits on (for EOF reports). */
+    std::uint64_t currentLine() const { return line_; }
+
+    /**
+     * Fetch the next token; returns false at end of input. Comment
+     * handling is the caller's job (formats disagree on markers).
+     */
+    bool
+    next(std::string_view &tok)
+    {
+        skipSpace();
+        if (pos_ >= data_.size())
+            return false;
+        token_line_ = line_;
+        const std::size_t start = pos_;
+        while (pos_ < data_.size() && !isSpace(data_[pos_]))
+            ++pos_;
+        tok = data_.substr(start, pos_ - start);
+        return true;
+    }
+
+    /** True when only whitespace remains. */
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= data_.size();
+    }
+
+    /** Skip the remainder of the current line (comment lines). */
+    void
+    skipLine()
+    {
+        while (pos_ < data_.size() && data_[pos_] != '\n')
+            ++pos_;
+    }
+
+  private:
+    static bool
+    isSpace(char c)
+    {
+        return c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+               c == '\v' || c == '\f';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < data_.size() && isSpace(data_[pos_])) {
+            if (data_[pos_] == '\n')
+                ++line_;
+            ++pos_;
+        }
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    std::uint64_t line_ = 1;
+    std::uint64_t token_line_ = 1;
+};
+
+/** Parse an unsigned integer token strictly (no sign, no trailing). */
+inline bool
+parseU64(std::string_view tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
+            return false;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+/** Parse a float token strictly (whole token must be consumed). */
+inline bool
+parseF32(std::string_view tok, float &out)
+{
+    if (tok.empty() || tok.size() > 64)
+        return false;
+    char buf[65];
+    tok.copy(buf, tok.size());
+    buf[tok.size()] = '\0';
+    errno = 0;
+    char *end = nullptr;
+    const float v = std::strtof(buf, &end);
+    if (end != buf + tok.size())
+        return false;
+    // glibc sets ERANGE for subnormal results too, but still returns
+    // the correctly rounded value — only genuine overflow is an error
+    // (underflow-to-subnormal must round-trip, e.g. 1e-39 weights).
+    if (errno == ERANGE && (v == HUGE_VALF || v == -HUGE_VALF))
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace maxk::formats
+
+#endif // MAXK_GRAPH_FORMATS_SCAN_HH

@@ -1,0 +1,166 @@
+#include "graph/formats/text_csr.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "graph/formats/detail.hh"
+#include "graph/formats/scan.hh"
+
+namespace maxk::formats
+{
+
+namespace
+{
+
+Unexpected<IoError>
+fail(IoErrorCode code, const std::string &path, std::uint64_t line,
+     std::string msg)
+{
+    return unexpected(IoError{code, path, line, std::move(msg)});
+}
+
+} // namespace
+
+GraphResult
+parseTextCsr(std::string_view data, const std::string &path)
+{
+    TokenScanner sc(data);
+    std::string_view tok;
+
+    if (!sc.next(tok))
+        return fail(IoErrorCode::Truncated, path, 0,
+                    "empty file: missing maxk-csr header");
+    if (tok != kTextCsrMagic)
+        return fail(IoErrorCode::BadMagic, path, sc.line(),
+                    "bad header: expected '" + std::string(kTextCsrMagic) +
+                        "' magic, got '" + std::string(tok) + "'");
+
+    std::uint64_t version = 0;
+    if (!sc.next(tok) || !parseU64(tok, version))
+        return fail(IoErrorCode::BadHeader, path, sc.currentLine(),
+                    "bad header: missing or non-numeric version");
+    if (version != 1)
+        return fail(IoErrorCode::BadVersion, path, sc.line(),
+                    "bad header: unsupported version " +
+                        std::to_string(version));
+
+    std::uint64_t num_nodes = 0, num_edges = 0;
+    if (!sc.next(tok) || !parseU64(tok, num_nodes))
+        return fail(IoErrorCode::BadHeader, path, sc.currentLine(),
+                    "bad header: missing or non-numeric node count");
+    if (!sc.next(tok) || !parseU64(tok, num_edges))
+        return fail(IoErrorCode::BadHeader, path, sc.currentLine(),
+                    "bad header: missing or non-numeric edge count");
+
+    constexpr std::uint64_t kIdxMax = std::numeric_limits<NodeId>::max();
+    if (num_nodes > kIdxMax || num_edges > kIdxMax)
+        return fail(IoErrorCode::BadHeader, path, sc.line(),
+                    "bad header: counts exceed 32-bit index space");
+    // Each payload token occupies at least one byte, so counts larger
+    // than the file itself are lies — reject before allocating for them.
+    if (num_nodes > data.size() || num_edges > data.size())
+        return fail(IoErrorCode::BadHeader, path, sc.line(),
+                    "bad header: counts exceed file size");
+
+    std::vector<EdgeId> row_ptr(num_nodes + 1);
+    for (std::size_t i = 0; i < row_ptr.size(); ++i) {
+        std::uint64_t v = 0;
+        if (!sc.next(tok))
+            return fail(IoErrorCode::Truncated, path, sc.currentLine(),
+                        "truncated rowPtr: expected " +
+                            std::to_string(row_ptr.size()) +
+                            " entries, got " + std::to_string(i));
+        if (!parseU64(tok, v) || v > kIdxMax)
+            return fail(IoErrorCode::ParseError, path, sc.line(),
+                        "rowPtr: non-numeric or oversized token '" +
+                            std::string(tok) + "'");
+        row_ptr[i] = static_cast<EdgeId>(v);
+    }
+
+    std::vector<NodeId> col_idx(num_edges);
+    for (std::size_t i = 0; i < col_idx.size(); ++i) {
+        std::uint64_t v = 0;
+        if (!sc.next(tok))
+            return fail(IoErrorCode::Truncated, path, sc.currentLine(),
+                        "truncated colIdx: expected " +
+                            std::to_string(num_edges) + " entries, got " +
+                            std::to_string(i));
+        if (!parseU64(tok, v) || v > kIdxMax)
+            return fail(IoErrorCode::ParseError, path, sc.line(),
+                        "colIdx: non-numeric or oversized token '" +
+                            std::string(tok) + "'");
+        col_idx[i] = static_cast<NodeId>(v);
+    }
+
+    std::vector<Float> values;
+    if (!sc.atEnd()) {
+        values.resize(num_edges);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (!sc.next(tok))
+                return fail(IoErrorCode::Truncated, path, sc.currentLine(),
+                            "truncated values: expected " +
+                                std::to_string(num_edges) +
+                                " entries, got " + std::to_string(i));
+            if (!parseF32(tok, values[i]))
+                return fail(IoErrorCode::ParseError, path, sc.line(),
+                            "values: non-numeric token '" +
+                                std::string(tok) + "'");
+        }
+    }
+
+    // The legacy loader silently ignored anything after the payload
+    // (including a garbage token where the values block would start,
+    // which it treated as "no values"). Reject it instead.
+    if (!sc.atEnd()) {
+        sc.next(tok);
+        return fail(IoErrorCode::TrailingData, path, sc.line(),
+                    "trailing data after payload: '" + std::string(tok) +
+                        "'");
+    }
+
+    if (auto e = validateCsrArrays(path, num_nodes, row_ptr, col_idx))
+        return unexpected(std::move(*e));
+
+    return CsrGraph::fromCsr(static_cast<NodeId>(num_nodes),
+                             std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
+}
+
+GraphResult
+loadTextCsr(const std::string &path)
+{
+    std::string data;
+    if (!readFileToString(path, data))
+        return fail(IoErrorCode::OpenFailed, path, 0,
+                    "cannot open for reading");
+    return parseTextCsr(data, path);
+}
+
+bool
+saveTextCsr(const CsrGraph &g, const std::string &path, bool with_values)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << kTextCsrMagic << " 1 " << g.numNodes() << ' ' << g.numEdges()
+        << '\n';
+    for (std::size_t i = 0; i < g.rowPtr().size(); ++i)
+        out << (i ? " " : "") << g.rowPtr()[i];
+    out << '\n';
+    for (std::size_t i = 0; i < g.colIdx().size(); ++i)
+        out << (i ? " " : "") << g.colIdx()[i];
+    out << '\n';
+    if (with_values) {
+        char buf[64];
+        for (std::size_t i = 0; i < g.values().size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%.9g",
+                          static_cast<double>(g.values()[i]));
+            out << (i ? " " : "") << buf;
+        }
+        out << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+} // namespace maxk::formats

@@ -1,9 +1,7 @@
 #include "graph/io.hh"
 
-#include <fstream>
-#include <sstream>
-
 #include "common/logging.hh"
+#include "graph/formats/text_csr.hh"
 
 namespace maxk
 {
@@ -11,61 +9,16 @@ namespace maxk
 bool
 saveGraph(const CsrGraph &g, const std::string &path, bool with_values)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << "maxk-csr 1 " << g.numNodes() << ' ' << g.numEdges() << '\n';
-    for (std::size_t i = 0; i < g.rowPtr().size(); ++i)
-        out << (i ? " " : "") << g.rowPtr()[i];
-    out << '\n';
-    for (std::size_t i = 0; i < g.colIdx().size(); ++i)
-        out << (i ? " " : "") << g.colIdx()[i];
-    out << '\n';
-    if (with_values) {
-        for (std::size_t i = 0; i < g.values().size(); ++i)
-            out << (i ? " " : "") << g.values()[i];
-        out << '\n';
-    }
-    return static_cast<bool>(out);
+    return formats::saveTextCsr(g, path, with_values);
 }
 
 CsrGraph
 loadGraph(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("loadGraph: cannot open " + path);
-
-    std::string magic;
-    int version = 0;
-    std::uint64_t num_nodes = 0, num_edges = 0;
-    in >> magic >> version >> num_nodes >> num_edges;
-    if (magic != "maxk-csr" || version != 1)
-        fatal("loadGraph: bad header in " + path);
-
-    std::vector<EdgeId> row_ptr(num_nodes + 1);
-    for (auto &v : row_ptr)
-        if (!(in >> v))
-            fatal("loadGraph: truncated rowPtr in " + path);
-
-    std::vector<NodeId> col_idx(num_edges);
-    for (auto &v : col_idx)
-        if (!(in >> v))
-            fatal("loadGraph: truncated colIdx in " + path);
-
-    std::vector<Float> values;
-    Float probe;
-    if (in >> probe) {
-        values.resize(num_edges);
-        values[0] = probe;
-        for (std::size_t i = 1; i < num_edges; ++i)
-            if (!(in >> values[i]))
-                fatal("loadGraph: truncated values in " + path);
-    }
-
-    return CsrGraph::fromCsr(static_cast<NodeId>(num_nodes),
-                             std::move(row_ptr), std::move(col_idx),
-                             std::move(values));
+    GraphResult result = formats::loadTextCsr(path);
+    if (!result)
+        fatal("loadGraph: " + result.error().describe());
+    return std::move(result.value());
 }
 
 } // namespace maxk

@@ -1,11 +1,13 @@
 /**
  * @file
- * Plain-text CSR graph persistence. Lets users drop in real datasets
- * (converted offline) in place of the synthetic twins: the format is the
- * same `indptr / indices` split the MaxK-GNN artifact uses, flattened to
- * one text file.
+ * Legacy text-CSR persistence entry points, kept for call sites that
+ * want the original "load or die" contract. The parsing itself now
+ * lives in graph/formats/text_csr.hh and returns
+ * Expected<CsrGraph, IoError>; prefer that (or formats::loadAnyGraph
+ * for format-sniffed ingestion of edge lists and binary dumps) in new
+ * code — it makes malformed input testable and recoverable.
  *
- * Format:
+ * Format (unchanged since the seed):
  *   line 1: "maxk-csr 1 <numNodes> <numEdges>"
  *   line 2: numNodes+1 white-space separated rowPtr entries
  *   line 3: numEdges column indices
@@ -27,9 +29,10 @@ bool saveGraph(const CsrGraph &g, const std::string &path,
                bool with_values = true);
 
 /**
- * Load a graph from the text format.
- * Calls fatal() on malformed content (user error), returns the graph
- * otherwise.
+ * Load a graph from the text format; fatal() on malformed content.
+ * Thin wrapper over formats::loadTextCsr — unlike the seed version it
+ * rejects trailing garbage after the payload instead of silently
+ * ignoring it.
  */
 CsrGraph loadGraph(const std::string &path);
 

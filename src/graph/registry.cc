@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 
 #include "common/logging.hh"
+#include "graph/formats/formats.hh"
 #include "tensor/init.hh"
 
 namespace maxk
@@ -115,7 +118,79 @@ buildTrainingSuite()
     };
 }
 
+/**
+ * Homophilous labels for a loaded real graph, which ships no twin
+ * labelling: seed every vertex with a random class, then run a few
+ * deterministic majority-vote sweeps over the neighbourhoods so that
+ * the label field clusters along the graph structure (the property the
+ * SBM twins get by construction and the aggregation layers need for
+ * the task to be learnable).
+ */
+std::vector<std::uint32_t>
+propagateLabels(const CsrGraph &g, std::uint32_t num_classes, Rng &rng)
+{
+    const NodeId n = g.numNodes();
+    std::vector<std::uint32_t> labels(n);
+    for (NodeId v = 0; v < n; ++v)
+        labels[v] =
+            static_cast<std::uint32_t>(rng.nextBounded(num_classes));
+
+    std::vector<std::uint32_t> votes(num_classes);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        std::vector<std::uint32_t> next = labels;
+        for (NodeId v = 0; v < n; ++v) {
+            if (g.degree(v) == 0)
+                continue;
+            std::fill(votes.begin(), votes.end(), 0u);
+            for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e)
+                ++votes[labels[g.colIdx()[e]]];
+            std::uint32_t best = 0;
+            for (std::uint32_t c = 1; c < num_classes; ++c)
+                if (votes[c] > votes[best])
+                    best = c; // ties keep the smallest class id
+            next[v] = best;
+        }
+        labels.swap(next);
+    }
+    return labels;
+}
+
 } // namespace
+
+std::optional<std::string>
+resolveDatasetFile(const std::string &name)
+{
+    const char *dir = std::getenv(kDatasetDirEnv);
+    if (dir == nullptr || dir[0] == '\0')
+        return std::nullopt;
+    static const char *kExtensions[] = {".maxkb", ".csr", ".maxkcsr",
+                                        ".txt",   ".tsv", ".el",
+                                        ".edges"};
+    for (const char *ext : kExtensions) {
+        const std::string candidate =
+            std::string(dir) + "/" + name + ext;
+        if (std::ifstream(candidate).good())
+            return candidate;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+resolveDatasetSource(const DatasetInfo &info)
+{
+    if (!info.onDiskPath.empty())
+        return info.onDiskPath;
+    return resolveDatasetFile(info.name);
+}
+
+std::optional<std::string>
+pinResolvedSource(DatasetInfo &info)
+{
+    auto source = resolveDatasetSource(info);
+    if (source)
+        info.onDiskPath = *source;
+    return source;
+}
 
 const std::vector<DatasetInfo> &
 kernelSuite()
@@ -152,6 +227,13 @@ findTrainingTask(const std::string &name)
 CsrGraph
 materializeGraph(const DatasetInfo &info, Rng &rng)
 {
+    if (auto source = resolveDatasetSource(info)) {
+        GraphResult loaded = formats::loadAnyGraph(*source);
+        if (!loaded)
+            fatal("materializeGraph(" + info.name +
+                  "): " + loaded.error().describe());
+        return std::move(loaded.value());
+    }
     switch (info.kind) {
       case GraphKind::PowerLaw: {
         std::uint32_t scale = 1;
@@ -191,11 +273,21 @@ TrainingData
 materializeTrainingData(const TrainingTask &task, Rng &rng)
 {
     TrainingData data;
-    auto sbm = stochasticBlockModel(task.accuracyNodes, task.numClasses,
-                                    task.accuracyAvgDegree,
-                                    task.intraEdgeFraction, rng);
-    data.graph = std::move(sbm.graph);
-    data.labels = std::move(sbm.labels);
+    if (auto source = resolveDatasetSource(task.info)) {
+        GraphResult loaded = formats::loadAnyGraph(*source);
+        if (!loaded)
+            fatal("materializeTrainingData(" + task.info.name +
+                  "): " + loaded.error().describe());
+        data.graph = std::move(loaded.value());
+        data.labels = propagateLabels(data.graph, task.numClasses, rng);
+    } else {
+        auto sbm = stochasticBlockModel(task.accuracyNodes,
+                                        task.numClasses,
+                                        task.accuracyAvgDegree,
+                                        task.intraEdgeFraction, rng);
+        data.graph = std::move(sbm.graph);
+        data.labels = std::move(sbm.labels);
+    }
 
     const NodeId n = data.graph.numNodes();
 

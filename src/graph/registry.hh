@@ -40,6 +40,14 @@ struct DatasetInfo
     NodeId twinNodes;          //!< nodes in the synthetic twin
     EdgeId twinEdges;          //!< approximate nnz in the twin
 
+    /**
+     * Explicit on-disk graph file for this entry (any format
+     * formats::loadAnyGraph speaks). Empty = resolve via the
+     * MAXK_DATASET_DIR environment directory, falling back to the
+     * synthetic twin when nothing is found.
+     */
+    std::string onDiskPath;
+
     double paperAvgDegree() const
     {
         return paperNodes ? static_cast<double>(paperEdges) / paperNodes
@@ -85,7 +93,38 @@ const std::vector<TrainingTask> &trainingSuite();
 /** Look up a training task by dataset name. */
 std::optional<TrainingTask> findTrainingTask(const std::string &name);
 
-/** Materialise the synthetic twin graph for a registry entry. */
+/** Environment variable naming the real-dataset directory. */
+inline constexpr const char *kDatasetDirEnv = "MAXK_DATASET_DIR";
+
+/**
+ * Search $MAXK_DATASET_DIR for `<name>.<ext>` over the known graph
+ * extensions (.maxkb first — the fast container wins — then .csr,
+ * .maxkcsr, .txt, .tsv, .el, .edges). nullopt when the variable is
+ * unset or nothing matches.
+ */
+std::optional<std::string> resolveDatasetFile(const std::string &name);
+
+/**
+ * The on-disk source an entry will actually load from: its explicit
+ * onDiskPath if set, else the environment search. nullopt = synthetic
+ * twin.
+ */
+std::optional<std::string> resolveDatasetSource(const DatasetInfo &info);
+
+/**
+ * Resolve once and pin the result on the entry (onDiskPath), so a
+ * caller's "came from disk" label and the graph materializeGraph
+ * actually loads cannot diverge across two filesystem probes. Returns
+ * the pinned source, nullopt for a synthetic twin.
+ */
+std::optional<std::string> pinResolvedSource(DatasetInfo &info);
+
+/**
+ * Materialise the graph for a registry entry: the resolved on-disk
+ * dataset when one exists (fatal() on malformed files — a resolved
+ * path that does not parse is a configuration error, not a recoverable
+ * condition), otherwise the synthetic twin.
+ */
 CsrGraph materializeGraph(const DatasetInfo &info, Rng &rng);
 
 /**

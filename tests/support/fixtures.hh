@@ -11,6 +11,7 @@
 #define MAXK_TESTS_SUPPORT_FIXTURES_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "common/rng.hh"
@@ -81,6 +82,40 @@ struct MaxKFixture
                 Aggregator agg = Aggregator::SageMean,
                 GraphShape shape = GraphShape::ErdosRenyi,
                 std::uint32_t workload_cap = 32);
+};
+
+/**
+ * Scoped environment override (MAXK_DATASET_DIR and friends): RAII so
+ * the variable is restored to its previous state — set back to the old
+ * value, or unset if it was absent — even when an ASSERT aborts the
+ * test body. A leaked dataset dir would silently re-route every later
+ * registry call in the binary to disk graphs.
+ */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name_(name)
+    {
+        const char *prev = std::getenv(name);
+        had_previous_ = prev != nullptr;
+        if (had_previous_)
+            previous_ = prev;
+        setenv(name, value.c_str(), 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_previous_)
+            setenv(name_, previous_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    const char *name_;
+    std::string previous_;
+    bool had_previous_ = false;
 };
 
 } // namespace maxk::test

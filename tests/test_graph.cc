@@ -11,10 +11,12 @@
 #include <cstdio>
 
 #include "common/rng.hh"
+#include "core/transpose_gather.hh"
 #include "graph/csr.hh"
 #include "graph/generators.hh"
 #include "graph/io.hh"
 #include "graph/stats.hh"
+#include "tensor/init.hh"
 
 namespace maxk
 {
@@ -305,6 +307,61 @@ TEST(GraphIoDeathTest, LoadMissingFileIsFatal)
 {
     EXPECT_EXIT(loadGraph("/tmp/definitely_missing_maxk.csr"),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TransposeCache, SingleBuildIsReused)
+{
+    Rng rng(5);
+    CsrGraph g = erdosRenyi(60, 240, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    EXPECT_EQ(g.transposeBuildCount(), 0u);
+
+    const CsrGraph &t1 = g.transposeCached();
+    EXPECT_EQ(g.transposeBuildCount(), 1u);
+    const CsrGraph &t2 = g.transposeCached();
+    EXPECT_EQ(&t1, &t2); // same object, not an equal rebuild
+    EXPECT_EQ(g.transposeBuildCount(), 1u);
+
+    const CsrGraph fresh = g.transposed();
+    EXPECT_EQ(t1.rowPtr(), fresh.rowPtr());
+    EXPECT_EQ(t1.colIdx(), fresh.colIdx());
+    EXPECT_EQ(t1.values(), fresh.values());
+}
+
+TEST(TransposeCache, InvalidatedByValueMutation)
+{
+    Rng rng(6);
+    CsrGraph g = erdosRenyi(40, 160, rng);
+    g.transposeCached();
+    EXPECT_EQ(g.transposeBuildCount(), 1u);
+
+    g.setAggregatorWeights(Aggregator::Gcn);
+    const CsrGraph &t = g.transposeCached();
+    EXPECT_EQ(g.transposeBuildCount(), 2u);
+    EXPECT_EQ(t.values(), g.transposed().values());
+
+    g.mutableValues()[0] = 42.0f;
+    EXPECT_EQ(g.transposeCached().values(), g.transposed().values());
+    EXPECT_EQ(g.transposeBuildCount(), 3u);
+}
+
+TEST(TransposeCache, ScatterShapedGatherPathsBuildOnce)
+{
+    // The ROADMAP PR 2 follow-up: repeated backward-shaped launches
+    // must not rebuild A^T per call.
+    Rng rng(7);
+    CsrGraph g = erdosRenyi(48, 200, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    Matrix x(g.numNodes(), 8);
+    fillNormal(x, rng, 0.0f, 1.0f);
+
+    Matrix out1(g.numNodes(), 8, 0.0f), out2(g.numNodes(), 8, 0.0f);
+    gatherTransposedDense(g, x, out1);
+    gatherTransposedDense(g, x, out2);
+    EXPECT_EQ(g.transposeBuildCount(), 1u);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (std::size_t d = 0; d < 8; ++d)
+            EXPECT_EQ(out1.at(v, d), out2.at(v, d));
 }
 
 } // namespace

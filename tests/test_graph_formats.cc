@@ -1,0 +1,633 @@
+/**
+ * @file
+ * The ingestion subsystem's test-first I/O coverage: round-trip
+ * property tests over generator graphs for all three formats, a
+ * malformed-input table for the text and binary parsers, edge-list
+ * option semantics (base, dedup, symmetrize, vertex-count override),
+ * format sniffing, and the registry's MAXK_DATASET_DIR override. All
+ * failures here are Expected<_, IoError> values — nothing in this
+ * suite may terminate the process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/rng.hh"
+#include "graph/formats/formats.hh"
+#include "graph/registry.hh"
+#include "support/fixtures.hh"
+
+namespace maxk
+{
+namespace
+{
+
+using formats::EdgeListOptions;
+using formats::GraphFormat;
+using formats::IndexBase;
+using test::GraphShape;
+
+/** Write `content` under TempDir and return the path. */
+std::string
+writeTemp(const std::string &name, const std::string &content)
+{
+    const std::string path = ::testing::TempDir() + "maxk_fmt_" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return path;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return data;
+}
+
+void
+expectBitwiseEqual(const CsrGraph &a, const CsrGraph &b)
+{
+    EXPECT_EQ(a.numNodes(), b.numNodes());
+    EXPECT_EQ(a.rowPtr(), b.rowPtr());
+    EXPECT_EQ(a.colIdx(), b.colIdx());
+    EXPECT_EQ(a.values(), b.values());
+}
+
+using test::ScopedEnv;
+
+// ------------------------------------------------------------ Expected
+
+TEST(ExpectedType, ValueAndErrorPaths)
+{
+    Expected<int, std::string> ok(7);
+    ASSERT_TRUE(ok.hasValue());
+    EXPECT_EQ(ok.value(), 7);
+    EXPECT_EQ(ok.valueOr(9), 7);
+
+    Expected<int, std::string> bad(unexpected(std::string("boom")));
+    ASSERT_FALSE(bad);
+    EXPECT_EQ(bad.error(), "boom");
+    EXPECT_EQ(bad.valueOr(9), 9);
+}
+
+TEST(ExpectedType, IoErrorDescribeNamesEverything)
+{
+    const IoError e{IoErrorCode::ParseError, "g.txt", 3, "bad token"};
+    const std::string d = e.describe();
+    EXPECT_NE(d.find("g.txt:3"), std::string::npos);
+    EXPECT_NE(d.find("bad token"), std::string::npos);
+    EXPECT_NE(d.find("ParseError"), std::string::npos);
+}
+
+// --------------------------------------------------- round-trip sweeps
+
+class FormatRoundTrip : public ::testing::TestWithParam<GraphShape>
+{
+  protected:
+    CsrGraph
+    makeWeighted()
+    {
+        Rng rng(501 + static_cast<std::uint64_t>(GetParam()));
+        CsrGraph g =
+            test::makeGraph(GetParam(), 96, 700, rng,
+                            Aggregator::Gcn); // non-trivial fp32 values
+        return g;
+    }
+};
+
+TEST_P(FormatRoundTrip, TextCsrIsBitwiseStable)
+{
+    const CsrGraph g = makeWeighted();
+    const std::string path =
+        ::testing::TempDir() + "maxk_fmt_rt_" +
+        test::graphShapeName(GetParam()) + ".csr";
+    ASSERT_TRUE(formats::saveTextCsr(g, path));
+    auto loaded = formats::loadTextCsr(path);
+    ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    expectBitwiseEqual(g, loaded.value());
+}
+
+TEST_P(FormatRoundTrip, BinaryCsrIsBitwiseStable)
+{
+    const CsrGraph g = makeWeighted();
+    const std::string path =
+        ::testing::TempDir() + "maxk_fmt_rt_" +
+        test::graphShapeName(GetParam()) + ".maxkb";
+    ASSERT_TRUE(formats::saveBinaryCsr(g, path));
+    auto loaded = formats::loadBinaryCsr(path);
+    ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    expectBitwiseEqual(g, loaded.value());
+}
+
+TEST_P(FormatRoundTrip, EdgeListIsBitwiseStable)
+{
+    const CsrGraph g = makeWeighted();
+    const std::string path =
+        ::testing::TempDir() + "maxk_fmt_rt_" +
+        test::graphShapeName(GetParam()) + ".el";
+    ASSERT_TRUE(formats::saveEdgeList(g, path));
+    auto loaded = formats::loadEdgeList(path);
+    ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    expectBitwiseEqual(g, loaded.value());
+}
+
+TEST_P(FormatRoundTrip, LoadAnyGraphSniffsAllThree)
+{
+    const CsrGraph g = makeWeighted();
+    const std::string stem = ::testing::TempDir() + "maxk_fmt_sniff_" +
+                             test::graphShapeName(GetParam());
+    // Deliberately misleading extensions: sniffing is content-driven.
+    ASSERT_TRUE(formats::saveTextCsr(g, stem + "_t.dat"));
+    ASSERT_TRUE(formats::saveBinaryCsr(g, stem + "_b.dat"));
+    ASSERT_TRUE(formats::saveEdgeList(g, stem + "_e.dat"));
+    for (const char *suffix : {"_t.dat", "_b.dat", "_e.dat"}) {
+        auto loaded = formats::loadAnyGraph(stem + suffix);
+        ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+        expectBitwiseEqual(g, loaded.value());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FormatRoundTrip,
+                         ::testing::Values(GraphShape::ErdosRenyi,
+                                           GraphShape::PowerLaw,
+                                           GraphShape::Star,
+                                           GraphShape::Ring),
+                         [](const auto &info) {
+                             return test::graphShapeName(info.param);
+                         });
+
+TEST(FormatRoundTrip, WithoutValuesLoadsOnes)
+{
+    Rng rng(77);
+    CsrGraph g = test::makeGraph(GraphShape::ErdosRenyi, 32, 160, rng,
+                                 Aggregator::Gcn);
+    for (GraphFormat f : {GraphFormat::TextCsr, GraphFormat::BinaryCsr,
+                          GraphFormat::EdgeList}) {
+        const std::string path = ::testing::TempDir() +
+                                 "maxk_fmt_nv_" +
+                                 std::string(graphFormatName(f));
+        ASSERT_TRUE(formats::saveGraphAs(f, g, path, false));
+        auto loaded = formats::loadAnyGraph(path);
+        ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+        EXPECT_EQ(loaded->rowPtr(), g.rowPtr());
+        for (Float v : loaded->values())
+            EXPECT_EQ(v, 1.0f);
+    }
+}
+
+// -------------------------------------------- malformed-input tables
+
+struct BadCase
+{
+    const char *name;
+    const char *content;
+    IoErrorCode code;
+};
+
+class MalformedTextCsr : public ::testing::TestWithParam<BadCase>
+{
+};
+
+TEST_P(MalformedTextCsr, IsReportedNotFatal)
+{
+    const auto &[name, content, code] = GetParam();
+    auto result = formats::parseTextCsr(content, name);
+    ASSERT_FALSE(result.hasValue()) << "expected failure for " << name;
+    EXPECT_EQ(result.error().code, code)
+        << "got: " << result.error().describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, MalformedTextCsr,
+    ::testing::Values(
+        BadCase{"empty_file", "", IoErrorCode::Truncated},
+        BadCase{"bad_magic", "not-a-graph 1 2 2\n0 1 2\n1 0\n",
+                IoErrorCode::BadMagic},
+        BadCase{"bad_version", "maxk-csr 9 2 2\n0 1 2\n1 0\n",
+                IoErrorCode::BadVersion},
+        BadCase{"truncated_header", "maxk-csr 1 4",
+                IoErrorCode::BadHeader},
+        BadCase{"counts_exceed_file", "maxk-csr 1 999999 2\n0 1 2\n",
+                IoErrorCode::BadHeader},
+        BadCase{"truncated_rowptr", "maxk-csr 1 4 2\n0 1\n",
+                IoErrorCode::Truncated},
+        BadCase{"truncated_colidx", "maxk-csr 1 2 3\n0 2 3\n1\n",
+                IoErrorCode::Truncated},
+        BadCase{"nnz_mismatch", "maxk-csr 1 2 2\n0 1 1\n0 1\n",
+                IoErrorCode::CountMismatch},
+        BadCase{"rowptr_not_monotone", "maxk-csr 1 2 2\n0 2 1\n0 1\n",
+                IoErrorCode::CountMismatch},
+        BadCase{"column_out_of_range", "maxk-csr 1 2 2\n0 1 2\n1 5\n",
+                IoErrorCode::RangeError},
+        BadCase{"non_numeric_rowptr", "maxk-csr 1 2 2\n0 x 2\n1 0\n",
+                IoErrorCode::ParseError},
+        BadCase{"non_numeric_colidx", "maxk-csr 1 2 2\n0 1 2\nq 0\n",
+                IoErrorCode::ParseError},
+        BadCase{"truncated_values", "maxk-csr 1 2 2\n0 1 2\n1 0\n0.5\n",
+                IoErrorCode::Truncated},
+        // The seed loader treated a garbage token where the optional
+        // values block starts as "no values" and anything after a full
+        // payload as ignorable; both must be errors now.
+        BadCase{"garbage_values", "maxk-csr 1 2 2\n0 1 2\n1 0\nzz 1\n",
+                IoErrorCode::ParseError},
+        BadCase{"trailing_garbage",
+                "maxk-csr 1 2 2\n0 1 2\n1 0\n0.5 0.25\nextra\n",
+                IoErrorCode::TrailingData}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+TEST(TextCsrLenient, CrlfEndingsParse)
+{
+    auto result = formats::parseTextCsr(
+        "maxk-csr 1 2 2\r\n0 1 2\r\n1 0\r\n0.5 0.25\r\n", "crlf");
+    ASSERT_TRUE(result.hasValue()) << result.error().describe();
+    EXPECT_EQ(result->numNodes(), 2u);
+    EXPECT_EQ(result->values(), (std::vector<Float>{0.5f, 0.25f}));
+}
+
+TEST(MalformedBinaryCsr, CorruptionTable)
+{
+    Rng rng(9);
+    CsrGraph g = test::makeGraph(GraphShape::ErdosRenyi, 24, 100, rng);
+    const std::string path = writeTemp("bin_corrupt.maxkb", "");
+    ASSERT_TRUE(formats::saveBinaryCsr(g, path));
+    const std::string good = slurp(path);
+
+    auto expectCode = [&](std::string bytes, IoErrorCode code,
+                          const char *what) {
+        auto result = formats::parseBinaryCsr(bytes, what);
+        ASSERT_FALSE(result.hasValue()) << what;
+        EXPECT_EQ(result.error().code, code)
+            << what << ": " << result.error().describe();
+    };
+
+    expectCode("", IoErrorCode::Truncated, "empty_file");
+    expectCode(good.substr(0, 16), IoErrorCode::Truncated,
+               "truncated_header");
+    expectCode(good.substr(0, good.size() - 4), IoErrorCode::Truncated,
+               "truncated_payload");
+    expectCode(good + "x", IoErrorCode::TrailingData, "trailing_bytes");
+
+    std::string bad_magic = good;
+    bad_magic[0] = 'Z';
+    expectCode(bad_magic, IoErrorCode::BadMagic, "bad_magic");
+
+    std::string bad_version = good;
+    bad_version[8] = 9; // version u32 little-endian at offset 8
+    expectCode(bad_version, IoErrorCode::BadVersion, "bad_version");
+
+    std::string bad_flags = good;
+    bad_flags[12] = 0x7f;
+    expectCode(bad_flags, IoErrorCode::BadHeader, "unknown_flags");
+
+    std::string flipped = good;
+    flipped[flipped.size() - 1] ^= 0x01; // payload byte -> checksum
+    expectCode(flipped, IoErrorCode::ChecksumMismatch,
+               "payload_corruption");
+
+    std::string bad_checksum = good;
+    bad_checksum[32] ^= 0x01; // checksum field itself
+    expectCode(bad_checksum, IoErrorCode::ChecksumMismatch,
+               "checksum_corruption");
+}
+
+TEST(MalformedBinaryCsr, ChecksumGuardsIndexBytes)
+{
+    // Flipping a column index without fixing the checksum must be
+    // caught by the checksum, not by the CSR validator.
+    Rng rng(10);
+    CsrGraph g = test::makeGraph(GraphShape::Ring, 16, 32, rng);
+    const std::string path = writeTemp("bin_idx.maxkb", "");
+    ASSERT_TRUE(formats::saveBinaryCsr(g, path));
+    std::string bytes = slurp(path);
+    bytes[40 + (g.numNodes() + 1) * 8] ^= 0xff;
+    auto result = formats::parseBinaryCsr(bytes, "idx_corrupt");
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code, IoErrorCode::ChecksumMismatch);
+}
+
+// ------------------------------------------------- edge-list semantics
+
+TEST(EdgeList, ParsesCommentsBlanksTabsAndCrlf)
+{
+    auto result = formats::parseEdgeList("# SNAP header\r\n"
+                                         "% matrix-market style\n"
+                                         "\n"
+                                         "0\t1\r\n"
+                                         "1 2\n"
+                                         "2,0\n",
+                                         "mixed");
+    ASSERT_TRUE(result.hasValue()) << result.error().describe();
+    EXPECT_EQ(result->numNodes(), 3u);
+    EXPECT_EQ(result->numEdges(), 3u);
+}
+
+TEST(EdgeList, AutoBaseDetectsOneBased)
+{
+    auto result = formats::parseEdgeList("1 2\n2 3\n3 1\n", "one");
+    ASSERT_TRUE(result.hasValue()) << result.error().describe();
+    EXPECT_EQ(result->numNodes(), 3u);
+    EXPECT_EQ(result->colIdx(), (std::vector<NodeId>{1, 2, 0}));
+}
+
+TEST(EdgeList, AutoBaseKeepsZeroBased)
+{
+    auto result = formats::parseEdgeList("0 1\n1 2\n", "zero");
+    ASSERT_TRUE(result.hasValue());
+    EXPECT_EQ(result->numNodes(), 3u);
+}
+
+TEST(EdgeList, ExplicitOneBasedRejectsIdZero)
+{
+    EdgeListOptions opt;
+    opt.base = IndexBase::One;
+    auto result = formats::parseEdgeList("0 1\n", "bad_one", opt);
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code, IoErrorCode::RangeError);
+}
+
+TEST(EdgeList, NumNodesOverrideAddsIsolatedVertices)
+{
+    EdgeListOptions opt;
+    opt.numNodes = 10;
+    auto result = formats::parseEdgeList("0 1\n", "iso", opt);
+    ASSERT_TRUE(result.hasValue());
+    EXPECT_EQ(result->numNodes(), 10u);
+    EXPECT_EQ(result->degree(9), 0u);
+}
+
+TEST(EdgeList, NumNodesOverrideRejectsOutOfRange)
+{
+    EdgeListOptions opt;
+    opt.numNodes = 2;
+    auto result = formats::parseEdgeList("0 5\n", "oor", opt);
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code, IoErrorCode::RangeError);
+}
+
+TEST(EdgeList, WeightsAreParsedAndFirstWinsOnDedup)
+{
+    auto result =
+        formats::parseEdgeList("0 1 0.5\n0 1 0.75\n1 0 0.25\n", "w");
+    ASSERT_TRUE(result.hasValue()) << result.error().describe();
+    EXPECT_EQ(result->numEdges(), 2u);
+    EXPECT_EQ(result->values()[0], 0.5f); // first record wins
+    EXPECT_EQ(result->values()[1], 0.25f);
+}
+
+TEST(EdgeList, StrictModeReportsDuplicates)
+{
+    EdgeListOptions opt;
+    opt.dedup = false;
+    auto result = formats::parseEdgeList("0 1\n0 1\n", "dup", opt);
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code, IoErrorCode::DuplicateEdge);
+}
+
+TEST(EdgeList, StrictModeAcceptsBothDirectionsUnderSymmetrize)
+{
+    EdgeListOptions opt;
+    opt.dedup = false;
+    opt.symmetrize = true;
+    auto result = formats::parseEdgeList("0 1 2.0\n1 0 3.0\n", "both",
+                                         opt);
+    ASSERT_TRUE(result.hasValue()) << result.error().describe();
+    EXPECT_EQ(result->numEdges(), 2u);
+    // Raw records precede their mirrored twins: both survive as-is.
+    EXPECT_EQ(result->values(), (std::vector<Float>{2.0f, 3.0f}));
+}
+
+TEST(EdgeList, SubnormalWeightsRoundTrip)
+{
+    // glibc strtof flags subnormal results with ERANGE; they must
+    // still parse (and round-trip — a graph is allowed tiny weights).
+    auto result = formats::parseEdgeList("0 1 9.99999975e-39\n", "sub");
+    ASSERT_TRUE(result.hasValue()) << result.error().describe();
+    EXPECT_GT(result->values()[0], 0.0f);
+    EXPECT_EQ(std::fpclassify(result->values()[0]), FP_SUBNORMAL);
+
+    const std::string path = writeTemp("subnormal.el", "");
+    ASSERT_TRUE(formats::saveEdgeList(result.value(), path));
+    auto back = formats::loadEdgeList(path);
+    ASSERT_TRUE(back.hasValue()) << back.error().describe();
+    EXPECT_EQ(back->values(), result->values());
+
+    // Genuine overflow is still rejected.
+    auto huge = formats::parseEdgeList("0 1 1e50\n", "huge");
+    ASSERT_FALSE(huge.hasValue());
+    EXPECT_EQ(huge.error().code, IoErrorCode::ParseError);
+}
+
+TEST(EdgeList, SymmetrizedHelperMatchesParseTimeSymmetrize)
+{
+    // formats::symmetrized() (the CSR-input path of maxk-convert
+    // --symmetrize) must agree exactly with the loader's option.
+    const std::string content = "0 1 2.0\n1 0 3.0\n2 0 0.5\n";
+    EdgeListOptions plain;
+    auto base = formats::parseEdgeList(content, "base", plain);
+    ASSERT_TRUE(base.hasValue());
+
+    EdgeListOptions sym = plain;
+    sym.symmetrize = true;
+    auto at_parse = formats::parseEdgeList(content, "sym", sym);
+    ASSERT_TRUE(at_parse.hasValue());
+
+    expectBitwiseEqual(formats::symmetrized(base.value()),
+                       at_parse.value());
+}
+
+TEST(EdgeList, SymmetrizeMirrorsWeights)
+{
+    EdgeListOptions opt;
+    opt.symmetrize = true;
+    auto result = formats::parseEdgeList("0 1 2.5\n", "sym", opt);
+    ASSERT_TRUE(result.hasValue());
+    EXPECT_EQ(result->numEdges(), 2u);
+    EXPECT_EQ(result->values(), (std::vector<Float>{2.5f, 2.5f}));
+    EXPECT_TRUE(result->structureSymmetric());
+}
+
+TEST(EdgeList, MixedArityIsAnError)
+{
+    auto r1 = formats::parseEdgeList("0 1 0.5\n1 2\n", "mixed1");
+    ASSERT_FALSE(r1.hasValue());
+    EXPECT_EQ(r1.error().code, IoErrorCode::ParseError);
+    EXPECT_EQ(r1.error().line, 2u);
+
+    auto r2 = formats::parseEdgeList("0 1\n1 2 0.5\n", "mixed2");
+    ASSERT_FALSE(r2.hasValue());
+    EXPECT_EQ(r2.error().code, IoErrorCode::ParseError);
+}
+
+TEST(EdgeList, NonNumericTokensNameTheLine)
+{
+    auto result = formats::parseEdgeList("0 1\nx 2\n", "tok");
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code, IoErrorCode::ParseError);
+    EXPECT_EQ(result.error().line, 2u);
+}
+
+TEST(EdgeList, EmptyFileWithoutHintIsAnError)
+{
+    auto result = formats::parseEdgeList("# nothing\n", "empty");
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code, IoErrorCode::Truncated);
+}
+
+TEST(EdgeList, EmptyFileWithNumNodesIsAnEmptyGraph)
+{
+    EdgeListOptions opt;
+    opt.numNodes = 4;
+    auto result = formats::parseEdgeList("", "empty_ok", opt);
+    ASSERT_TRUE(result.hasValue());
+    EXPECT_EQ(result->numNodes(), 4u);
+    EXPECT_EQ(result->numEdges(), 0u);
+}
+
+TEST(EdgeList, NodesHintPinsAutoBaseToZero)
+{
+    // Vertex 0 isolated, smallest listed id is 1: without the hint the
+    // Auto heuristic would shift ids down and corrupt the graph.
+    auto result = formats::parseEdgeList(
+        "# maxk-edges nodes=3 edges=1\n1 2\n", "hint");
+    ASSERT_TRUE(result.hasValue());
+    EXPECT_EQ(result->numNodes(), 3u);
+    EXPECT_EQ(result->degree(0), 0u);
+    EXPECT_EQ(result->colIdx(), (std::vector<NodeId>{2}));
+}
+
+// ------------------------------------------------------------ sniffing
+
+TEST(Sniffing, MissingFileIsOpenFailed)
+{
+    auto fmt = formats::sniffFormat("/definitely/missing/graph.txt");
+    ASSERT_FALSE(fmt.hasValue());
+    EXPECT_EQ(fmt.error().code, IoErrorCode::OpenFailed);
+
+    auto loaded = formats::loadAnyGraph("/definitely/missing/graph.txt");
+    ASSERT_FALSE(loaded.hasValue());
+    EXPECT_EQ(loaded.error().code, IoErrorCode::OpenFailed);
+}
+
+TEST(Sniffing, ExtensionMapCoversKnownSuffixes)
+{
+    using formats::graphFormatFromExtension;
+    EXPECT_EQ(graphFormatFromExtension("a/b.maxkb"),
+              GraphFormat::BinaryCsr);
+    EXPECT_EQ(graphFormatFromExtension("a.csr"), GraphFormat::TextCsr);
+    EXPECT_EQ(graphFormatFromExtension("a.txt"), GraphFormat::EdgeList);
+    EXPECT_EQ(graphFormatFromExtension("a.tsv"), GraphFormat::EdgeList);
+    EXPECT_EQ(graphFormatFromExtension("noext"), std::nullopt);
+}
+
+TEST(Sniffing, BundledFixtureLoadsAsEdgeList)
+{
+    const std::string path =
+        std::string(MAXK_TEST_DATA_DIR) + "/karate.txt";
+    auto fmt = formats::sniffFormat(path);
+    ASSERT_TRUE(fmt.hasValue()) << fmt.error().describe();
+    EXPECT_EQ(fmt.value(), GraphFormat::EdgeList);
+
+    auto loaded = formats::loadAnyGraph(path);
+    ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    EXPECT_EQ(loaded->numNodes(), 34u);
+    EXPECT_EQ(loaded->numEdges(), 78u);
+
+    EdgeListOptions opt;
+    opt.symmetrize = true;
+    auto sym = formats::loadAnyGraph(path, opt);
+    ASSERT_TRUE(sym.hasValue());
+    EXPECT_EQ(sym->numEdges(), 156u);
+    EXPECT_TRUE(sym->structureSymmetric());
+}
+
+// --------------------------------------------- registry disk override
+
+TEST(RegistryOverride, DatasetDirSwapsTwinForRealGraph)
+{
+    const std::string dir = ::testing::TempDir() + "maxk_dsets_a";
+    ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+    Rng rng(21);
+    CsrGraph real = test::makeGraph(GraphShape::PowerLaw, 64, 400, rng);
+    ASSERT_TRUE(formats::saveBinaryCsr(real, dir + "/pubmed.maxkb"));
+
+    const auto info = findDataset("pubmed");
+    ASSERT_TRUE(info.has_value());
+
+    {
+        ScopedEnv env(kDatasetDirEnv, dir);
+        ASSERT_TRUE(resolveDatasetSource(*info).has_value());
+        Rng mat_rng(1);
+        const CsrGraph loaded = materializeGraph(*info, mat_rng);
+        expectBitwiseEqual(real, loaded);
+    }
+
+    // Without the env the twin comes back, at twin scale.
+    EXPECT_FALSE(resolveDatasetSource(*info).has_value());
+    Rng twin_rng(1);
+    const CsrGraph twin = materializeGraph(*info, twin_rng);
+    EXPECT_NE(twin.numNodes(), real.numNodes());
+}
+
+TEST(RegistryOverride, ExplicitOnDiskPathBeatsEnvironment)
+{
+    const std::string dir = ::testing::TempDir() + "maxk_dsets_b";
+    ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+    Rng rng(22);
+    CsrGraph g = test::makeGraph(GraphShape::Ring, 40, 80, rng);
+    const std::string path = dir + "/explicit.maxkb";
+    ASSERT_TRUE(formats::saveBinaryCsr(g, path));
+
+    DatasetInfo info = *findDataset("pubmed");
+    info.onDiskPath = path;
+    const auto source = resolveDatasetSource(info);
+    ASSERT_TRUE(source.has_value());
+    EXPECT_EQ(*source, path);
+
+    Rng mat_rng(2);
+    expectBitwiseEqual(g, materializeGraph(info, mat_rng));
+}
+
+TEST(RegistryOverride, BinaryContainerIsPreferredOverText)
+{
+    const std::string dir = ::testing::TempDir() + "maxk_dsets_c";
+    ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+    Rng rng(23);
+    CsrGraph g = test::makeGraph(GraphShape::ErdosRenyi, 30, 90, rng);
+    ASSERT_TRUE(formats::saveTextCsr(g, dir + "/artist.txt"));
+    ASSERT_TRUE(formats::saveBinaryCsr(g, dir + "/artist.maxkb"));
+
+    ScopedEnv env(kDatasetDirEnv, dir);
+    const auto source = resolveDatasetFile("artist");
+    ASSERT_TRUE(source.has_value());
+    EXPECT_NE(source->find(".maxkb"), std::string::npos);
+}
+
+TEST(RegistryOverride, TrainingDataUsesDiskGraphWithDerivedLabels)
+{
+    const std::string dir = ::testing::TempDir() + "maxk_dsets_d";
+    ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+    Rng rng(24);
+    CsrGraph g = test::makeGraph(GraphShape::Community, 96, 900, rng);
+    ASSERT_TRUE(formats::saveBinaryCsr(g, dir + "/Flickr.maxkb"));
+
+    ScopedEnv env(kDatasetDirEnv, dir);
+    const auto task = findTrainingTask("Flickr");
+    ASSERT_TRUE(task.has_value());
+    Rng data_rng(3);
+    const TrainingData data = materializeTrainingData(*task, data_rng);
+    EXPECT_EQ(data.graph.numNodes(), g.numNodes());
+    ASSERT_EQ(data.labels.size(), g.numNodes());
+    for (std::uint32_t label : data.labels)
+        EXPECT_LT(label, task->numClasses);
+    EXPECT_EQ(data.features.rows(), g.numNodes());
+    EXPECT_EQ(data.trainMask.size(), g.numNodes());
+}
+
+} // namespace
+} // namespace maxk

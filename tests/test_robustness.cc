@@ -173,10 +173,22 @@ TEST(IoRobustness, TruncatedColIdxIsFatal)
 
 TEST(IoRobustness, InconsistentCsrIsFatal)
 {
-    // rowPtr.back() != numEdges -> CSR validation failure (panic).
+    // rowPtr.back() != numEdges -> CSR validation failure (now a clean
+    // IoError-driven fatal instead of the seed's fromCsr panic).
     const std::string path = "/tmp/maxk_inconsistent.csr";
     std::ofstream(path) << "maxk-csr 1 2 2\n0 1 1\n0 1\n";
     EXPECT_DEATH(loadGraph(path), "invalid CSR");
+    std::remove(path.c_str());
+}
+
+TEST(IoRobustness, TrailingGarbageIsFatal)
+{
+    // The seed loader silently accepted trailing tokens after the
+    // values line; the formats layer rejects them.
+    const std::string path = "/tmp/maxk_trailing.csr";
+    std::ofstream(path) << "maxk-csr 1 2 2\n0 1 2\n1 0\n0.5 0.25\njunk\n";
+    EXPECT_EXIT(loadGraph(path), ::testing::ExitedWithCode(1),
+                "trailing data");
     std::remove(path.c_str());
 }
 

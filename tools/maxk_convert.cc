@@ -1,0 +1,211 @@
+/**
+ * @file
+ * maxk-convert: command-line converter between the three graph formats
+ * the ingestion subsystem speaks (SNAP-style edge lists, the "maxk-csr"
+ * text format, and the .maxkb binary container).
+ *
+ *   maxk-convert reddit.txt reddit.maxkb --symmetrize   # ingest once
+ *   maxk-convert reddit.maxkb dump.csr                  # fast reload
+ *   maxk-convert --validate reddit.maxkb                # check only
+ *
+ * Exit status: 0 success, 1 I/O or format error, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/formats/formats.hh"
+
+using namespace maxk;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] <input> [<output>]\n"
+        "\n"
+        "Convert a graph between edge-list, text-CSR, and binary-CSR\n"
+        "formats. With --validate and no <output>, only checks the\n"
+        "input.\n"
+        "\n"
+        "options:\n"
+        "  --from FMT    input format: auto|edgelist|textcsr|bincsr\n"
+        "                (default auto: sniff file content)\n"
+        "  --to FMT      output format (default: from the output\n"
+        "                file extension: .maxkb/.csr/.txt/.tsv/.el)\n"
+        "  --symmetrize  insert the reverse of every edge\n"
+        "  --dedup       collapse duplicate edges (default)\n"
+        "  --no-dedup    strict: duplicate edge-list records error\n"
+        "  --zero-based  edge-list ids are 0-based (default: auto)\n"
+        "  --one-based   edge-list ids are 1-based\n"
+        "  --num-nodes N vertex-count override for edge lists\n"
+        "  --no-values   drop edge values on output\n"
+        "  --validate    print a summary and verify CSR invariants\n"
+        "  -q, --quiet   suppress the summary line\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input, output;
+    std::string from_name = "auto", to_name;
+    formats::EdgeListOptions elopt;
+    bool symmetrize = false, validate = false, quiet = false;
+    bool with_values = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s requires an argument\n",
+                             argv[0], flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--from") {
+            const char *v = next_value("--from");
+            if (v == nullptr)
+                return 2;
+            from_name = v;
+        } else if (arg == "--to") {
+            const char *v = next_value("--to");
+            if (v == nullptr)
+                return 2;
+            to_name = v;
+        } else if (arg == "--num-nodes") {
+            const char *v = next_value("--num-nodes");
+            if (v == nullptr)
+                return 2;
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || n > 0xffffffffull) {
+                std::fprintf(stderr, "%s: bad --num-nodes '%s'\n",
+                             argv[0], v);
+                return 2;
+            }
+            elopt.numNodes = static_cast<NodeId>(n);
+        } else if (arg == "--symmetrize") {
+            symmetrize = true;
+        } else if (arg == "--dedup") {
+            elopt.dedup = true;
+        } else if (arg == "--no-dedup") {
+            elopt.dedup = false;
+        } else if (arg == "--zero-based") {
+            elopt.base = formats::IndexBase::Zero;
+        } else if (arg == "--one-based") {
+            elopt.base = formats::IndexBase::One;
+        } else if (arg == "--no-values") {
+            with_values = false;
+        } else if (arg == "--validate") {
+            validate = true;
+        } else if (arg == "-q" || arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            return 2;
+        } else if (input.empty()) {
+            input = arg;
+        } else if (output.empty()) {
+            output = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (input.empty() || (output.empty() && !validate))
+        return usage(argv[0]);
+
+    // Resolve the input format up front (explicit --from wins, else a
+    // single content sniff) so the file is parsed exactly once —
+    // edge-list symmetrisation happens at parse time, the CSR formats
+    // get the identical post-load treatment.
+    formats::GraphFormat in_fmt;
+    if (from_name == "auto") {
+        auto sniffed = formats::sniffFormat(input);
+        if (!sniffed) {
+            std::fprintf(stderr, "%s: %s\n", argv[0],
+                         sniffed.error().describe().c_str());
+            return 1;
+        }
+        in_fmt = sniffed.value();
+    } else {
+        const auto fmt = formats::graphFormatFromName(from_name);
+        if (!fmt) {
+            std::fprintf(stderr, "%s: unknown --from format '%s'\n",
+                         argv[0], from_name.c_str());
+            return 2;
+        }
+        in_fmt = *fmt;
+    }
+    if (in_fmt == formats::GraphFormat::EdgeList)
+        elopt.symmetrize = symmetrize;
+
+    GraphResult loaded = formats::loadGraphAs(in_fmt, input, elopt);
+    if (!loaded) {
+        std::fprintf(stderr, "%s: %s\n", argv[0],
+                     loaded.error().describe().c_str());
+        return 1;
+    }
+    CsrGraph g = std::move(loaded.value());
+    if (symmetrize && in_fmt != formats::GraphFormat::EdgeList)
+        g = formats::symmetrized(g);
+
+    // --validate needs no extra check here: every loader enforces the
+    // CSR invariants (formats::validateCsrArrays) before constructing
+    // the graph, so a successful load IS the validation; it only
+    // changes whether an <output> is required and what gets printed.
+
+    if (!output.empty()) {
+        formats::GraphFormat out_fmt;
+        if (!to_name.empty()) {
+            const auto fmt = formats::graphFormatFromName(to_name);
+            if (!fmt) {
+                std::fprintf(stderr, "%s: unknown --to format '%s'\n",
+                             argv[0], to_name.c_str());
+                return 2;
+            }
+            out_fmt = *fmt;
+        } else {
+            const auto fmt = formats::graphFormatFromExtension(output);
+            if (!fmt) {
+                std::fprintf(stderr,
+                             "%s: cannot infer output format from '%s'; "
+                             "pass --to\n",
+                             argv[0], output.c_str());
+                return 2;
+            }
+            out_fmt = *fmt;
+        }
+        if (!formats::saveGraphAs(out_fmt, g, output, with_values)) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                         output.c_str());
+            return 1;
+        }
+        if (!quiet)
+            std::printf("%s -> %s [%s]: %u nodes, %u edges, avg degree "
+                        "%.2f\n",
+                        input.c_str(), output.c_str(),
+                        formats::graphFormatName(out_fmt), g.numNodes(),
+                        g.numEdges(), g.avgDegree());
+    } else if (!quiet) {
+        std::printf("%s: OK — %u nodes, %u edges, avg degree %.2f, "
+                    "structure %s\n",
+                    input.c_str(), g.numNodes(), g.numEdges(),
+                    g.avgDegree(),
+                    g.structureSymmetric() ? "symmetric" : "directed");
+    }
+    return 0;
+}

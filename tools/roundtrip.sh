@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Round-trip a graph through all three formats and require the binary
+# container to be byte-identical at both ends:
+#
+#   edge list -> .maxkb -> text CSR -> edge list -> .maxkb
+#
+# Usage: roundtrip.sh <maxk-convert> <fixture> <workdir>
+set -euo pipefail
+
+CONVERT=$1
+FIXTURE=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$CONVERT" --validate "$FIXTURE"
+"$CONVERT" -q "$FIXTURE" "$WORK/g1.maxkb"
+"$CONVERT" -q "$WORK/g1.maxkb" "$WORK/g.csr"
+"$CONVERT" -q "$WORK/g.csr" "$WORK/g.el" --to edgelist
+"$CONVERT" -q "$WORK/g.el" "$WORK/g2.maxkb"
+cmp "$WORK/g1.maxkb" "$WORK/g2.maxkb"
+"$CONVERT" --validate "$WORK/g2.maxkb"
+echo "round-trip OK: g1.maxkb == g2.maxkb"
