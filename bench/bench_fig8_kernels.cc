@@ -40,6 +40,59 @@ struct GraphResult
     std::vector<double> spgemmVsGnna, sspmmVsGnna;
 };
 
+/**
+ * Perf-report pass (--json): rerun each kernel with the cache model off
+ * so every recorded byte is structural — deterministic across runs and
+ * machines, which is what lets tools/maxk-perf-check hold tight
+ * regression thresholds against bench/baselines/fig8_smoke.json. Each
+ * configuration is warmed once so the records capture the steady-state
+ * (zero-allocation) launch.
+ */
+void
+recordPerf(const std::string &graph_name, const bench::TwinBundle &twin,
+           const Matrix &x, const std::vector<std::uint32_t> &ks)
+{
+    SimOptions opt = twin.opt;
+    opt.simulateCaches = false;
+
+    Matrix y;
+    spmmRowWise(twin.graph, x, y, opt);
+    bench::recordKernel("fig8", graph_name, kDimOrigin, 0, [&] {
+        return spmmRowWise(twin.graph, x, y, opt);
+    });
+    spmmGnna(twin.graph, twin.part, x, y, opt);
+    bench::recordKernel("fig8", graph_name, kDimOrigin, 0, [&] {
+        return spmmGnna(twin.graph, twin.part, x, y, opt);
+    });
+
+    for (const std::uint32_t k : ks) {
+        MaxKResult mk;
+        maxkCompress(x, k, opt, mk);
+        bench::recordKernel("fig8", graph_name, kDimOrigin, k, [&] {
+            maxkCompress(x, k, opt, mk);
+            return mk.stats;
+        });
+        spgemmForward(twin.graph, twin.part, mk.cbsr, y, opt);
+        bench::recordKernel("fig8", graph_name, kDimOrigin, k, [&] {
+            return spgemmForward(twin.graph, twin.part, mk.cbsr, y, opt);
+        });
+        CbsrMatrix fused_cbsr;
+        Matrix y_fused;
+        spgemmForwardFused(twin.graph, twin.part, x, k, fused_cbsr,
+                           y_fused, opt);
+        bench::recordKernel("fig8", graph_name, kDimOrigin, k, [&] {
+            return spgemmForwardFused(twin.graph, twin.part, x, k,
+                                      fused_cbsr, y_fused, opt);
+        });
+        CbsrMatrix dxs;
+        dxs.adoptPattern(mk.cbsr);
+        sspmmBackward(twin.graph, twin.part, y, dxs, opt);
+        bench::recordKernel("fig8", graph_name, kDimOrigin, k, [&] {
+            return sspmmBackward(twin.graph, twin.part, y, dxs, opt);
+        });
+    }
+}
+
 GraphResult
 runGraph(const DatasetInfo &info, const std::vector<std::uint32_t> &ks)
 {
@@ -73,6 +126,9 @@ runGraph(const DatasetInfo &info, const std::vector<std::uint32_t> &ks)
         r.spgemmVsGnna.push_back(r.tSpmmGnna / t_fwd);
         r.sspmmVsGnna.push_back(r.tSpmmGnna / t_bwd);
     }
+
+    if (bench::perfEnabled())
+        recordPerf(info.name, twin, x, ks);
     return r;
 }
 
@@ -173,5 +229,6 @@ main(int argc, char **argv)
                 "92.2%%), %.1f%% vs GNNA (paper 100%%)\n",
                 100.0 * wins_cusp / cases, 100.0 * wins_gnna / cases);
     std::printf("Total bench time: %.1fs\n", watch.seconds());
+    bench::writePerfReport();
     return 0;
 }

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Deterministic micro-kernel perf bench — the data source for the
+ * kernel perf CI (ROADMAP "Kernel perf CI", ISSUE 4).
+ *
+ * Runs every simulated kernel once per (graph, dim, k) configuration
+ * with the cache model off, so each record is purely structural:
+ * identical on every machine, every run, every thread count. The
+ * resulting --json report is compared against the committed
+ * bench/baselines/perf_kernels.json by tools/maxk-perf-check, which
+ * fails on simulated-seconds/traffic/workspace/allocation regressions.
+ *
+ * Two extra pseudo-kernel records gate the zero-allocation contract of
+ * the training hot loop: a steady-state epoch (forward + backward of a
+ * 3-layer MaxK SAGE model) must report alloc_count = 0 and no
+ * transient Matrix/CbsrMatrix growth.
+ *
+ * Every graph here comes from the deterministic generators directly —
+ * no registry resolution, so MAXK_DATASET_DIR cannot swap a baseline
+ * graph out from underneath the committed numbers.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/maxk.hh"
+#include "core/spgemm_forward.hh"
+#include "core/sspmm_backward.hh"
+#include "graph/generators.hh"
+#include "kernels/spmm_gnna.hh"
+#include "kernels/spmm_row_wise.hh"
+#include "nn/loss.hh"
+#include "nn/model.hh"
+#include "nn/optimizer.hh"
+#include "tensor/init.hh"
+
+using namespace maxk;
+
+namespace
+{
+
+constexpr const char *kBench = "perf_kernels";
+
+struct PerfGraph
+{
+    std::string name;
+    CsrGraph graph;
+    EdgeGroupPartition part;
+};
+
+std::vector<PerfGraph>
+makeGraphs()
+{
+    std::vector<PerfGraph> graphs;
+    {
+        Rng rng(71001);
+        PerfGraph g;
+        g.name = "rmat12";
+        g.graph = rmat(12, 120000, rng);
+        g.graph.setAggregatorWeights(Aggregator::SageMean);
+        g.part = EdgeGroupPartition::build(g.graph, 32);
+        graphs.push_back(std::move(g));
+    }
+    {
+        Rng rng(71002);
+        PerfGraph g;
+        g.name = "er2k";
+        g.graph = erdosRenyi(2048, 60000, rng);
+        g.graph.setAggregatorWeights(Aggregator::Gcn);
+        g.part = EdgeGroupPartition::build(g.graph, 32);
+        graphs.push_back(std::move(g));
+    }
+    return graphs;
+}
+
+/** Sum simulated seconds of the records emitted for one kernel name. */
+double
+recordedSeconds(const char *kernel)
+{
+    double s = 0.0;
+    for (const auto &r : bench::perfRecords())
+        if (r.kernel == kernel)
+            s += r.simSeconds;
+    return s;
+}
+
+/** Sum modeled DRAM bytes of the records for one kernel name. */
+std::uint64_t
+recordedDram(const char *kernel)
+{
+    std::uint64_t b = 0;
+    for (const auto &r : bench::perfRecords())
+        if (r.kernel == kernel)
+            b += r.dramBytes;
+    return b;
+}
+
+void
+runKernelSweep(const PerfGraph &pg, std::uint32_t dim,
+               const std::vector<std::uint32_t> &ks)
+{
+    SimOptions opt;
+    opt.simulateCaches = false; // structural counters only (see @file)
+
+    Rng rng(4200 + pg.graph.numNodes());
+    Matrix x(pg.graph.numNodes(), dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+
+    // Warm every output container once so the records capture the
+    // steady-state (zero-allocation) launch.
+    Matrix y_spmm, y_spgemm, y_fused;
+    spmmRowWise(pg.graph, x, y_spmm, opt);
+    bench::recordKernel(kBench, pg.name, dim, 0, [&] {
+        return spmmRowWise(pg.graph, x, y_spmm, opt);
+    });
+    spmmGnna(pg.graph, pg.part, x, y_spmm, opt);
+    bench::recordKernel(kBench, pg.name, dim, 0, [&] {
+        return spmmGnna(pg.graph, pg.part, x, y_spmm, opt);
+    });
+
+    for (const std::uint32_t k : ks) {
+        MaxKResult mk;
+        maxkCompress(x, k, opt, mk);
+        bench::recordKernel(kBench, pg.name, dim, k, [&] {
+            maxkCompress(x, k, opt, mk);
+            return mk.stats;
+        });
+        spgemmForward(pg.graph, pg.part, mk.cbsr, y_spgemm, opt);
+        bench::recordKernel(kBench, pg.name, dim, k, [&] {
+            return spgemmForward(pg.graph, pg.part, mk.cbsr, y_spgemm,
+                                 opt);
+        });
+        CbsrMatrix fused_cbsr;
+        spgemmForwardFused(pg.graph, pg.part, x, k, fused_cbsr, y_fused,
+                           opt);
+        bench::recordKernel(kBench, pg.name, dim, k, [&] {
+            return spgemmForwardFused(pg.graph, pg.part, x, k,
+                                      fused_cbsr, y_fused, opt);
+        });
+        CbsrMatrix dxs;
+        dxs.adoptPattern(mk.cbsr);
+        sspmmBackward(pg.graph, pg.part, y_spgemm, dxs, opt);
+        bench::recordKernel(kBench, pg.name, dim, k, [&] {
+            return sspmmBackward(pg.graph, pg.part, y_spgemm, dxs, opt);
+        });
+    }
+}
+
+/**
+ * Steady-state training-epoch pseudo-kernels: epoch >= 2 of a MaxK
+ * SAGE stack must allocate nothing in the layer stack. Reported as two
+ * records (forward / backward) whose alloc_count and workspace growth
+ * the perf gate pins at 0.
+ */
+void
+runLayerStackProbe()
+{
+    Rng rng(31007);
+    CsrGraph g = erdosRenyi(1024, 16000, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    nn::ModelConfig mc;
+    mc.kind = nn::GnnKind::Sage;
+    mc.nonlin = nn::Nonlinearity::MaxK;
+    mc.maxkK = 16;
+    mc.numLayers = 3;
+    mc.inDim = 48;
+    mc.hiddenDim = 64;
+    mc.outDim = 8;
+    mc.dropout = 0.3f;
+    nn::GnnModel model(mc);
+    Matrix x(g.numNodes(), mc.inDim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    std::vector<std::uint32_t> labels(g.numNodes());
+    for (NodeId i = 0; i < g.numNodes(); ++i)
+        labels[i] = i % mc.outDim;
+    std::vector<std::uint8_t> mask(g.numNodes(), 1);
+    nn::Adam adam(model.params(), 0.01f, 0.9f, 0.999f, 1e-8f, 0.0f);
+
+    auto epoch = [&](bool record) {
+        const Matrix *logits = nullptr;
+        if (record) {
+            bench::recordKernel(kBench, "er1k", 48, 16, [&] {
+                logits = &model.forward(g, x, true);
+                gpusim::KernelStats st;
+                st.kernel = "layer_stack_forward";
+                return st;
+            });
+        } else {
+            logits = &model.forward(g, x, true);
+        }
+        // The loss lives outside the layer stack; keep it unprobed.
+        nn::LossResult loss =
+            nn::softmaxCrossEntropy(*logits, labels, mask);
+        if (record) {
+            bench::recordKernel(kBench, "er1k", 48, 16, [&] {
+                model.backward(g, loss.gradLogits);
+                gpusim::KernelStats st;
+                st.kernel = "layer_stack_backward";
+                return st;
+            });
+        } else {
+            model.backward(g, loss.gradLogits);
+        }
+        adam.step();
+    };
+
+    epoch(false); // epoch 0: warm the workspaces
+    epoch(false); // epoch 1: settle Adam moments and scratch shapes
+    epoch(true);  // epoch 2: steady state, recorded
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
+    bench::banner("Deterministic micro-kernel perf records (cache model "
+                  "off; see bench/baselines/perf_kernels.json)");
+
+    const std::vector<std::uint32_t> ks{8, 32};
+    for (const PerfGraph &pg : makeGraphs())
+        runKernelSweep(pg, 256, ks);
+    runLayerStackProbe();
+
+    // Human-readable summary of what went into the report.
+    TextTable table({"bench", "kernel", "graph", "dim", "k", "sim ms",
+                     "DRAM MB", "workspace B", "allocs"});
+    for (const auto &r : bench::perfRecords())
+        table.addRow({r.bench, r.kernel, r.graph, std::to_string(r.dim),
+                      std::to_string(r.k),
+                      formatFloat(r.simSeconds * 1e3, 3),
+                      formatFloat(static_cast<double>(r.dramBytes) / 1e6,
+                                  2),
+                      std::to_string(r.peakWorkspaceBytes),
+                      std::to_string(r.allocCount)});
+    if (bench::perfEnabled())
+        std::printf("%s", table.render().c_str());
+    else
+        std::printf("(run with --json <path> to collect records; "
+                    "smoke mode just exercises the sweeps)\n");
+
+    if (bench::perfEnabled()) {
+        // The fused launch must beat select + aggregate or the fusion
+        // story is broken — fail the bench (and thus the perf job)
+        // loudly rather than committing a lying baseline.
+        const double unfused = recordedSeconds("maxk_select") +
+                               recordedSeconds("spgemm_forward");
+        const double fused = recordedSeconds("spgemm_forward_fused");
+        const std::uint64_t unfused_dram =
+            recordedDram("maxk_select") + recordedDram("spgemm_forward");
+        const std::uint64_t fused_dram =
+            recordedDram("spgemm_forward_fused");
+        std::printf("fused forward: %.3f ms / %.2f MB DRAM vs unfused "
+                    "%.3f ms / %.2f MB DRAM\n",
+                    fused * 1e3, static_cast<double>(fused_dram) / 1e6,
+                    unfused * 1e3,
+                    static_cast<double>(unfused_dram) / 1e6);
+        if (fused >= unfused || fused_dram >= unfused_dram) {
+            std::fprintf(stderr, "FAIL: fused pipeline not strictly "
+                                 "cheaper than unfused\n");
+            return 1;
+        }
+    }
+
+    bench::writePerfReport();
+    return 0;
+}

@@ -1,9 +1,15 @@
 #include "core/cbsr.hh"
 
 #include "common/logging.hh"
+#include "tensor/alloc_probe.hh"
 
 namespace maxk
 {
+
+namespace
+{
+constexpr allocprobe::Kind kKind = allocprobe::Kind::Cbsr;
+} // namespace
 
 CbsrMatrix::CbsrMatrix(NodeId rows, std::uint32_t dim_k,
                        std::uint32_t dim_origin)
@@ -15,11 +21,77 @@ CbsrMatrix::CbsrMatrix(NodeId rows, std::uint32_t dim_k,
     checkInvariant(dim_k >= 1 && dim_k <= dim_origin,
                    "CBSR: need 1 <= dimK <= dimOrigin");
     checkInvariant(dim_origin <= 65536, "CBSR: dimOrigin exceeds uint16");
-    spData_.assign(std::size_t(rows) * dim_k, 0.0f);
+    allocprobe::tracked(spData_, kKind, [&] {
+        spData_.assign(std::size_t(rows) * dim_k, 0.0f);
+    });
     if (narrowIndex_)
-        spIndex8_.assign(std::size_t(rows) * dim_k, 0);
+        allocprobe::tracked(spIndex8_, kKind, [&] {
+            spIndex8_.assign(std::size_t(rows) * dim_k, 0);
+        });
     else
-        spIndex16_.assign(std::size_t(rows) * dim_k, 0);
+        allocprobe::tracked(spIndex16_, kKind, [&] {
+            spIndex16_.assign(std::size_t(rows) * dim_k, 0);
+        });
+}
+
+CbsrMatrix::CbsrMatrix(const CbsrMatrix &other)
+    : rows_(other.rows_),
+      dimK_(other.dimK_),
+      dimOrigin_(other.dimOrigin_),
+      narrowIndex_(other.narrowIndex_),
+      spData_(other.spData_),
+      spIndex8_(other.spIndex8_),
+      spIndex16_(other.spIndex16_)
+{
+    allocprobe::acquired(spData_, kKind);
+    allocprobe::acquired(spIndex8_, kKind);
+    allocprobe::acquired(spIndex16_, kKind);
+}
+
+CbsrMatrix &
+CbsrMatrix::operator=(const CbsrMatrix &other)
+{
+    if (this != &other) {
+        rows_ = other.rows_;
+        dimK_ = other.dimK_;
+        dimOrigin_ = other.dimOrigin_;
+        narrowIndex_ = other.narrowIndex_;
+        allocprobe::tracked(spData_, kKind,
+                            [&] { spData_ = other.spData_; });
+        allocprobe::tracked(spIndex8_, kKind,
+                            [&] { spIndex8_ = other.spIndex8_; });
+        allocprobe::tracked(spIndex16_, kKind,
+                            [&] { spIndex16_ = other.spIndex16_; });
+    }
+    return *this;
+}
+
+CbsrMatrix &
+CbsrMatrix::operator=(CbsrMatrix &&other) noexcept
+{
+    if (this != &other) {
+        allocprobe::released(spData_);
+        allocprobe::released(spIndex8_);
+        allocprobe::released(spIndex16_);
+        spData_ = std::move(other.spData_);
+        spIndex8_ = std::move(other.spIndex8_);
+        spIndex16_ = std::move(other.spIndex16_);
+        rows_ = other.rows_;
+        dimK_ = other.dimK_;
+        dimOrigin_ = other.dimOrigin_;
+        narrowIndex_ = other.narrowIndex_;
+        other.rows_ = 0;
+        other.dimK_ = 0;
+        other.dimOrigin_ = 0;
+    }
+    return *this;
+}
+
+CbsrMatrix::~CbsrMatrix()
+{
+    allocprobe::released(spData_);
+    allocprobe::released(spIndex8_);
+    allocprobe::released(spIndex16_);
 }
 
 Bytes
@@ -58,12 +130,45 @@ CbsrMatrix::reshape(NodeId rows, std::uint32_t dim_k,
     dimK_ = dim_k;
     dimOrigin_ = dim_origin;
     narrowIndex_ = dim_origin <= 256;
-    spData_.assign(std::size_t(rows) * dim_k, 0.0f);
+    allocprobe::tracked(spData_, kKind, [&] {
+        spData_.assign(std::size_t(rows) * dim_k, 0.0f);
+    });
     if (narrowIndex_) {
-        spIndex8_.assign(std::size_t(rows) * dim_k, 0);
+        allocprobe::tracked(spIndex8_, kKind, [&] {
+            spIndex8_.assign(std::size_t(rows) * dim_k, 0);
+        });
         spIndex16_.clear();
     } else {
-        spIndex16_.assign(std::size_t(rows) * dim_k, 0);
+        allocprobe::tracked(spIndex16_, kKind, [&] {
+            spIndex16_.assign(std::size_t(rows) * dim_k, 0);
+        });
+        spIndex8_.clear();
+    }
+}
+
+void
+CbsrMatrix::ensureShape(NodeId rows, std::uint32_t dim_k,
+                        std::uint32_t dim_origin)
+{
+    checkInvariant(dim_k >= 1 && dim_k <= dim_origin,
+                   "CBSR: need 1 <= dimK <= dimOrigin");
+    checkInvariant(dim_origin <= 65536, "CBSR: dimOrigin exceeds uint16");
+    rows_ = rows;
+    dimK_ = dim_k;
+    dimOrigin_ = dim_origin;
+    narrowIndex_ = dim_origin <= 256;
+    const std::size_t n = std::size_t(rows) * dim_k;
+    if (spData_.size() != n)
+        allocprobe::tracked(spData_, kKind, [&] { spData_.resize(n); });
+    if (narrowIndex_) {
+        if (spIndex8_.size() != n)
+            allocprobe::tracked(spIndex8_, kKind,
+                                [&] { spIndex8_.resize(n); });
+        spIndex16_.clear();
+    } else {
+        if (spIndex16_.size() != n)
+            allocprobe::tracked(spIndex16_, kKind,
+                                [&] { spIndex16_.resize(n); });
         spIndex8_.clear();
     }
 }
@@ -90,9 +195,13 @@ CbsrMatrix::adoptPattern(const CbsrMatrix &other)
     dimK_ = other.dimK_;
     dimOrigin_ = other.dimOrigin_;
     narrowIndex_ = other.narrowIndex_;
-    spIndex8_ = other.spIndex8_;
-    spIndex16_ = other.spIndex16_;
-    spData_.assign(std::size_t(rows_) * dimK_, 0.0f);
+    allocprobe::tracked(spIndex8_, kKind,
+                        [&] { spIndex8_ = other.spIndex8_; });
+    allocprobe::tracked(spIndex16_, kKind,
+                        [&] { spIndex16_ = other.spIndex16_; });
+    allocprobe::tracked(spData_, kKind, [&] {
+        spData_.assign(std::size_t(rows_) * dimK_, 0.0f);
+    });
 }
 
 } // namespace maxk

@@ -41,6 +41,15 @@ class CbsrMatrix
      */
     CbsrMatrix(NodeId rows, std::uint32_t dim_k, std::uint32_t dim_origin);
 
+    // Storage changes are reported to AllocProbe (tensor/alloc_probe.hh)
+    // so tests can assert the training hot loop is allocation-free;
+    // hence the explicit copy/move/destroy set.
+    CbsrMatrix(const CbsrMatrix &other);
+    CbsrMatrix(CbsrMatrix &&other) noexcept = default;
+    CbsrMatrix &operator=(const CbsrMatrix &other);
+    CbsrMatrix &operator=(CbsrMatrix &&other) noexcept;
+    ~CbsrMatrix();
+
     NodeId rows() const { return rows_; }
     std::uint32_t dimK() const { return dimK_; }
     std::uint32_t dimOrigin() const { return dimOrigin_; }
@@ -107,6 +116,16 @@ class CbsrMatrix
      */
     void reshape(NodeId rows, std::uint32_t dim_k,
                  std::uint32_t dim_origin);
+
+    /**
+     * Adopt the given shape, reusing the existing storage whenever the
+     * element counts already match — guaranteed no-op in that case (no
+     * reallocation, no zero-fill). Contents are unspecified after a
+     * shape change; callers must fully overwrite every data and index
+     * slot (the MaxK compress kernels do).
+     */
+    void ensureShape(NodeId rows, std::uint32_t dim_k,
+                     std::uint32_t dim_origin);
 
     /**
      * Structural validity: every index < dimOrigin and strictly

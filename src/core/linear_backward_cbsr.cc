@@ -1,0 +1,123 @@
+#include "core/linear_backward_cbsr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace maxk
+{
+
+namespace
+{
+/** Rows per chunk for the row-parallel loops (matches gnn_layer.cc). */
+constexpr std::size_t kRowGrain = 16;
+/** Input-dim columns per chunk for the dw-parallel loop: dw rows are
+ *  short (out_dim floats), so a finer grain keeps 8 workers busy even
+ *  on 64-wide layers. */
+constexpr std::size_t kColGrain = 8;
+} // namespace
+
+void
+cbsrGemmTransA(const Matrix &x, const CbsrMatrix &ds, Matrix &dw)
+{
+    checkInvariant(x.rows() == ds.rows(),
+                   "cbsrGemmTransA: row count mismatch");
+    const std::size_t in_dim = x.cols();
+    const NodeId n = ds.rows();
+    const std::uint32_t dim_k = ds.dimK();
+    dw.ensureShape(in_dim, ds.dimOrigin());
+    dw.setZero();
+    // Parallel over the input dimension: worker t owns dw rows
+    // [begin, end), so per (i, col) the contributions fold in ascending
+    // adjacency-row order exactly like the serial sweep — and exactly
+    // like gemmTransA over the decompressed gradient, whose extra terms
+    // are ±0 products that leave an IEEE accumulator unchanged.
+    parallelFor(0, in_dim, kColGrain,
+                [&](std::uint32_t, std::size_t begin, std::size_t end) {
+                    for (NodeId r = 0; r < n; ++r) {
+                        const Float *xr = x.row(r);
+                        const Float *data = ds.dataRow(r);
+                        for (std::size_t i = begin; i < end; ++i) {
+                            const Float av = xr[i];
+                            if (av == 0.0f)
+                                continue;
+                            Float *drow = dw.row(i);
+                            for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+                                drow[ds.indexAt(r, kk)] += av * data[kk];
+                        }
+                    }
+                });
+}
+
+void
+cbsrColumnSums(const CbsrMatrix &ds, Matrix &out)
+{
+    out.ensureShape(1, ds.dimOrigin());
+    out.setZero();
+    Float *o = out.data();
+    const std::uint32_t dim_k = ds.dimK();
+    for (NodeId r = 0; r < ds.rows(); ++r) {
+        const Float *data = ds.dataRow(r);
+        for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+            o[ds.indexAt(r, kk)] += data[kk];
+    }
+}
+
+void
+cbsrGemmTransB(const CbsrMatrix &ds, const Matrix &w, Matrix &dx)
+{
+    checkInvariant(ds.dimOrigin() == w.cols(),
+                   "cbsrGemmTransB: col count mismatch");
+    const std::size_t in_dim = w.rows();
+    const std::uint32_t dim_k = ds.dimK();
+    dx.ensureShape(ds.rows(), in_dim);
+    dx.setZero();
+    parallelFor(0, ds.rows(), kRowGrain,
+                [&](std::uint32_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t r = begin; r < end; ++r) {
+                        const NodeId row = static_cast<NodeId>(r);
+                        const Float *data = ds.dataRow(row);
+                        Float *drow = dx.row(r);
+                        for (std::size_t i = 0; i < in_dim; ++i) {
+                            const Float *wrow = w.row(i);
+                            Float acc = 0.0f;
+                            for (std::uint32_t kk = 0; kk < dim_k; ++kk)
+                                acc += data[kk] *
+                                       wrow[ds.indexAt(row, kk)];
+                            // += onto the zeroed output (not a store):
+                            // gemmTransB folds acc the same way, which
+                            // normalises a -0 accumulator to +0.
+                            drow[i] += acc;
+                        }
+                    }
+                });
+}
+
+double
+linearBackwardCbsrSimSeconds(std::uint64_t n, std::uint64_t in_dim,
+                             std::uint64_t out_dim, std::uint32_t k,
+                             const gpusim::DeviceConfig &cfg,
+                             double efficiency)
+{
+    // dW and dX each fold 2*N*k*in flops; db adds N*k. The gather through
+    // sp_index keeps this on the CUDA cores (fp32 peak), unlike the dense
+    // path's TF32 tensor-core GEMMs — the traffic term is where CBSR wins.
+    const double flops = 4.0 * static_cast<double>(n) * k * in_dim +
+                         static_cast<double>(n) * k;
+    const double cbsr_bytes =
+        static_cast<double>(n) * k *
+        (sizeof(Float) + (out_dim <= 256 ? 1 : 2));
+    const double bytes =
+        4.0 * (static_cast<double>(n) * in_dim +          // X read (dW)
+               static_cast<double>(in_dim) * out_dim +    // W read (dX)
+               static_cast<double>(in_dim) * out_dim +    // dW write
+               static_cast<double>(n) * in_dim) +         // dX write
+        2.0 * cbsr_bytes;                                 // dY read twice
+    const double t_compute = flops / cfg.flopsPerSec();
+    const double t_memory = bytes / cfg.hbmBytesPerSec();
+    return cfg.launchOverheadUs * 1e-6 +
+           std::max(t_compute, t_memory) / efficiency;
+}
+
+} // namespace maxk

@@ -232,7 +232,7 @@ maxkCompress(const Matrix &x, std::uint32_t k, const SimOptions &opt,
     const NodeId n = static_cast<NodeId>(x.rows());
     const std::uint32_t dim = static_cast<std::uint32_t>(x.cols());
 
-    result.cbsr.reshape(n, k, dim);
+    result.cbsr.ensureShape(n, k, dim);
     result.maxPivotIterations = 0;
     result.avgPivotIterations = 0.0;
 
@@ -299,7 +299,7 @@ maxkCompress(const Matrix &x, std::uint32_t k, const SimOptions &opt,
 void
 maxkDense(const Matrix &x, std::uint32_t k, Matrix &out)
 {
-    out.resize(x.rows(), x.cols());
+    out.ensureShape(x.rows(), x.cols());
     out.setZero();
     parallelFor(0, x.rows(), kRowGrain,
                 [&](std::uint32_t, std::size_t begin, std::size_t end) {
@@ -321,7 +321,7 @@ maxkBackwardDense(const Matrix &forward_input, std::uint32_t k,
     checkInvariant(forward_input.rows() == grad_out.rows() &&
                        forward_input.cols() == grad_out.cols(),
                    "maxkBackwardDense: shape mismatch");
-    grad_in.resize(grad_out.rows(), grad_out.cols());
+    grad_in.ensureShape(grad_out.rows(), grad_out.cols());
     grad_in.setZero();
     parallelFor(
         0, forward_input.rows(), kRowGrain,

@@ -4,27 +4,32 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "core/maxk.hh"
 #include "gpusim/context.hh"
 
 namespace maxk
 {
 
-gpusim::KernelStats
-spgemmForward(const CsrGraph &a, const EdgeGroupPartition &part,
-              const CbsrMatrix &xs, Matrix &y, const SimOptions &opt)
+namespace
 {
-    checkInvariant(xs.rows() == a.numNodes(),
-                   "spgemmForward: CBSR row count != |V|");
-    checkInvariant(part.covers(a),
-                   "spgemmForward: partition does not cover A");
 
+/** Rows per chunk for the row-parallel select sweep (matches maxk.cc). */
+constexpr std::size_t kRowGrain = 16;
+
+/**
+ * The row-wise-product aggregation sweep shared by the unfused and
+ * fused kernels. When `data_onchip` is set (fused launch), the per-edge
+ * sp_data fetch is charged to shared memory — the select stage of the
+ * same launch produced it on-chip — instead of a global read; the
+ * arithmetic is identical either way.
+ */
+void
+runAggregation(gpusim::KernelContext &ctx, const CsrGraph &a,
+               const EdgeGroupPartition &part, const CbsrMatrix &xs,
+               Matrix &y, const SimOptions &opt, bool data_onchip)
+{
     const std::uint32_t dim_k = xs.dimK();
     const std::uint32_t dim_origin = xs.dimOrigin();
-    y.resize(a.numNodes(), dim_origin);
-    y.setZero();
-
-    gpusim::KernelContext ctx(opt.device, "spgemm_forward",
-                              opt.simulateCaches);
 
     // Warp packing: Case 1 packs several EGs per warp when dim_k <= 16.
     const std::uint32_t egs_per_warp = EdgeGroupPartition::egsPerWarp(dim_k);
@@ -57,8 +62,16 @@ spgemmForward(const CsrGraph &a, const EdgeGroupPartition &part,
                 const Float v = a.values()[e];
                 // CBSR fetch: both segments are contiguous, coalesced
                 // reads — (4 + indexBytes) * dim_k bytes per nonzero
-                // (Sec. 4.3).
-                dev.globalRead(warp, xs.dataRow(j), xs.dataRowBytes());
+                // (Sec. 4.3). In the fused launch the 4-byte data
+                // segment never left the chip: the fetch is one
+                // warp-wide ld.shared per 32 lanes (contiguous row
+                // segment), not the scalar scatter path sharedOps is
+                // calibrated for.
+                if (data_onchip)
+                    dev.sharedOps((dim_k + 31) / 32, xs.dataRowBytes());
+                else
+                    dev.globalRead(warp, xs.dataRow(j),
+                                   xs.dataRowBytes());
                 dev.globalRead(warp, xs.indexRowAddr(j),
                                xs.indexRowBytes());
                 dev.flops(2ull * dim_k);
@@ -102,7 +115,89 @@ spgemmForward(const CsrGraph &a, const EdgeGroupPartition &part,
             }
         }
     });
+}
 
+} // namespace
+
+gpusim::KernelStats
+spgemmForward(const CsrGraph &a, const EdgeGroupPartition &part,
+              const CbsrMatrix &xs, Matrix &y, const SimOptions &opt)
+{
+    checkInvariant(xs.rows() == a.numNodes(),
+                   "spgemmForward: CBSR row count != |V|");
+    checkInvariant(part.covers(a),
+                   "spgemmForward: partition does not cover A");
+
+    // ensureShape: a shape-matching relaunch must not reallocate or
+    // double-fill (the setZero below is the only write before accumulate).
+    y.ensureShape(a.numNodes(), xs.dimOrigin());
+    y.setZero();
+
+    gpusim::KernelContext ctx(opt.device, "spgemm_forward",
+                              opt.simulateCaches);
+    runAggregation(ctx, a, part, xs, y, opt, /*data_onchip=*/false);
+    return ctx.finish(opt.efficiency);
+}
+
+gpusim::KernelStats
+spgemmForwardFused(const CsrGraph &a, const EdgeGroupPartition &part,
+                   const Matrix &x, std::uint32_t k, CbsrMatrix &xs,
+                   Matrix &y, const SimOptions &opt)
+{
+    checkInvariant(x.rows() == a.numNodes(),
+                   "spgemmForwardFused: X row count != |V|");
+    checkInvariant(part.covers(a),
+                   "spgemmForwardFused: partition does not cover A");
+    checkInvariant(k >= 1 && k <= x.cols(),
+                   "spgemmForwardFused: need 1 <= k <= dimOrigin");
+
+    const NodeId n = static_cast<NodeId>(x.rows());
+    const std::uint32_t dim = static_cast<std::uint32_t>(x.cols());
+    xs.ensureShape(n, k, dim);
+    y.ensureShape(a.numNodes(), dim);
+    y.setZero();
+
+    gpusim::KernelContext ctx(opt.device, "spgemm_forward_fused",
+                              opt.simulateCaches);
+
+    // Stage 1 — the maxk_select program (maxk.cc), run as the first
+    // phase of this launch: buffer the row on-chip, bisect the pivot,
+    // emit the survivors. sp_index goes to global (the backward pass
+    // owns that pattern); sp_data stays in shared memory for stage 2.
+    const auto row_chunks =
+        splitRange(0, n, kRowGrain, resolveThreads(opt.threads));
+    gpusim::runSharded(ctx, row_chunks, [&](auto &dev, std::uint32_t,
+                                            IndexRange rows) {
+        dev.usePhase("select+compress");
+        std::vector<std::uint32_t> selected;
+        for (std::size_t r = rows.begin; r < rows.end; ++r) {
+            const std::uint64_t warp = r; // one warp per row, id == row
+            const Float *row = x.row(r);
+            dev.globalRead(warp, row, dim * sizeof(Float));
+            dev.sharedOps(dim, dim * sizeof(Float));
+
+            const std::uint32_t iters = pivotSelect(row, dim, k, selected);
+            dev.sharedOps(std::uint64_t(iters + 1) * dim / 20, 0);
+            dev.flops(std::uint64_t(iters + 1) * dim);
+
+            Float *data = xs.dataRow(static_cast<NodeId>(r));
+            for (std::uint32_t kk = 0; kk < k; ++kk) {
+                data[kk] = row[selected[kk]];
+                xs.setIndex(static_cast<NodeId>(r), kk, selected[kk]);
+            }
+            // sp_data is handed to the aggregation stage on-chip — the
+            // global store (and its later reload) is the round-trip the
+            // fusion removes. One warp-wide st.shared per 32 lanes.
+            dev.sharedOps((k + 31) / 32, xs.dataRowBytes());
+            dev.globalWrite(warp,
+                            xs.indexRowAddr(static_cast<NodeId>(r)),
+                            xs.indexRowBytes());
+        }
+    });
+
+    // Stage 2 — identical arithmetic to spgemmForward, with the sp_data
+    // fetches charged on-chip.
+    runAggregation(ctx, a, part, xs, y, opt, /*data_onchip=*/true);
     return ctx.finish(opt.efficiency);
 }
 

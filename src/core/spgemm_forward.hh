@@ -10,6 +10,16 @@
  * atomically merged into the dense output row with coalesced global
  * transactions (the write-back stage whose k-independent cost explains
  * the low-k speedup saturation the paper reports in Sec. 5.2).
+ *
+ * spgemmForwardFused folds the MaxK pivot-select + CBSR emit stage into
+ * the same launch (ISSUE 4): the select phase runs exactly the
+ * maxk_select program, but sp_data is handed to the aggregation stage
+ * through shared memory instead of a global store/reload — the N*k
+ * 4-byte data segment never round-trips through DRAM. sp_index is still
+ * written globally because the backward SSpMM and the MaxK gradient
+ * mask reuse the forward pattern (Sec. 3.1). The functional outputs
+ * (both y and the emitted CBSR) are bitwise-identical to running
+ * maxkCompress followed by spgemmForward; only the cost model differs.
  */
 
 #ifndef MAXK_CORE_SPGEMM_FORWARD_HH
@@ -37,6 +47,25 @@ gpusim::KernelStats spgemmForward(const CsrGraph &a,
                                   const EdgeGroupPartition &part,
                                   const CbsrMatrix &xs, Matrix &y,
                                   const SimOptions &opt = {});
+
+/**
+ * Fused MaxK select + CBSR emit + SpGEMM aggregation in one launch:
+ * Y = A * CBSR(MaxK_k(x)), with the emitted CBSR returned in xs for the
+ * backward pass. Bitwise-identical outputs to the unfused pipeline;
+ * strictly lower modeled DRAM traffic (the sp_data round-trip and one
+ * launch overhead are saved). Phases: "select+compress",
+ * "compute+accumulate", "writeback".
+ *
+ * @param x  dense pre-activations (N x dimOrigin)
+ * @param k  survivors per row (1 <= k <= dimOrigin)
+ * @param xs emitted CBSR activation (pattern + data, resized)
+ * @param y  dense output, resized to |V| x dimOrigin
+ */
+gpusim::KernelStats spgemmForwardFused(const CsrGraph &a,
+                                       const EdgeGroupPartition &part,
+                                       const Matrix &x, std::uint32_t k,
+                                       CbsrMatrix &xs, Matrix &y,
+                                       const SimOptions &opt = {});
 
 } // namespace maxk
 

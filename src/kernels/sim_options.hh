@@ -53,6 +53,15 @@ struct SimOptions
     bool sspmmPrefetch = true;
 
     /**
+     * Select the fused MaxK->SpGEMM forward in the simulated pipelines
+     * (profileEpoch, benches): pivot-select, CBSR emit and the row-wise
+     * product run as one launch, so sp_data never round-trips through
+     * global memory (core/spgemm_forward.hh, spgemmForwardFused).
+     * Functional output is bitwise-identical to the unfused pipeline.
+     */
+    bool fusedForward = false;
+
+    /**
      * Host worker threads for the row-parallel kernel loops. 0 = use
      * the process default (MAXK_THREADS env var, else serial). Results
      * and simulated stats are bitwise-identical for every value — the

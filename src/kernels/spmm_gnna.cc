@@ -16,7 +16,9 @@ spmmGnna(const CsrGraph &a, const EdgeGroupPartition &part, const Matrix &x,
     checkInvariant(x.rows() == a.numNodes(), "spmmGnna: X row count != |V|");
     checkInvariant(part.covers(a), "spmmGnna: partition does not cover A");
     const std::size_t dim = x.cols();
-    y.resize(a.numNodes(), dim);
+    // ensureShape: a shape-matching relaunch must not reallocate or
+    // double-fill (the setZero below is the only write before accumulate).
+    y.ensureShape(a.numNodes(), dim);
     y.setZero();
 
     if (opt.efficiency == 1.0)

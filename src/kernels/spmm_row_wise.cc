@@ -16,7 +16,10 @@ spmmRowWise(const CsrGraph &a, const Matrix &x, Matrix &y,
     checkInvariant(x.rows() == a.numNodes(),
                    "spmmRowWise: X row count != |V|");
     const std::size_t dim = x.cols();
-    y.resize(a.numNodes(), dim);
+    // ensureShape: every row (empty ones included) stores its full
+    // output slice below, so a shape-matching relaunch neither
+    // reallocates nor pre-zeroes.
+    y.ensureShape(a.numNodes(), dim);
 
     gpusim::KernelContext ctx(opt.device, "spmm_row_wise",
                               opt.simulateCaches);

@@ -8,7 +8,7 @@ namespace maxk::nn
 void
 Dropout::forward(const Matrix &x, Matrix &y, bool training, Rng &rng)
 {
-    y.resize(x.rows(), x.cols());
+    y.ensureShape(x.rows(), x.cols());
     lastTraining_ = training && p_ > 0.0f;
     if (!lastTraining_) {
         std::copy(x.data(), x.data() + x.size(), y.data());
@@ -28,7 +28,7 @@ Dropout::forward(const Matrix &x, Matrix &y, bool training, Rng &rng)
 void
 Dropout::backward(const Matrix &dy, Matrix &dx) const
 {
-    dx.resize(dy.rows(), dy.cols());
+    dx.ensureShape(dy.rows(), dy.cols());
     if (!lastTraining_) {
         std::copy(dy.data(), dy.data() + dy.size(), dx.data());
         return;

@@ -49,7 +49,7 @@ void
 aggregateDense(const CsrGraph &a, const Matrix &x, Matrix &out)
 {
     const std::size_t dim = x.cols();
-    out.resize(a.numNodes(), dim);
+    out.ensureShape(a.numNodes(), dim);
     out.setZero();
     parallelFor(0, a.numNodes(), kRowGrain,
                 [&](std::uint32_t, std::size_t begin, std::size_t end) {
@@ -71,7 +71,7 @@ void
 aggregateDenseTransposed(const CsrGraph &a, const Matrix &x, Matrix &out)
 {
     const std::size_t dim = x.cols();
-    out.resize(a.numNodes(), dim);
+    out.ensureShape(a.numNodes(), dim);
     out.setZero();
     if (resolveThreads(0) <= 1) {
         for (NodeId i = 0; i < a.numNodes(); ++i) {
@@ -95,7 +95,7 @@ void
 aggregateCbsr(const CsrGraph &a, const CbsrMatrix &xs, Matrix &out)
 {
     const std::uint32_t dim_k = xs.dimK();
-    out.resize(a.numNodes(), xs.dimOrigin());
+    out.ensureShape(a.numNodes(), xs.dimOrigin());
     out.setZero();
     parallelFor(0, a.numNodes(), kRowGrain,
                 [&](std::uint32_t, std::size_t begin, std::size_t end) {
@@ -144,7 +144,7 @@ maxkCompressFast(const Matrix &x, std::uint32_t k, CbsrMatrix &out)
 {
     const NodeId n = static_cast<NodeId>(x.rows());
     const std::uint32_t dim = static_cast<std::uint32_t>(x.cols());
-    out = CbsrMatrix(n, k, dim);
+    out.ensureShape(n, k, dim);
     parallelFor(0, n, kRowGrain,
                 [&](std::uint32_t, std::size_t begin, std::size_t end) {
                     std::vector<std::uint32_t> selected;
@@ -160,6 +160,14 @@ maxkCompressFast(const Matrix &x, std::uint32_t k, CbsrMatrix &out)
                         }
                     }
                 });
+}
+
+void
+maxkAggregateFused(const CsrGraph &a, const Matrix &y, std::uint32_t k,
+                   CbsrMatrix &cbsr, Matrix &out)
+{
+    maxkCompressFast(y, k, cbsr);
+    aggregateCbsr(a, cbsr, out);
 }
 
 GnnLayer::GnnLayer(const GnnLayerConfig &cfg, std::size_t in_dim,
@@ -194,8 +202,12 @@ GnnLayer::forward(const CsrGraph &a, const Matrix &x, Matrix &out,
 
     if (use_maxk) {
         // MaxK -> CBSR -> SpGEMM aggregation (Fig. 2b path).
-        maxkCompressFast(y_, effectiveK(), cbsr_);
-        aggregateCbsr(a, cbsr_, out);
+        if (cfg_.fusedForward) {
+            maxkAggregateFused(a, y_, effectiveK(), cbsr_, out);
+        } else {
+            maxkCompressFast(y_, effectiveK(), cbsr_);
+            aggregateCbsr(a, cbsr_, out);
+        }
     } else {
         if (cfg_.lastLayer)
             hDense_ = y_;  // identity: logits stay dense
@@ -205,19 +217,28 @@ GnnLayer::forward(const CsrGraph &a, const Matrix &x, Matrix &out,
     }
 
     if (cfg_.kind == GnnKind::Sage) {
-        Matrix self;
-        linear2_.forward(xDropped_, self);
-        addInPlace(out, self);
+        linear2_.forward(xDropped_, self_);
+        addInPlace(out, self_);
     } else if (cfg_.kind == GnnKind::Gin) {
         // out += (1 + eps) * h
         const Float w = 1.0f + cfg_.ginEps;
         if (use_maxk) {
-            for (NodeId r = 0; r < cbsr_.rows(); ++r) {
-                const Float *data = cbsr_.dataRow(r);
-                Float *o = out.row(r);
-                for (std::uint32_t kk = 0; kk < cbsr_.dimK(); ++kk)
-                    o[cbsr_.indexAt(r, kk)] += w * data[kk];
-            }
+            // Row-aligned scatter: each output row has one writer, so
+            // the parallel sweep is bitwise-identical to the serial one.
+            parallelFor(0, cbsr_.rows(), kRowGrain,
+                        [&](std::uint32_t, std::size_t begin,
+                            std::size_t end) {
+                            for (std::size_t r = begin; r < end; ++r) {
+                                const NodeId row =
+                                    static_cast<NodeId>(r);
+                                const Float *data = cbsr_.dataRow(row);
+                                Float *o = out.row(r);
+                                for (std::uint32_t kk = 0;
+                                     kk < cbsr_.dimK(); ++kk)
+                                    o[cbsr_.indexAt(row, kk)] +=
+                                        w * data[kk];
+                            }
+                        });
         } else {
             axpy(out, w, hDense_);
         }
@@ -232,46 +253,52 @@ GnnLayer::backward(const CsrGraph &a, const Matrix &d_out, Matrix &dx)
     const Float gin_w = 1.0f + cfg_.ginEps;
 
     // Gradient w.r.t. the pre-activation y.
-    Matrix dy;
     if (usedCbsr_) {
         // SSpMM: sampled A^T * d_out at the forward pattern.
-        CbsrMatrix dcbsr;
-        dcbsr.adoptPattern(cbsr_);
-        aggregateCbsrBackward(a, d_out, dcbsr);
+        dcbsr_.adoptPattern(cbsr_);
+        aggregateCbsrBackward(a, d_out, dcbsr_);
         if (cfg_.kind == GnnKind::Gin) {
-            // Direct (1+eps) h path, masked by the same pattern.
-            for (NodeId r = 0; r < dcbsr.rows(); ++r) {
-                Float *g = dcbsr.dataRow(r);
-                const Float *go = d_out.row(r);
-                for (std::uint32_t kk = 0; kk < dcbsr.dimK(); ++kk)
-                    g[kk] += gin_w * go[dcbsr.indexAt(r, kk)];
-            }
+            // Direct (1+eps) h path, masked by the same pattern —
+            // folded into the CBSR gradient by the same row-aligned
+            // gather (one writer per row, bitwise-deterministic).
+            parallelFor(0, dcbsr_.rows(), kRowGrain,
+                        [&](std::uint32_t, std::size_t begin,
+                            std::size_t end) {
+                            for (std::size_t r = begin; r < end; ++r) {
+                                const NodeId row =
+                                    static_cast<NodeId>(r);
+                                Float *g = dcbsr_.dataRow(row);
+                                const Float *go = d_out.row(r);
+                                for (std::uint32_t kk = 0;
+                                     kk < dcbsr_.dimK(); ++kk)
+                                    g[kk] += gin_w *
+                                             go[dcbsr_.indexAt(row, kk)];
+                            }
+                        });
         }
-        // Scatter CBSR gradient into the dense dy (zeros elsewhere):
-        // MaxK's backward reuses the forward sparsity (Sec. 3.1).
-        dcbsr.decompress(dy);
+        // MaxK's backward reuses the forward sparsity (Sec. 3.1), so
+        // the gradient stays in CBSR form all the way into the linear
+        // backward — no dense decompress round-trip (ISSUE 4).
+        linear1_.backward(xDropped_, dcbsr_, dxDropped_);
     } else {
-        Matrix dh;
-        aggregateDenseTransposed(a, d_out, dh);
+        aggregateDenseTransposed(a, d_out, dh_);
         if (cfg_.kind == GnnKind::Gin)
-            axpy(dh, gin_w, d_out);
-        if (cfg_.lastLayer)
-            dy = std::move(dh);
-        else
-            reluBackward(y_, dh, dy);
+            axpy(dh_, gin_w, d_out);
+        if (!cfg_.lastLayer)
+            reluBackward(y_, dh_, dy_);
+        // The last layer's nonlinearity is the identity: dh_ already is
+        // the pre-activation gradient, no move into dy_ (which would
+        // leave an empty buffer to reallocate next epoch).
+        const Matrix &dy = cfg_.lastLayer ? dh_ : dy_;
+        linear1_.backward(xDropped_, dy, dxDropped_);
     }
-
-    // Linear1 backward into the dropped input.
-    Matrix dx_dropped;
-    linear1_.backward(xDropped_, dy, dx_dropped);
 
     if (cfg_.kind == GnnKind::Sage) {
-        Matrix dx_self;
-        linear2_.backward(xDropped_, d_out, dx_self);
-        addInPlace(dx_dropped, dx_self);
+        linear2_.backward(xDropped_, d_out, dxSelf_);
+        addInPlace(dxDropped_, dxSelf_);
     }
 
-    dropout_.backward(dx_dropped, dx);
+    dropout_.backward(dxDropped_, dx);
 }
 
 void

@@ -57,6 +57,17 @@ struct GnnLayerConfig
     bool lastLayer = false;     //!< last layer: identity nonlinearity
     Float ginEps = 0.0f;
     Float dropout = 0.0f;
+
+    /**
+     * Run the MaxK nonlinearity and the SpGEMM aggregation as one fused
+     * launch: the layer's forward routes through maxkAggregateFused,
+     * and profileEpoch selects the spgemmForwardFused cost model, where
+     * the fused launch saves the sp_data global round-trip
+     * (core/spgemm_forward.hh). The functional result is
+     * bitwise-identical either way — the fused path executes the exact
+     * same arithmetic.
+     */
+    bool fusedForward = false;
 };
 
 /** One trainable GNN layer (fast functional path). */
@@ -112,6 +123,17 @@ class GnnLayer
     Matrix hDense_;     //!< activation (dense form; ReLU/identity path)
     CbsrMatrix cbsr_;   //!< activation (CBSR form; MaxK path)
     bool usedCbsr_ = false;
+
+    // Persistent backward/forward workspaces: every per-call temporary
+    // lives here so steady-state epochs perform zero Matrix/CbsrMatrix
+    // heap allocations (asserted by tests/test_workspace.cc via
+    // tensor/alloc_probe.hh).
+    Matrix self_;       //!< SAGE self-path output (forward)
+    CbsrMatrix dcbsr_;  //!< CBSR gradient at the forward pattern
+    Matrix dh_;         //!< reverse-aggregated dense gradient
+    Matrix dy_;         //!< gradient w.r.t. the pre-activation
+    Matrix dxDropped_;  //!< gradient w.r.t. the dropped input
+    Matrix dxSelf_;     //!< SAGE self-path input gradient
 };
 
 /** out = A * x for dense x (reference aggregation, fast path). */
@@ -133,6 +155,18 @@ void aggregateCbsrBackward(const CsrGraph &a, const Matrix &dxl,
 
 /** MaxK + CBSR compression without device simulation (fast path). */
 void maxkCompressFast(const Matrix &x, std::uint32_t k, CbsrMatrix &out);
+
+/**
+ * Fused functional MaxK + aggregation: compress y into cbsr and
+ * row-wise-product aggregate it in one call — the fast-path twin of
+ * the simulated spgemmForwardFused. The host path has no
+ * global-memory model, so the fusion is structural (one call, shared
+ * workspaces) and the result is bitwise-identical to running
+ * maxkCompressFast followed by aggregateCbsr; the modeled traffic
+ * saving lives in the simulated kernel (core/spgemm_forward.hh).
+ */
+void maxkAggregateFused(const CsrGraph &a, const Matrix &y,
+                        std::uint32_t k, CbsrMatrix &cbsr, Matrix &out);
 
 } // namespace maxk::nn
 

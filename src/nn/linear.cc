@@ -1,6 +1,7 @@
 #include "nn/linear.hh"
 
 #include "common/logging.hh"
+#include "core/linear_backward_cbsr.hh"
 #include "tensor/init.hh"
 #include "tensor/ops.hh"
 
@@ -36,17 +37,25 @@ Linear::backward(const Matrix &x, const Matrix &dy, Matrix &dx)
                    "Linear::backward: grad width mismatch");
     // dW += x^T dy (accumulated: a second backward call must add, not
     // overwrite, so multi-path layers like SAGE compose correctly).
-    Matrix dw;
-    gemmTransA(x, dy, dw);
-    addInPlace(weight_.grad, dw);
+    gemmTransA(x, dy, dwScratch_);
+    addInPlace(weight_.grad, dwScratch_);
     // db += column sums of dy
-    Matrix col;
-    columnSums(dy, col);
-    addInPlace(bias_.grad, col);
+    columnSums(dy, colScratch_);
+    addInPlace(bias_.grad, colScratch_);
     // dx = dy W^T
-    dx.resize(dy.rows(), weight_.value.rows());
-    dx.setZero();
     gemmTransB(dy, weight_.value, dx);
+}
+
+void
+Linear::backward(const Matrix &x, const CbsrMatrix &dy, Matrix &dx)
+{
+    checkInvariant(dy.dimOrigin() == weight_.value.cols(),
+                   "Linear::backward: CBSR grad width mismatch");
+    cbsrGemmTransA(x, dy, dwScratch_);
+    addInPlace(weight_.grad, dwScratch_);
+    cbsrColumnSums(dy, colScratch_);
+    addInPlace(bias_.grad, colScratch_);
+    cbsrGemmTransB(dy, weight_.value, dx);
 }
 
 void

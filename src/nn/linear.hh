@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "core/cbsr.hh"
 #include "nn/param.hh"
 #include "tensor/matrix.hh"
 
@@ -47,6 +48,15 @@ class Linear
      */
     void backward(const Matrix &x, const Matrix &dy, Matrix &dx);
 
+    /**
+     * CBSR-aware backward: the upstream gradient stays in the CBSR form
+     * the backward SSpMM produced (k values per row at the forward
+     * pattern). Computes the same dW/db/dX as the dense overload on
+     * decompress(dy) — bitwise — without materialising the dense
+     * gradient (core/linear_backward_cbsr.hh).
+     */
+    void backward(const Matrix &x, const CbsrMatrix &dy, Matrix &dx);
+
     /** Parameters (weight then bias). */
     void collectParams(ParamRefs &out);
 
@@ -59,6 +69,11 @@ class Linear
   private:
     Param weight_;  //!< (in x out)
     Param bias_;    //!< (1 x out)
+
+    // Persistent backward workspaces (gradients are accumulated into
+    // the Param buffers via these, so repeated epochs allocate nothing).
+    Matrix dwScratch_;   //!< dW of the current call
+    Matrix colScratch_;  //!< db of the current call
 };
 
 } // namespace maxk::nn

@@ -16,6 +16,7 @@ GnnModel::GnnModel(const ModelConfig &cfg)
         lc.kind = cfg.kind;
         lc.nonlin = cfg.nonlin;
         lc.maxkK = cfg.maxkK;
+        lc.fusedForward = cfg.fusedForward;
         lc.lastLayer = l + 1 == cfg.numLayers;
         lc.ginEps = cfg.ginEps;
         lc.dropout = cfg.dropout;
@@ -49,11 +50,10 @@ GnnModel::forward(const CsrGraph &a, const Matrix &x, bool training)
 void
 GnnModel::backward(const CsrGraph &a, const Matrix &grad_logits)
 {
-    Matrix grad = grad_logits;
-    Matrix grad_prev;
+    gradCur_ = grad_logits;
     for (std::size_t l = layers_.size(); l-- > 0;) {
-        layers_[l].backward(a, grad, grad_prev);
-        grad = std::move(grad_prev);
+        layers_[l].backward(a, gradCur_, gradPrev_);
+        std::swap(gradCur_, gradPrev_);
     }
 }
 

@@ -24,6 +24,7 @@ struct ModelConfig
     GnnKind kind = GnnKind::Sage;
     Nonlinearity nonlin = Nonlinearity::Relu;
     std::uint32_t maxkK = 32;       //!< k for MaxK layers
+    bool fusedForward = false;      //!< fuse MaxK select into the SpGEMM
     std::uint32_t numLayers = 3;
     std::size_t inDim = 64;
     std::size_t hiddenDim = 64;
@@ -63,6 +64,13 @@ class GnnModel
     Rng dropRng_;
     std::vector<GnnLayer> layers_;
     std::vector<Matrix> acts_;  //!< acts_[l] = input of layer l
+
+    // Persistent backward ping-pong buffers: backward() alternates the
+    // upstream/downstream gradient between these two workspaces instead
+    // of moving locals (which would strand their storage and force a
+    // reallocation every epoch).
+    Matrix gradCur_;
+    Matrix gradPrev_;
 };
 
 } // namespace maxk::nn

@@ -1,0 +1,90 @@
+#include "tensor/alloc_probe.hh"
+
+#include <atomic>
+
+namespace maxk
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_matrixAllocs{0};
+std::atomic<std::uint64_t> g_cbsrAllocs{0};
+std::atomic<std::int64_t> g_liveBytes{0};
+std::atomic<std::int64_t> g_peakBytes{0};
+
+} // namespace
+
+namespace allocprobe
+{
+
+void
+noteAlloc(Kind kind)
+{
+    if (kind == Kind::Matrix)
+        g_matrixAllocs.fetch_add(1, std::memory_order_relaxed);
+    else
+        g_cbsrAllocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+noteBytes(std::int64_t delta)
+{
+    const std::int64_t live =
+        g_liveBytes.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t peak = g_peakBytes.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !g_peakBytes.compare_exchange_weak(peak, live,
+                                              std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace allocprobe
+
+std::uint64_t
+AllocProbe::matrixAllocCount()
+{
+    return g_matrixAllocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+AllocProbe::cbsrAllocCount()
+{
+    return g_cbsrAllocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+AllocProbe::totalAllocCount()
+{
+    return matrixAllocCount() + cbsrAllocCount();
+}
+
+std::uint64_t
+AllocProbe::liveBytes()
+{
+    const std::int64_t live = g_liveBytes.load(std::memory_order_relaxed);
+    return live > 0 ? static_cast<std::uint64_t>(live) : 0;
+}
+
+std::uint64_t
+AllocProbe::peakBytes()
+{
+    const std::int64_t peak = g_peakBytes.load(std::memory_order_relaxed);
+    return peak > 0 ? static_cast<std::uint64_t>(peak) : 0;
+}
+
+void
+AllocProbe::resetAllocCounts()
+{
+    g_matrixAllocs.store(0, std::memory_order_relaxed);
+    g_cbsrAllocs.store(0, std::memory_order_relaxed);
+}
+
+void
+AllocProbe::resetPeak()
+{
+    g_peakBytes.store(g_liveBytes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+}
+
+} // namespace maxk

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Heap-allocation probe for the feature/gradient containers.
+ *
+ * The training hot loop is supposed to run allocation-free once the
+ * per-layer workspaces are warm (ISSUE 4 / paper Sec. 4: the speedup
+ * story assumes the CBSR buffers live across epochs). This probe makes
+ * that property testable: Matrix and CbsrMatrix report every heap
+ * (re)allocation of their storage vectors and keep a live/peak byte
+ * gauge, so a test can assert "steady-state epoch => zero allocations"
+ * and the perf harness can report transient workspace growth per kernel.
+ *
+ * Only Matrix/CbsrMatrix storage is tracked — graph arrays and the
+ * small std::vector scratch buffers inside kernels are not workspaces
+ * in the sense of the zero-allocation contract. Counters are global,
+ * atomic (relaxed), and safe to read from tests running the thread-pool
+ * hot paths.
+ */
+
+#ifndef MAXK_TENSOR_ALLOC_PROBE_HH
+#define MAXK_TENSOR_ALLOC_PROBE_HH
+
+#include <cstdint>
+
+namespace maxk
+{
+
+/** Process-wide allocation counters for Matrix / CbsrMatrix storage. */
+struct AllocProbe
+{
+    /** Heap (re)allocations performed by Matrix storage since reset. */
+    static std::uint64_t matrixAllocCount();
+
+    /** Heap (re)allocations performed by CbsrMatrix storage since reset. */
+    static std::uint64_t cbsrAllocCount();
+
+    /** matrixAllocCount() + cbsrAllocCount(). */
+    static std::uint64_t totalAllocCount();
+
+    /** Bytes currently held by live Matrix/CbsrMatrix storage. */
+    static std::uint64_t liveBytes();
+
+    /** High-water mark of liveBytes() since the last resetPeak(). */
+    static std::uint64_t peakBytes();
+
+    /** Zero both allocation counters (the live/peak gauges keep going). */
+    static void resetAllocCounts();
+
+    /** Restart the high-water mark from the current live level. */
+    static void resetPeak();
+};
+
+namespace allocprobe
+{
+
+/** Container kinds the probe distinguishes. */
+enum class Kind { Matrix, Cbsr };
+
+/** Record one heap (re)allocation event of the given container kind. */
+void noteAlloc(Kind kind);
+
+/** Adjust the live-bytes gauge (positive on growth, negative on free);
+ *  updates the peak when the gauge rises past it. */
+void noteBytes(std::int64_t delta);
+
+/**
+ * Run a storage mutation and account any capacity change: call with the
+ * vector about to be mutated and a callable performing the mutation.
+ * Counts one allocation event when the capacity grew (std::vector only
+ * reallocates upward) and feeds the byte delta to the gauge.
+ */
+template <class Vec, class Fn>
+void
+tracked(Vec &v, Kind kind, Fn &&fn)
+{
+    const std::size_t before = v.capacity();
+    fn();
+    const std::size_t after = v.capacity();
+    if (after != before) {
+        if (after > before)
+            noteAlloc(kind);
+        noteBytes((static_cast<std::int64_t>(after) -
+                   static_cast<std::int64_t>(before)) *
+                  static_cast<std::int64_t>(sizeof(typename Vec::value_type)));
+    }
+}
+
+/** Account a freshly constructed (copied) vector's storage. */
+template <class Vec>
+void
+acquired(const Vec &v, Kind kind)
+{
+    if (v.capacity() > 0) {
+        noteAlloc(kind);
+        noteBytes(static_cast<std::int64_t>(v.capacity()) *
+                  static_cast<std::int64_t>(sizeof(typename Vec::value_type)));
+    }
+}
+
+/** Account a vector whose storage is about to be destroyed/released. */
+template <class Vec>
+void
+released(const Vec &v)
+{
+    if (v.capacity() > 0)
+        noteBytes(-static_cast<std::int64_t>(v.capacity()) *
+                  static_cast<std::int64_t>(sizeof(typename Vec::value_type)));
+}
+
+} // namespace allocprobe
+
+} // namespace maxk
+
+#endif // MAXK_TENSOR_ALLOC_PROBE_HH

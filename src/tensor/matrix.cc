@@ -4,18 +4,68 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "tensor/alloc_probe.hh"
 
 namespace maxk
 {
 
+namespace
+{
+constexpr allocprobe::Kind kKind = allocprobe::Kind::Matrix;
+} // namespace
+
 Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
 {
+    allocprobe::acquired(data_, kKind);
 }
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, Float fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill)
 {
+    allocprobe::acquired(data_, kKind);
+}
+
+Matrix::Matrix(const Matrix &other)
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_)
+{
+    allocprobe::acquired(data_, kKind);
+}
+
+Matrix &
+Matrix::operator=(const Matrix &other)
+{
+    if (this != &other) {
+        rows_ = other.rows_;
+        cols_ = other.cols_;
+        allocprobe::tracked(data_, kKind, [&] { data_ = other.data_; });
+    }
+    return *this;
+}
+
+Matrix &
+Matrix::operator=(Matrix &&other) noexcept
+{
+    if (this != &other) {
+        allocprobe::released(data_);
+        data_ = std::move(other.data_);
+        rows_ = other.rows_;
+        cols_ = other.cols_;
+        other.rows_ = 0;
+        other.cols_ = 0;
+        // The moved-from vector is left without storage by the steal;
+        // release anything it might still hold (defensive: the standard
+        // only guarantees "valid but unspecified").
+        allocprobe::released(other.data_);
+        other.data_.clear();
+        other.data_.shrink_to_fit();
+    }
+    return *this;
+}
+
+Matrix::~Matrix()
+{
+    allocprobe::released(data_);
 }
 
 void
@@ -44,7 +94,19 @@ Matrix::resize(std::size_t rows, std::size_t cols)
 {
     rows_ = rows;
     cols_ = cols;
-    data_.assign(rows * cols, 0.0f);
+    allocprobe::tracked(data_, kKind,
+                        [&] { data_.assign(rows * cols, 0.0f); });
+}
+
+void
+Matrix::ensureShape(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    const std::size_t n = rows * cols;
+    if (data_.size() == n)
+        return;
+    allocprobe::tracked(data_, kKind, [&] { data_.resize(n); });
 }
 
 Float

@@ -32,6 +32,15 @@ class Matrix
     /** rows x cols matrix filled with a constant. */
     Matrix(std::size_t rows, std::size_t cols, Float fill);
 
+    // Storage changes are reported to AllocProbe (tensor/alloc_probe.hh)
+    // so tests can assert the training hot loop is allocation-free;
+    // hence the explicit copy/move/destroy set.
+    Matrix(const Matrix &other);
+    Matrix(Matrix &&other) noexcept = default;
+    Matrix &operator=(const Matrix &other);
+    Matrix &operator=(Matrix &&other) noexcept;
+    ~Matrix();
+
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     std::size_t size() const { return data_.size(); }
@@ -62,6 +71,15 @@ class Matrix
 
     /** Resize (destructive; contents become zero). */
     void resize(std::size_t rows, std::size_t cols);
+
+    /**
+     * Adopt the given shape, reusing the existing storage whenever the
+     * element count already matches — guaranteed no-op in that case (no
+     * reallocation, no zero-fill). Contents are unspecified after a
+     * shape change; callers must fully overwrite or setZero(). This is
+     * the right call for kernel outputs that are written every launch.
+     */
+    void ensureShape(std::size_t rows, std::size_t cols);
 
     /** Max absolute element (0 for empty). */
     Float maxAbs() const;

@@ -167,7 +167,7 @@ hadamard(const Matrix &a, const Matrix &b, Matrix &out)
 void
 reluForward(const Matrix &in, Matrix &out)
 {
-    out.resize(in.rows(), in.cols());
+    out.ensureShape(in.rows(), in.cols());
     const Float *pi = in.data();
     Float *po = out.data();
     for (std::size_t i = 0; i < in.size(); ++i)
@@ -179,7 +179,7 @@ reluBackward(const Matrix &input, const Matrix &gradOut, Matrix &gradIn)
 {
     checkInvariant(input.size() == gradOut.size(),
                    "reluBackward: shape mismatch");
-    gradIn.resize(input.rows(), input.cols());
+    gradIn.ensureShape(input.rows(), input.cols());
     const Float *pi = input.data();
     const Float *pg = gradOut.data();
     Float *po = gradIn.data();

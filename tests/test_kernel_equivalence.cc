@@ -18,6 +18,7 @@
 #include <tuple>
 
 #include "common/rng.hh"
+#include "core/linear_backward_cbsr.hh"
 #include "core/maxk.hh"
 #include "graph/formats/formats.hh"
 #include "graph/registry.hh"
@@ -29,10 +30,12 @@
 #include "kernels/spmm_ref.hh"
 #include "kernels/spmm_row_wise.hh"
 #include "nn/gnn_layer.hh"
+#include "nn/linear.hh"
 #include "support/comparators.hh"
 #include "support/fixtures.hh"
 #include "support/oracles.hh"
 #include "tensor/init.hh"
+#include "tensor/ops.hh"
 
 namespace maxk
 {
@@ -145,6 +148,96 @@ TEST_P(KernelEquivalence, SspmmBackwardMatchesTransposedKernels)
     Matrix y_outer;
     spmmOuterNaive(g_, dxl, y_outer, opt_);
     EXPECT_TRUE(test::cbsrMatchesDenseGather(dxs, y_outer, kTol));
+}
+
+/** CBSR data segments agree bitwise (pattern agreement via
+ *  cbsrSamePattern). */
+::testing::AssertionResult
+cbsrSameData(const CbsrMatrix &a, const CbsrMatrix &b)
+{
+    if (a.rows() != b.rows() || a.dimK() != b.dimK())
+        return ::testing::AssertionFailure() << "shape mismatch";
+    for (NodeId r = 0; r < a.rows(); ++r)
+        for (std::uint32_t kk = 0; kk < a.dimK(); ++kk)
+            if (a.dataRow(r)[kk] != b.dataRow(r)[kk])
+                return ::testing::AssertionFailure()
+                       << "data mismatch at row " << r << " slot " << kk;
+    return ::testing::AssertionSuccess();
+}
+
+/**
+ * Fused MaxK->SpGEMM: one launch must reproduce the unfused pipeline
+ * (maxkCompress then spgemmForward) bitwise — output, emitted pattern
+ * and data — while moving strictly less modeled DRAM traffic (the
+ * sp_data round-trip is the fusion's whole point, ISSUE 4).
+ */
+TEST_P(KernelEquivalence, FusedForwardBitwiseMatchesUnfusedPipeline)
+{
+    const MaxKResult mk = maxkCompress(x_, k_, opt_);
+    Matrix y_unfused;
+    const auto spgemm_stats =
+        spgemmForward(g_, part_, mk.cbsr, y_unfused, opt_);
+
+    CbsrMatrix fused_cbsr;
+    Matrix y_fused;
+    const auto fused_stats =
+        spgemmForwardFused(g_, part_, x_, k_, fused_cbsr, y_fused, opt_);
+
+    EXPECT_TRUE(y_fused.equals(y_unfused)); // bitwise, not near
+    EXPECT_TRUE(test::cbsrSamePattern(fused_cbsr, mk.cbsr));
+    EXPECT_TRUE(cbsrSameData(fused_cbsr, mk.cbsr));
+
+    const auto unfused_total = [&] {
+        gpusim::PhaseStats t = mk.stats.aggregate();
+        t.accumulate(spgemm_stats.aggregate());
+        return t;
+    }();
+    const auto fused_total = fused_stats.aggregate();
+    EXPECT_LT(fused_total.dramReadBytes + fused_total.dramWriteBytes,
+              unfused_total.dramReadBytes + unfused_total.dramWriteBytes);
+    EXPECT_LT(fused_stats.totalSeconds,
+              mk.stats.totalSeconds + spgemm_stats.totalSeconds);
+}
+
+/**
+ * CBSR-aware linear backward: dW/db/dX computed straight from
+ * sp_data/sp_index must equal — bitwise — the dense kernels applied to
+ * the decompressed gradient (the path GnnLayer::backward used to take).
+ */
+TEST_P(KernelEquivalence, LinearBackwardCbsrBitwiseMatchesDense)
+{
+    const std::size_t in_dim = 24;
+    Rng rng(90210 + k_);
+    Matrix x(g_.numNodes(), in_dim);
+    fillNormal(x, rng, 0.0f, 1.0f);
+    // Plant exact zeros in X: the dense gemmTransA skips them, the CBSR
+    // kernel must skip them identically.
+    for (NodeId r = 0; r < g_.numNodes(); r += 3)
+        x.at(r, r % in_dim) = 0.0f;
+    Matrix w(in_dim, x_.cols());
+    fillNormal(w, rng, 0.0f, 0.5f);
+
+    // A CBSR gradient with realistic pattern + values.
+    Matrix gsrc(g_.numNodes(), x_.cols());
+    fillNormal(gsrc, rng, 0.0f, 1.0f);
+    const MaxKResult mk = maxkCompress(gsrc, k_, opt_);
+
+    Matrix dense;
+    mk.cbsr.decompress(dense);
+
+    Matrix dw_dense, db_dense, dx_dense;
+    gemmTransA(x, dense, dw_dense);
+    columnSums(dense, db_dense);
+    gemmTransB(dense, w, dx_dense);
+
+    Matrix dw, db, dx;
+    cbsrGemmTransA(x, mk.cbsr, dw);
+    cbsrColumnSums(mk.cbsr, db);
+    cbsrGemmTransB(mk.cbsr, w, dx);
+
+    EXPECT_TRUE(dw.equals(dw_dense));
+    EXPECT_TRUE(db.equals(db_dense));
+    EXPECT_TRUE(dx.equals(dx_dense));
 }
 
 /** Gradient-mask consistency: the backward CBSR inherits the forward
@@ -290,6 +383,36 @@ TEST_F(DiskGraphEquivalence, SpgemmAndSspmmMatchOracles)
     Matrix dense_t;
     test::sspmmOracle(g_, x_, dense_t);
     EXPECT_TRUE(test::cbsrMatchesDenseGather(dxs, dense_t, kTol));
+}
+
+TEST_F(DiskGraphEquivalence, FusedForwardMatchesUnfusedOnDiskGraph)
+{
+    const MaxKResult mk = maxkCompress(x_, 8, opt_);
+    Matrix y_unfused;
+    spgemmForward(g_, part_, mk.cbsr, y_unfused, opt_);
+
+    CbsrMatrix fused_cbsr;
+    Matrix y_fused;
+    spgemmForwardFused(g_, part_, x_, 8, fused_cbsr, y_fused, opt_);
+    EXPECT_TRUE(y_fused.equals(y_unfused));
+    EXPECT_TRUE(test::cbsrSamePattern(fused_cbsr, mk.cbsr));
+
+    // The CBSR-aware linear backward agrees bitwise on the disk graph
+    // as well: same substrate, same arithmetic (see the sweep test).
+    Matrix w(16, x_.cols());
+    Rng rng(5150);
+    fillNormal(w, rng, 0.0f, 0.5f);
+    Matrix xin(g_.numNodes(), 16);
+    fillNormal(xin, rng, 0.0f, 1.0f);
+    Matrix dense;
+    mk.cbsr.decompress(dense);
+    Matrix dw_dense, dx_dense, dw, dx;
+    gemmTransA(xin, dense, dw_dense);
+    gemmTransB(dense, w, dx_dense);
+    cbsrGemmTransA(xin, mk.cbsr, dw);
+    cbsrGemmTransB(mk.cbsr, w, dx);
+    EXPECT_TRUE(dw.equals(dw_dense));
+    EXPECT_TRUE(dx.equals(dx_dense));
 }
 
 TEST_F(DiskGraphEquivalence, BinaryReloadIsBitwiseEquivalent)

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * maxk-perf-check — compare a maxk-perf-v1 JSON report (bench --json)
+ * against a committed baseline and fail on regressions.
+ *
+ * The records are deterministic by construction (the benches collect
+ * them with the cache model off, so every metric is structural), which
+ * is why the default thresholds can be tight. Regression rules, per
+ * baseline record (keyed by bench/kernel/graph/dim/k):
+ *
+ *   sim_seconds, dram_bytes, l2_req_bytes:
+ *       fail when current > baseline * (1 + tol)          [--tol, 0.02]
+ *   peak_workspace_bytes:
+ *       fail when current > baseline * (1 + wtol) AND
+ *       current > baseline + 4096 bytes (absolute slack for allocator
+ *       rounding differences across libstdc++ versions)
+ *                                             [--workspace-tol, 0.25]
+ *   alloc_count:
+ *       fail when current > baseline (exact — allocation creep in the
+ *       hot loop is the regression class ISSUE 4 exists to prevent)
+ *
+ * A baseline record missing from the current report fails (a kernel
+ * silently dropped out of the bench); extra current records are listed
+ * but pass (new kernels land with a later baseline refresh).
+ * Improvements beyond tol are reported so baselines can be re-blessed
+ * (see README "Performance": MAXK_PERF_BLESS=1 in tools/perfgate.sh).
+ *
+ * Exit codes: 0 ok, 1 regression/missing records, 2 usage/parse error.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/* ----------------------------------------------- minimal JSON reader --
+ * Supports exactly what maxk-perf-v1 emits: one object with a "records"
+ * array of flat objects holding string and number values. Implemented
+ * as a tiny recursive-descent scanner rather than a dependency — the
+ * container must stay self-contained (no new packages).
+ */
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        std::fprintf(stderr, "maxk-perf-check: JSON parse error at byte "
+                             "%zu: %s\n",
+                     pos, what.c_str());
+        std::exit(2);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    fail("dangling escape");
+                char e = text[pos++];
+                switch (e) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  default: c = e; break; // \" \\ \/ and friends
+                }
+            }
+            out.push_back(c);
+        }
+        if (pos >= text.size())
+            fail("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            fail("malformed number");
+        pos += static_cast<std::size_t>(end - start);
+        return v;
+    }
+};
+
+/** One flat record: string fields + numeric fields. */
+struct Record
+{
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+
+    std::string
+    key() const
+    {
+        auto str = [&](const char *k) {
+            auto it = strings.find(k);
+            return it == strings.end() ? std::string("?") : it->second;
+        };
+        auto num = [&](const char *k) {
+            auto it = numbers.find(k);
+            return it == numbers.end()
+                       ? std::string("?")
+                       : std::to_string(
+                             static_cast<long long>(it->second));
+        };
+        return str("bench") + "/" + str("kernel") + "/" + str("graph") +
+               "/dim" + num("dim") + "/k" + num("k");
+    }
+
+    double
+    num(const char *k, double fallback = 0.0) const
+    {
+        auto it = numbers.find(k);
+        return it == numbers.end() ? fallback : it->second;
+    }
+};
+
+Record
+parseRecord(Parser &p)
+{
+    Record rec;
+    p.expect('{');
+    if (p.peek() == '}') {
+        ++p.pos;
+        return rec;
+    }
+    for (;;) {
+        const std::string field = p.parseString();
+        p.expect(':');
+        const char c = p.peek();
+        if (c == '"')
+            rec.strings[field] = p.parseString();
+        else
+            rec.numbers[field] = p.parseNumber();
+        if (p.peek() == ',') {
+            ++p.pos;
+            continue;
+        }
+        p.expect('}');
+        return rec;
+    }
+}
+
+std::vector<Record>
+loadReport(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "maxk-perf-check: cannot open %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    Parser p(text);
+    p.expect('{');
+    std::vector<Record> records;
+    bool saw_records = false;
+    for (;;) {
+        const std::string field = p.parseString();
+        p.expect(':');
+        if (field == "records") {
+            saw_records = true;
+            p.expect('[');
+            if (p.peek() != ']') {
+                for (;;) {
+                    records.push_back(parseRecord(p));
+                    if (p.peek() == ',') {
+                        ++p.pos;
+                        continue;
+                    }
+                    break;
+                }
+            }
+            p.expect(']');
+        } else if (p.peek() == '"') {
+            const std::string v = p.parseString();
+            if (field == "schema" && v != "maxk-perf-v1") {
+                std::fprintf(stderr,
+                             "maxk-perf-check: %s: unknown schema '%s'\n",
+                             path.c_str(), v.c_str());
+                std::exit(2);
+            }
+        } else {
+            p.parseNumber();
+        }
+        if (p.peek() == ',') {
+            ++p.pos;
+            continue;
+        }
+        p.expect('}');
+        break;
+    }
+    if (!saw_records) {
+        std::fprintf(stderr, "maxk-perf-check: %s: no \"records\" array\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return records;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string current_path, baseline_path;
+    double tol = 0.02;
+    double wtol = 0.25;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tol" && i + 1 < argc) {
+            tol = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--workspace-tol" && i + 1 < argc) {
+            wtol = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: maxk-perf-check <current.json> "
+                        "<baseline.json> [--tol F] [--workspace-tol F]\n");
+            return 0;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else {
+            std::fprintf(stderr, "maxk-perf-check: unexpected '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (current_path.empty() || baseline_path.empty()) {
+        std::fprintf(stderr, "usage: maxk-perf-check <current.json> "
+                             "<baseline.json> [--tol F] "
+                             "[--workspace-tol F]\n");
+        return 2;
+    }
+
+    const std::vector<Record> current = loadReport(current_path);
+    const std::vector<Record> baseline = loadReport(baseline_path);
+
+    std::map<std::string, const Record *> current_by_key;
+    for (const Record &r : current)
+        current_by_key[r.key()] = &r;
+
+    int regressions = 0;
+    int improvements = 0;
+    std::map<std::string, bool> matched;
+
+    auto check_metric = [&](const Record &base, const Record &cur,
+                            const char *metric, double rel_tol,
+                            double abs_slack, bool exact) {
+        const double b = base.num(metric);
+        const double c = cur.num(metric);
+        const bool regressed =
+            exact ? c > b
+                  : (c > b * (1.0 + rel_tol) && c > b + abs_slack);
+        if (regressed) {
+            std::printf("REGRESSION %s %s: %.6g -> %.6g (+%.2f%%)\n",
+                        base.key().c_str(), metric, b, c,
+                        b > 0 ? 100.0 * (c - b) / b : 100.0);
+            ++regressions;
+        } else if (!exact && b > 0 && c < b * (1.0 - rel_tol)) {
+            std::printf("improved   %s %s: %.6g -> %.6g (%.2f%%)\n",
+                        base.key().c_str(), metric, b, c,
+                        100.0 * (c - b) / b);
+            ++improvements;
+        }
+    };
+
+    for (const Record &base : baseline) {
+        const std::string key = base.key();
+        auto it = current_by_key.find(key);
+        if (it == current_by_key.end()) {
+            std::printf("MISSING    %s (in baseline, not in current "
+                        "report)\n",
+                        key.c_str());
+            ++regressions;
+            continue;
+        }
+        matched[key] = true;
+        const Record &cur = *it->second;
+        check_metric(base, cur, "sim_seconds", tol, 0.0, false);
+        check_metric(base, cur, "dram_bytes", tol, 0.0, false);
+        check_metric(base, cur, "l2_req_bytes", tol, 0.0, false);
+        check_metric(base, cur, "peak_workspace_bytes", wtol, 4096.0,
+                     false);
+        check_metric(base, cur, "alloc_count", 0.0, 0.0, true);
+    }
+
+    int extra = 0;
+    for (const Record &r : current)
+        if (!matched.count(r.key()))
+            ++extra;
+    if (extra > 0)
+        std::printf("note: %d record(s) in the current report have no "
+                    "baseline yet (refresh to start gating them)\n",
+                    extra);
+
+    std::printf("maxk-perf-check: %zu baseline record(s), %d "
+                "regression(s), %d improvement(s)\n",
+                baseline.size(), regressions, improvements);
+    if (improvements > 0 && regressions == 0)
+        std::printf("note: improvements beyond tolerance — consider "
+                    "refreshing the baseline (MAXK_PERF_BLESS=1, see "
+                    "README Performance)\n");
+    return regressions == 0 ? 0 : 1;
+}
