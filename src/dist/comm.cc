@@ -1,0 +1,227 @@
+#include "dist/comm.hh"
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace maxk::dist
+{
+
+/**
+ * Mailbox state shared by the ranks of one world.
+ *
+ * The protocol is a phase-counter barrier: each collective is two sync
+ * points. Between them every peer's slot pointer is published and the
+ * pointed-to buffers are immutable, so readers may copy without locks —
+ * the mutex hand-off at the barriers provides the happens-before edges
+ * (TSan-clean by construction, not by annotation).
+ */
+struct CommShared
+{
+    std::uint32_t ranks = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t phase = 0;    //!< bumped when the last rank arrives
+    std::uint32_t arrived = 0;  //!< ranks waiting at the current phase
+    bool aborted = false;
+    std::vector<const void *> slots;  //!< one published pointer per rank
+};
+
+std::uint32_t
+Communicator::worldSize() const
+{
+    return shared_->ranks;
+}
+
+void
+Communicator::sync()
+{
+    std::unique_lock<std::mutex> lk(shared_->mu);
+    if (shared_->aborted)
+        throw CommAborted();
+    const std::uint64_t my_phase = shared_->phase;
+    if (++shared_->arrived == shared_->ranks) {
+        shared_->arrived = 0;
+        ++shared_->phase;
+        shared_->cv.notify_all();
+        return;
+    }
+    shared_->cv.wait(lk, [&] {
+        return shared_->phase != my_phase || shared_->aborted;
+    });
+    if (shared_->aborted)
+        throw CommAborted();
+}
+
+void
+Communicator::publish(const void *ptr)
+{
+    {
+        std::lock_guard<std::mutex> lk(shared_->mu);
+        shared_->slots[rank_] = ptr;
+    }
+    sync();
+}
+
+void
+Communicator::barrier()
+{
+    sync();
+}
+
+void
+Communicator::allToAllv(
+    const std::vector<std::vector<std::uint8_t>> &send,
+    std::vector<std::vector<std::uint8_t>> &recv, CommChannel channel)
+{
+    const std::uint32_t n = shared_->ranks;
+    checkInvariant(send.size() == n,
+                   "allToAllv: send lane count != world size");
+    const std::uint32_t ch = static_cast<std::uint32_t>(channel);
+
+    recv.resize(n);
+    publish(&send);
+    // All lanes published and frozen; copy what is addressed to us.
+    // Lane order (and therefore recv content) is fixed by rank index,
+    // independent of thread scheduling.
+    for (std::uint32_t src = 0; src < n; ++src) {
+        const auto &peer = *static_cast<
+            const std::vector<std::vector<std::uint8_t>> *>(
+            shared_->slots[src]);
+        checkInvariant(peer.size() == n,
+                       "allToAllv: peer lane count != world size");
+        const std::vector<std::uint8_t> &lane = peer[rank_];
+        recv[src].assign(lane.begin(), lane.end());
+        if (src != rank_)
+            traffic_.received[ch] += lane.size();
+    }
+    sync(); // every rank done copying; senders may reuse their buffers
+    for (std::uint32_t dst = 0; dst < n; ++dst)
+        if (dst != rank_)
+            traffic_.sent[ch] += send[dst].size();
+}
+
+template <class T>
+void
+Communicator::reduceImpl(T *data, std::size_t count,
+                         std::vector<T> &scratch, CommChannel channel)
+{
+    const std::uint32_t n = shared_->ranks;
+    const std::uint32_t ch = static_cast<std::uint32_t>(channel);
+
+    publish(data);
+    scratch.resize(count);
+    // Fixed-order fold: rank 0 first, then 1, ... — every rank computes
+    // the identical sum, so the replicas stay bitwise in sync.
+    const T *first = static_cast<const T *>(shared_->slots[0]);
+    std::memcpy(scratch.data(), first, count * sizeof(T));
+    for (std::uint32_t src = 1; src < n; ++src) {
+        const T *p = static_cast<const T *>(shared_->slots[src]);
+        for (std::size_t i = 0; i < count; ++i)
+            scratch[i] += p[i];
+    }
+    sync(); // every rank done reading; buffers may be overwritten
+    std::memcpy(data, scratch.data(), count * sizeof(T));
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count) * sizeof(T) * (n - 1);
+    traffic_.sent[ch] += bytes;
+    traffic_.received[ch] += bytes;
+}
+
+void
+Communicator::allReduceSum(Float *data, std::size_t count,
+                           CommChannel channel)
+{
+    reduceImpl(data, count, scratchF_, channel);
+}
+
+void
+Communicator::allReduceSum(double *data, std::size_t count,
+                           CommChannel channel)
+{
+    reduceImpl(data, count, scratchD_, channel);
+}
+
+CommWorld::CommWorld(std::uint32_t ranks)
+    : shared_(std::make_unique<CommShared>())
+{
+    checkInvariant(ranks >= 1, "CommWorld: need >= 1 rank");
+    shared_->ranks = ranks;
+    shared_->slots.assign(ranks, nullptr);
+    comms_.reserve(ranks);
+    for (std::uint32_t r = 0; r < ranks; ++r)
+        comms_.push_back(Communicator(shared_.get(), r));
+}
+
+CommWorld::~CommWorld() = default;
+
+std::uint32_t
+CommWorld::ranks() const
+{
+    return shared_->ranks;
+}
+
+void
+CommWorld::run(const std::function<void(Communicator &)> &fn)
+{
+    const std::uint32_t n = shared_->ranks;
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        threads.emplace_back([&, r] {
+            try {
+                fn(comms_[r]);
+            } catch (...) {
+                errors[r] = std::current_exception();
+                std::lock_guard<std::mutex> lk(shared_->mu);
+                shared_->aborted = true;
+                shared_->cv.notify_all();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // Rethrow the root cause: prefer the first non-CommAborted error
+    // (CommAborted in other ranks is a consequence, not the cause).
+    std::exception_ptr first;
+    for (const std::exception_ptr &e : errors) {
+        if (!e)
+            continue;
+        if (!first)
+            first = e;
+        try {
+            std::rethrow_exception(e);
+        } catch (const CommAborted &) {
+            // consequence — keep looking for the cause
+        } catch (...) {
+            first = e;
+            break;
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+const CommTraffic &
+CommWorld::traffic(std::uint32_t rank) const
+{
+    checkInvariant(rank < comms_.size(), "CommWorld: rank out of range");
+    return comms_[rank].traffic();
+}
+
+std::uint64_t
+CommWorld::totalSentBytes(CommChannel channel) const
+{
+    std::uint64_t total = 0;
+    for (const Communicator &c : comms_)
+        total += c.sentBytes(channel);
+    return total;
+}
+
+} // namespace maxk::dist

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic in-process communicator for the sharded execution
+ * subsystem (ISSUE 5 tentpole).
+ *
+ * A CommWorld hosts R ranks, one thread per rank, exchanging data
+ * through mutex/condvar-synchronised mailboxes — an in-process model of
+ * the NCCL collectives a partition-parallel MaxK-GNN deployment would
+ * issue (paper Sec. 1, BNS-GCN-style). Three properties the sharded
+ * trainer builds on:
+ *
+ *  - **Determinism.** Every collective produces the same bytes no
+ *    matter how the rank threads interleave: all-to-all lanes are
+ *    copied from immutable source buffers between two phase barriers,
+ *    and allReduceSum folds the rank buffers in fixed rank order
+ *    0..R-1, so every rank computes the bit-identical sum.
+ *  - **Accounting.** Per-rank sent/received byte counters, split by
+ *    channel (halo exchange / gradient reduction / diagnostics gather),
+ *    so tests can reconcile the measured exchange volume against the
+ *    analytical profileDistributedEpoch model exactly.
+ *  - **No hidden allocation.** Collectives write into caller-owned
+ *    buffers; the only internal scratch is a persistent per-rank
+ *    reduction buffer that reaches steady capacity after the first
+ *    epoch.
+ *
+ * The collectives are SPMD: every rank must call the same sequence of
+ * operations. A rank that throws instead aborts the world, waking every
+ * blocked peer with CommAborted so run() can rethrow the root cause.
+ */
+
+#ifndef MAXK_DIST_COMM_HH
+#define MAXK_DIST_COMM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace maxk::dist
+{
+
+/** Traffic classes the byte counters distinguish. */
+enum class CommChannel : std::uint32_t
+{
+    Halo = 0,    //!< boundary activation / gradient halo rows
+    Reduce = 1,  //!< loss and weight-gradient all-reduce
+    Gather = 2,  //!< logits gather for evaluation / diagnostics
+};
+
+inline constexpr std::uint32_t kNumCommChannels = 3;
+
+/** Per-rank byte counters, one lane per channel. Self-sends (a rank's
+ *  lane to itself in an all-to-all) are local copies and not counted. */
+struct CommTraffic
+{
+    std::uint64_t sent[kNumCommChannels] = {0, 0, 0};
+    std::uint64_t received[kNumCommChannels] = {0, 0, 0};
+};
+
+/** Thrown in ranks blocked on a collective when a peer aborts. */
+struct CommAborted : std::runtime_error
+{
+    CommAborted() : std::runtime_error("CommWorld aborted") {}
+};
+
+struct CommShared; // mailbox state, defined in comm.cc
+
+/**
+ * One rank's endpoint. Obtained from CommWorld::run(); valid only
+ * inside the rank function. All collectives must be called by every
+ * rank of the world in the same order (SPMD).
+ */
+class Communicator
+{
+  public:
+    std::uint32_t rank() const { return rank_; }
+    std::uint32_t worldSize() const;
+
+    /** Block until every rank arrived. */
+    void barrier();
+
+    /**
+     * Variable all-to-all: `send[d]` is this rank's payload for rank d
+     * (size R; lanes may be empty). On return `recv[s]` holds rank s's
+     * payload for this rank. Buffer capacity is reused across calls.
+     */
+    void allToAllv(const std::vector<std::vector<std::uint8_t>> &send,
+                   std::vector<std::vector<std::uint8_t>> &recv,
+                   CommChannel channel);
+
+    /**
+     * In-place sum all-reduce over `data[0..count)`. Every rank folds
+     * the rank buffers in rank order 0..R-1, so the result is
+     * bit-identical on every rank and across runs and thread counts.
+     */
+    void allReduceSum(Float *data, std::size_t count,
+                      CommChannel channel = CommChannel::Reduce);
+    void allReduceSum(double *data, std::size_t count,
+                      CommChannel channel = CommChannel::Reduce);
+
+    /** Bytes this rank sent / received on a channel so far. */
+    std::uint64_t sentBytes(CommChannel channel) const
+    {
+        return traffic_.sent[static_cast<std::uint32_t>(channel)];
+    }
+    std::uint64_t receivedBytes(CommChannel channel) const
+    {
+        return traffic_.received[static_cast<std::uint32_t>(channel)];
+    }
+    const CommTraffic &traffic() const { return traffic_; }
+
+  private:
+    friend class CommWorld;
+    Communicator(CommShared *shared, std::uint32_t rank)
+        : shared_(shared), rank_(rank)
+    {
+    }
+
+    /** One phase barrier of the mailbox protocol (throws on abort). */
+    void sync();
+    /** Publish this rank's slot pointer, then sync(). */
+    void publish(const void *ptr);
+
+    template <class T>
+    void reduceImpl(T *data, std::size_t count, std::vector<T> &scratch,
+                    CommChannel channel);
+
+    CommShared *shared_;
+    std::uint32_t rank_;
+    CommTraffic traffic_;
+    std::vector<Float> scratchF_;
+    std::vector<double> scratchD_;
+};
+
+/**
+ * A world of R ranks. Construct once, then run() one SPMD function; the
+ * call spawns one thread per rank, blocks until all complete, and
+ * rethrows the first rank exception (by rank order) if any rank threw.
+ * Traffic counters accumulate across run() calls and are readable once
+ * run() returned.
+ */
+class CommWorld
+{
+  public:
+    explicit CommWorld(std::uint32_t ranks);
+    ~CommWorld();
+
+    CommWorld(const CommWorld &) = delete;
+    CommWorld &operator=(const CommWorld &) = delete;
+
+    std::uint32_t ranks() const;
+
+    void run(const std::function<void(Communicator &)> &fn);
+
+    /** Post-run traffic of one rank. */
+    const CommTraffic &traffic(std::uint32_t rank) const;
+
+    /** Σ over ranks of sentBytes(channel). */
+    std::uint64_t totalSentBytes(CommChannel channel) const;
+
+  private:
+    std::unique_ptr<CommShared> shared_;
+    std::vector<Communicator> comms_;
+};
+
+} // namespace maxk::dist
+
+#endif // MAXK_DIST_COMM_HH

@@ -1,0 +1,317 @@
+#include "dist/halo.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace maxk::dist
+{
+
+std::uint64_t
+HaloPlan::totalReplicas() const
+{
+    std::uint64_t total = 0;
+    for (const HaloShard &s : shards)
+        total += s.haloGlobal.size();
+    return total;
+}
+
+HaloPlan
+HaloPlan::build(const CsrGraph &g, const Partition &p)
+{
+    checkInvariant(p.assignment.size() == g.numNodes(),
+                   "HaloPlan: partition/graph size mismatch");
+    constexpr NodeId kInvalid = ~NodeId{0};
+    const NodeId n = g.numNodes();
+    const std::uint32_t parts = p.numParts;
+
+    HaloPlan plan;
+    plan.numParts = parts;
+    plan.shards.resize(parts);
+
+    const auto buckets = p.membersAll();
+
+    // Position of every vertex within its owner's bucket — the row id
+    // its owner ships it under.
+    std::vector<NodeId> local_index(n, 0);
+    for (std::uint32_t r = 0; r < parts; ++r)
+        for (NodeId i = 0; i < buckets[r].size(); ++i)
+            local_index[buckets[r][i]] = static_cast<NodeId>(i);
+
+    for (std::uint32_t r = 0; r < parts; ++r) {
+        HaloShard &s = plan.shards[r];
+        s.rank = r;
+        s.sendRows.resize(parts);
+        s.recvRows.resize(parts);
+    }
+
+    // Ext-id of each vertex within the shard currently being compiled;
+    // entries touched per shard are reset before the next one.
+    std::vector<NodeId> ext_slot(n, kInvalid);
+
+    for (std::uint32_t r = 0; r < parts; ++r) {
+        HaloShard &s = plan.shards[r];
+        s.localGlobal = buckets[r];
+        const NodeId num_local = s.numLocal();
+
+        // Discover the distinct remote vertices any local row reads.
+        for (NodeId v : s.localGlobal) {
+            for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e) {
+                const NodeId u = g.colIdx()[e];
+                if (p.assignment[u] != r && ext_slot[u] == kInvalid) {
+                    ext_slot[u] = 0; // provisional mark
+                    s.haloGlobal.push_back(u);
+                }
+            }
+        }
+        std::sort(s.haloGlobal.begin(), s.haloGlobal.end());
+        for (NodeId i = 0; i < s.haloGlobal.size(); ++i)
+            ext_slot[s.haloGlobal[i]] = num_local + i;
+
+        // Exchange lists: both sides walk the same ascending-global
+        // halo sequence, so sendRows[r] on the owner and recvRows[src]
+        // here are aligned slot for slot.
+        for (NodeId i = 0; i < s.haloGlobal.size(); ++i) {
+            const NodeId u = s.haloGlobal[i];
+            const std::uint32_t owner = p.assignment[u];
+            s.recvRows[owner].push_back(num_local + i);
+            plan.shards[owner].sendRows[r].push_back(local_index[u]);
+        }
+
+        // Extended subgraph: local rows with remapped columns (sorted —
+        // locals keep their relative global order, halos follow), halo
+        // rows empty.
+        const NodeId num_ext = s.numExt();
+        std::vector<EdgeId> row_ptr{0};
+        std::vector<NodeId> col_idx;
+        std::vector<Float> values;
+        row_ptr.reserve(num_ext + 1);
+        std::vector<std::pair<NodeId, Float>> row;
+        for (NodeId v : s.localGlobal) {
+            row.clear();
+            for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e) {
+                const NodeId u = g.colIdx()[e];
+                const NodeId mapped = p.assignment[u] == r
+                                          ? local_index[u]
+                                          : ext_slot[u];
+                row.emplace_back(mapped, g.values()[e]);
+            }
+            std::sort(row.begin(), row.end());
+            for (const auto &[c, w] : row) {
+                col_idx.push_back(c);
+                values.push_back(w);
+            }
+            row_ptr.push_back(static_cast<EdgeId>(col_idx.size()));
+        }
+        for (NodeId i = 0; i < s.haloGlobal.size(); ++i)
+            row_ptr.push_back(static_cast<EdgeId>(col_idx.size()));
+        s.extGraph = CsrGraph::fromCsr(num_ext, std::move(row_ptr),
+                                       std::move(col_idx),
+                                       std::move(values));
+        // Pre-build the stable transpose on the compiling thread; the
+        // scatter-shaped backward paths reuse it from rank threads.
+        s.extGraph.transposeCached();
+
+        for (NodeId u : s.haloGlobal)
+            ext_slot[u] = kInvalid;
+    }
+    return plan;
+}
+
+void
+HaloExchange::exchangeDense(Communicator &comm, Matrix &m)
+{
+    const std::uint32_t parts = comm.worldSize();
+    const std::size_t row_bytes = m.cols() * sizeof(Float);
+
+    sendBuf_.resize(parts);
+    for (std::uint32_t d = 0; d < parts; ++d) {
+        const auto &rows = shard_.sendRows[d];
+        sendBuf_[d].resize(rows.size() * row_bytes);
+        std::uint8_t *out = sendBuf_[d].data();
+        for (NodeId local : rows) {
+            std::memcpy(out, m.row(local), row_bytes);
+            out += row_bytes;
+        }
+    }
+    comm.allToAllv(sendBuf_, recvBuf_, CommChannel::Halo);
+    for (std::uint32_t src = 0; src < parts; ++src) {
+        const auto &slots = shard_.recvRows[src];
+        checkInvariant(recvBuf_[src].size() == slots.size() * row_bytes,
+                       "exchangeDense: payload size mismatch");
+        const std::uint8_t *in = recvBuf_[src].data();
+        for (NodeId slot : slots) {
+            std::memcpy(m.row(slot), in, row_bytes);
+            in += row_bytes;
+        }
+    }
+}
+
+void
+HaloExchange::reverseDense(Communicator &comm, Matrix &m)
+{
+    const std::uint32_t parts = comm.worldSize();
+    const std::size_t dim = m.cols();
+    const std::size_t row_bytes = dim * sizeof(Float);
+
+    sendBuf_.resize(parts);
+    for (std::uint32_t dst = 0; dst < parts; ++dst) {
+        const auto &slots = shard_.recvRows[dst];
+        sendBuf_[dst].resize(slots.size() * row_bytes);
+        std::uint8_t *out = sendBuf_[dst].data();
+        for (NodeId slot : slots) {
+            std::memcpy(out, m.row(slot), row_bytes);
+            out += row_bytes;
+        }
+    }
+    comm.allToAllv(sendBuf_, recvBuf_, CommChannel::Halo);
+    // Fold received partials into the local boundary rows in rank
+    // order — fixed, so the result is deterministic.
+    for (std::uint32_t src = 0; src < parts; ++src) {
+        const auto &rows = shard_.sendRows[src];
+        checkInvariant(recvBuf_[src].size() == rows.size() * row_bytes,
+                       "reverseDense: payload size mismatch");
+        const Float *in =
+            reinterpret_cast<const Float *>(recvBuf_[src].data());
+        for (NodeId local : rows) {
+            Float *dst_row = m.row(local);
+            for (std::size_t c = 0; c < dim; ++c)
+                dst_row[c] += in[c];
+            in += dim;
+        }
+    }
+    // Halo rows have been handed back; zero them so the rest of the
+    // backward pass sees no remote-owned gradient.
+    for (NodeId slot = shard_.numLocal(); slot < shard_.numExt(); ++slot)
+        std::fill(m.row(slot), m.row(slot) + dim, 0.0f);
+}
+
+namespace
+{
+
+/**
+ * CBSR wire format of one lane: all data segments first (keeps the fp32
+ * block aligned for the deserialising add), then all index segments —
+ * (4 + indexBytes) * k bytes per row, the paper's Sec. 1 figure.
+ */
+std::size_t
+cbsrLaneBytes(const CbsrMatrix &m, std::size_t rows)
+{
+    return rows * m.dimK() * (sizeof(Float) + m.indexBytes());
+}
+
+void
+packCbsrRows(const CbsrMatrix &m, const std::vector<NodeId> &rows,
+             std::vector<std::uint8_t> &buf)
+{
+    const std::uint32_t k = m.dimK();
+    const std::uint32_t ib = m.indexBytes();
+    buf.resize(cbsrLaneBytes(m, rows.size()));
+    std::uint8_t *data_out = buf.data();
+    std::uint8_t *idx_out = buf.data() + rows.size() * k * sizeof(Float);
+    for (NodeId row : rows) {
+        std::memcpy(data_out, m.dataRow(row), k * sizeof(Float));
+        data_out += k * sizeof(Float);
+        if (ib == 1) {
+            for (std::uint32_t kk = 0; kk < k; ++kk)
+                idx_out[kk] =
+                    static_cast<std::uint8_t>(m.indexAt(row, kk));
+        } else {
+            for (std::uint32_t kk = 0; kk < k; ++kk) {
+                const std::uint16_t v =
+                    static_cast<std::uint16_t>(m.indexAt(row, kk));
+                std::memcpy(idx_out + kk * 2, &v, 2);
+            }
+        }
+        idx_out += k * ib;
+    }
+}
+
+std::uint32_t
+unpackIndex(const std::uint8_t *idx_in, std::uint32_t ib,
+            std::uint32_t kk)
+{
+    if (ib == 1)
+        return idx_in[kk];
+    std::uint16_t v;
+    std::memcpy(&v, idx_in + kk * 2, 2);
+    return v;
+}
+
+} // namespace
+
+void
+HaloExchange::exchangeCbsr(Communicator &comm, CbsrMatrix &m)
+{
+    const std::uint32_t parts = comm.worldSize();
+    const std::uint32_t k = m.dimK();
+    const std::uint32_t ib = m.indexBytes();
+
+    sendBuf_.resize(parts);
+    for (std::uint32_t d = 0; d < parts; ++d)
+        packCbsrRows(m, shard_.sendRows[d], sendBuf_[d]);
+    comm.allToAllv(sendBuf_, recvBuf_, CommChannel::Halo);
+    for (std::uint32_t src = 0; src < parts; ++src) {
+        const auto &slots = shard_.recvRows[src];
+        checkInvariant(recvBuf_[src].size() ==
+                           cbsrLaneBytes(m, slots.size()),
+                       "exchangeCbsr: payload size mismatch");
+        const std::uint8_t *data_in = recvBuf_[src].data();
+        const std::uint8_t *idx_in =
+            recvBuf_[src].data() + slots.size() * k * sizeof(Float);
+        for (NodeId slot : slots) {
+            std::memcpy(m.dataRow(slot), data_in, k * sizeof(Float));
+            data_in += k * sizeof(Float);
+            for (std::uint32_t kk = 0; kk < k; ++kk)
+                m.setIndex(slot, kk, unpackIndex(idx_in, ib, kk));
+            idx_in += k * ib;
+        }
+    }
+}
+
+void
+HaloExchange::reverseCbsr(Communicator &comm, CbsrMatrix &m)
+{
+    const std::uint32_t parts = comm.worldSize();
+    const std::uint32_t k = m.dimK();
+    const std::uint32_t ib = m.indexBytes();
+
+    sendBuf_.resize(parts);
+    for (std::uint32_t dst = 0; dst < parts; ++dst)
+        packCbsrRows(m, shard_.recvRows[dst], sendBuf_[dst]);
+    comm.allToAllv(sendBuf_, recvBuf_, CommChannel::Halo);
+    for (std::uint32_t src = 0; src < parts; ++src) {
+        const auto &rows = shard_.sendRows[src];
+        checkInvariant(recvBuf_[src].size() ==
+                           cbsrLaneBytes(m, rows.size()),
+                       "reverseCbsr: payload size mismatch");
+        const std::uint8_t *data_in = recvBuf_[src].data();
+        const std::uint8_t *idx_in =
+            recvBuf_[src].data() + rows.size() * k * sizeof(Float);
+        for (NodeId local : rows) {
+            const Float *partial =
+                reinterpret_cast<const Float *>(data_in);
+            Float *dst_row = m.dataRow(local);
+            for (std::uint32_t kk = 0; kk < k; ++kk) {
+                // The gradient pattern is the forward pattern on both
+                // sides; the shipped indices are the wire format's
+                // self-description.
+                checkInvariant(unpackIndex(idx_in, ib, kk) ==
+                                   m.indexAt(local, kk),
+                               "reverseCbsr: pattern mismatch");
+                dst_row[kk] += partial[kk];
+            }
+            data_in += k * sizeof(Float);
+            idx_in += k * ib;
+        }
+    }
+    for (NodeId slot = shard_.numLocal(); slot < shard_.numExt();
+         ++slot) {
+        Float *dst_row = m.dataRow(slot);
+        std::fill(dst_row, dst_row + k, 0.0f);
+    }
+}
+
+} // namespace maxk::dist

@@ -1,0 +1,208 @@
+#include "dist/sharded_trainer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "dist/sharded_model.hh"
+#include "nn/loss.hh"
+#include "nn/metrics.hh"
+#include "nn/optimizer.hh"
+#include "tensor/alloc_probe.hh"
+
+namespace maxk::dist
+{
+
+ShardedTrainer::ShardedTrainer(const nn::ModelConfig &cfg,
+                               TrainingData &data,
+                               const TrainingTask &task,
+                               const Partition &part)
+    : cfg_(cfg), data_(data), task_(task), part_(part)
+{
+    checkInvariant(part_.assignment.size() == data_.graph.numNodes(),
+                   "ShardedTrainer: partition/graph size mismatch");
+    checkInvariant(cfg_.outDim == task_.numClasses,
+                   "ShardedTrainer: model outDim != task classes");
+    // Weights must be set on the GLOBAL graph before the plan copies
+    // them into the shard subgraphs: boundary rows aggregate with
+    // global degrees, exactly like the single-device Trainer.
+    data_.graph.setAggregatorWeights(nn::aggregatorFor(cfg_.kind));
+    plan_ = HaloPlan::build(data_.graph, part_);
+    if (task_.multiLabel)
+        multiTargets_ =
+            nn::multiLabelTargets(data_.labels, task_.numClasses);
+    for (std::uint8_t m : data_.trainMask)
+        trainCount_ += m ? 1 : 0;
+}
+
+double
+ShardedTrainer::evalMetric(const Matrix &logits,
+                           const std::vector<std::uint8_t> &mask) const
+{
+    switch (task_.metric) {
+      case MetricKind::Accuracy:
+        return nn::accuracy(logits, data_.labels, mask);
+      case MetricKind::MicroF1:
+        return nn::microF1(logits, multiTargets_, mask);
+      case MetricKind::RocAuc:
+        return nn::rocAuc(logits, multiTargets_, mask);
+    }
+    return 0.0;
+}
+
+ShardedTrainResult
+ShardedTrainer::run(const nn::TrainConfig &cfg)
+{
+    const std::uint32_t ranks = part_.numParts;
+    const std::uint32_t eval_every =
+        std::max<std::uint32_t>(cfg.evalEvery, 1);
+    const std::size_t num_classes = task_.numClasses;
+    const std::size_t feat_dim = data_.features.cols();
+
+    Stopwatch watch;
+    ShardedTrainResult result;
+    result.finalLogits.resize(data_.graph.numNodes(), num_classes);
+
+    std::vector<std::uint64_t> train_halo(ranks, 0), eval_halo(ranks, 0);
+    std::uint64_t steady_allocs = 0;
+
+    CommWorld world(ranks);
+    world.run([&](Communicator &comm) {
+        const std::uint32_t r = comm.rank();
+        const HaloShard &shard = plan_.shards[r];
+        const NodeId num_local = shard.numLocal();
+        const NodeId num_ext = shard.numExt();
+
+        // Shard-local training data: local rows gathered from the
+        // global arrays, halo rows zero (masked out everywhere).
+        Matrix features(num_ext, feat_dim);
+        std::vector<std::uint32_t> labels(num_ext, 0);
+        std::vector<std::uint8_t> train_mask(num_ext, 0);
+        for (NodeId i = 0; i < num_local; ++i) {
+            const NodeId v = shard.localGlobal[i];
+            std::copy(data_.features.row(v),
+                      data_.features.row(v) + feat_dim,
+                      features.row(i));
+            labels[i] = data_.labels[v];
+            train_mask[i] = data_.trainMask[v];
+        }
+        Matrix targets;
+        if (task_.multiLabel)
+            targets = nn::multiLabelTargets(labels, task_.numClasses);
+
+        ShardedModel model(cfg_, shard);
+        HaloExchange exchange(shard);
+        nn::Adam adam(model.inner().params(), cfg.lr, 0.9f, 0.999f,
+                      1e-8f, cfg.weightDecay);
+        const nn::ParamRefs params = model.inner().params();
+
+        Matrix grad, probs;
+        // Persistent gather lanes: only the rank-0 lane ever carries
+        // payload, and its capacity is reused across evaluations.
+        std::vector<std::vector<std::uint8_t>> gather_send(ranks),
+            gather_recv;
+        std::uint64_t steady_base = 0;
+
+        for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+            // Epoch-aligning barrier: when rank 0 samples the
+            // allocation counter at epoch 2, every rank has finished
+            // its warm-up epochs.
+            comm.barrier();
+            if (epoch == 2 && r == 0)
+                steady_base = AllocProbe::totalAllocCount();
+
+            const std::uint64_t halo0 =
+                comm.sentBytes(CommChannel::Halo);
+            const Matrix &logits =
+                model.forward(comm, exchange, features, true);
+            // Globally-normalised loss: dividing by the global
+            // training-node count makes every local gradient row the
+            // exact single-device gradient of that node.
+            double loss_buf =
+                task_.multiLabel
+                    ? nn::sigmoidBceInto(logits, targets, train_mask,
+                                         trainCount_, grad)
+                    : nn::softmaxCrossEntropyInto(logits, labels,
+                                                  train_mask,
+                                                  trainCount_, grad,
+                                                  probs);
+            model.backward(comm, exchange, grad);
+            train_halo[r] +=
+                comm.sentBytes(CommChannel::Halo) - halo0;
+
+            comm.allReduceSum(&loss_buf, 1);
+            if (r == 0)
+                result.train.trainLoss.push_back(loss_buf);
+
+            // Fixed-order weight-gradient allReduce keeps the replicas
+            // bitwise identical, so the optimizer step needs no
+            // further synchronisation.
+            for (nn::Param *p : params)
+                comm.allReduceSum(p->grad.data(), p->grad.size());
+            adam.step();
+
+            if (epoch % eval_every == 0 || epoch + 1 == cfg.epochs) {
+                const std::uint64_t eval0 =
+                    comm.sentBytes(CommChannel::Halo);
+                const Matrix &eval_logits =
+                    model.forward(comm, exchange, features, false);
+                eval_halo[r] +=
+                    comm.sentBytes(CommChannel::Halo) - eval0;
+
+                // Gather the local logits rows to rank 0, which
+                // scatters them into global row order and evaluates
+                // the metrics on the full matrix — identical inputs to
+                // the single-device eval.
+                gather_send[0].resize(std::size_t(num_local) *
+                                      num_classes * sizeof(Float));
+                if (num_local > 0)
+                    std::memcpy(gather_send[0].data(),
+                                eval_logits.row(0),
+                                gather_send[0].size());
+                comm.allToAllv(gather_send, gather_recv,
+                               CommChannel::Gather);
+                if (r == 0) {
+                    for (std::uint32_t src = 0; src < ranks; ++src) {
+                        const auto &rows =
+                            plan_.shards[src].localGlobal;
+                        const std::uint8_t *in =
+                            gather_recv[src].data();
+                        for (NodeId v : rows) {
+                            std::memcpy(result.finalLogits.row(v), in,
+                                        num_classes * sizeof(Float));
+                            in += num_classes * sizeof(Float);
+                        }
+                    }
+                    const double val = evalMetric(result.finalLogits,
+                                                  data_.valMask);
+                    const double test = evalMetric(result.finalLogits,
+                                                   data_.testMask);
+                    result.train.evalEpochs.push_back(epoch);
+                    result.train.valMetric.push_back(val);
+                    result.train.testMetric.push_back(test);
+                    if (val >= result.train.bestValMetric) {
+                        result.train.bestValMetric = val;
+                        result.train.testAtBestVal = test;
+                    }
+                    result.train.finalTestMetric = test;
+                }
+            }
+        }
+        comm.barrier();
+        if (r == 0 && cfg.epochs > 2)
+            steady_allocs = AllocProbe::totalAllocCount() - steady_base;
+    });
+
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+        result.trainHaloBytes += train_halo[r];
+        result.evalHaloBytes += eval_halo[r];
+    }
+    result.reduceBytes = world.totalSentBytes(CommChannel::Reduce);
+    result.gatherBytes = world.totalSentBytes(CommChannel::Gather);
+    result.steadyStateAllocCount = steady_allocs;
+    result.train.hostSeconds = watch.seconds();
+    return result;
+}
+
+} // namespace maxk::dist

@@ -18,6 +18,20 @@ Partition::members(std::uint32_t p) const
     return out;
 }
 
+std::vector<std::vector<NodeId>>
+Partition::membersAll() const
+{
+    std::vector<std::vector<NodeId>> buckets(numParts);
+    std::vector<std::size_t> sizes(numParts, 0);
+    for (std::uint32_t p : assignment)
+        ++sizes[p];
+    for (std::uint32_t p = 0; p < numParts; ++p)
+        buckets[p].reserve(sizes[p]);
+    for (NodeId v = 0; v < assignment.size(); ++v)
+        buckets[assignment[v]].push_back(v);
+    return buckets;
+}
+
 double
 Partition::edgeCutFraction(const CsrGraph &g) const
 {
@@ -58,12 +72,25 @@ bfsPartition(const CsrGraph &g, std::uint32_t parts, Rng &rng)
     std::vector<NodeId> sizes(parts, 0);
     std::vector<std::deque<NodeId>> frontiers(parts);
 
-    // Random distinct-ish seeds.
+    // Random distinct-ish seeds. If the bounded retry loop keeps
+    // colliding with already-seeded vertices (likely only on tiny
+    // graphs), fall back to the first unassigned vertex so that every
+    // part is seeded whenever an unassigned vertex exists — otherwise a
+    // part could start frontier-less and end up empty even though
+    // n >= parts.
     for (std::uint32_t p = 0; p < parts; ++p) {
         NodeId seed = static_cast<NodeId>(rng.nextBounded(n));
         for (int tries = 0;
              result.assignment[seed] != parts && tries < 16; ++tries)
             seed = static_cast<NodeId>(rng.nextBounded(n));
+        if (result.assignment[seed] != parts) {
+            for (NodeId v = 0; v < n; ++v) {
+                if (result.assignment[v] == parts) {
+                    seed = v;
+                    break;
+                }
+            }
+        }
         if (result.assignment[seed] == parts) {
             result.assignment[seed] = p;
             ++sizes[p];

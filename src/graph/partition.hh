@@ -32,6 +32,14 @@ struct Partition
     /** Nodes assigned to part p. */
     std::vector<NodeId> members(std::uint32_t p) const;
 
+    /**
+     * All part member lists in one pass: bucket[p] holds the nodes of
+     * part p in ascending order. O(|V| + parts), unlike calling
+     * members() per part (O(|V| * parts)); the HaloPlan compiler and
+     * profileDistributedEpoch iterate every part, so they use this.
+     */
+    std::vector<std::vector<NodeId>> membersAll() const;
+
     /** Fraction of edges whose endpoints lie in different parts. */
     double edgeCutFraction(const CsrGraph &g) const;
 

@@ -25,6 +25,51 @@ boundaryCounts(const CsrGraph &g, const Partition &p)
     return counts;
 }
 
+std::uint64_t
+boundaryReplicaCount(const CsrGraph &g, const Partition &p)
+{
+    checkInvariant(p.assignment.size() == g.numNodes(),
+                   "boundaryReplicaCount: partition size mismatch");
+    // Count distinct (reader part, read vertex) pairs: part r reads
+    // vertex u when any row owned by r has u among its columns. This
+    // is exactly the halo-row count dist::HaloPlan materialises, for
+    // directed structure too (a row reads its out-neighbours, so the
+    // readers of u are determined by u's in-edges — walking the rows
+    // one part at a time gets that right without a transpose: within
+    // part r's contiguous pass, stamp[u] == r+1 dedupes repeat reads,
+    // and no part is visited twice; 0 is the never-stamped sentinel).
+    const auto buckets = p.membersAll();
+    std::vector<std::uint32_t> stamp(g.numNodes(), 0);
+    std::uint64_t replicas = 0;
+    for (std::uint32_t r = 0; r < p.numParts; ++r) {
+        for (NodeId v : buckets[r]) {
+            for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1];
+                 ++e) {
+                const NodeId u = g.colIdx()[e];
+                if (p.assignment[u] != r && stamp[u] != r + 1) {
+                    stamp[u] = r + 1;
+                    ++replicas;
+                }
+            }
+        }
+    }
+    return replicas;
+}
+
+Bytes
+activationRowBytes(const ModelConfig &cfg, std::uint32_t layer)
+{
+    const bool last = layer + 1 == cfg.numLayers;
+    const std::size_t out_dim = last ? cfg.outDim : cfg.hiddenDim;
+    if (cfg.nonlin != Nonlinearity::MaxK || last)
+        return Bytes(4) * out_dim;
+    const std::uint32_t k = std::min<std::uint32_t>(
+        cfg.maxkK, static_cast<std::uint32_t>(out_dim));
+    // CBSR wire format: k fp32 values + k indices (uint8 when the
+    // original width fits, matching CbsrMatrix::indexBytes()).
+    return Bytes(k) * (4 + (out_dim <= 256 ? 1 : 2));
+}
+
 DistributedEpochTiming
 profileDistributedEpoch(const ModelConfig &cfg, const CsrGraph &g,
                         const Partition &part,
@@ -35,13 +80,16 @@ profileDistributedEpoch(const ModelConfig &cfg, const CsrGraph &g,
                    "profileDistributedEpoch: parts != GPUs");
     DistributedEpochTiming result;
 
-    // Per-partition compute: profile each induced subgraph.
+    // Per-partition compute: profile each induced subgraph. Empty parts
+    // contribute no compute and must not deflate the imbalance mean.
+    const auto buckets = part.membersAll();
     double worst = 0.0, total = 0.0;
+    std::uint32_t non_empty = 0;
     for (std::uint32_t p = 0; p < part.numParts; ++p) {
-        const std::vector<NodeId> members = part.members(p);
-        if (members.empty())
+        if (buckets[p].empty())
             continue;
-        CsrGraph sub = extractSubgraph(g, members);
+        ++non_empty;
+        CsrGraph sub = extractSubgraph(g, buckets[p]);
         sub.setAggregatorWeights(aggregatorFor(cfg.kind));
         const auto eg = EdgeGroupPartition::build(
             sub, std::max<std::uint32_t>(opt.workloadCap, 1));
@@ -51,27 +99,28 @@ profileDistributedEpoch(const ModelConfig &cfg, const CsrGraph &g,
     }
     result.computeSeconds = worst;
     result.imbalance =
-        total > 0.0 ? worst / (total / part.numParts) : 1.0;
+        total > 0.0 && non_empty > 0 ? worst / (total / non_empty) : 1.0;
 
-    // Boundary exchange: each boundary node's activation row crosses
-    // the interconnect once per layer, forward and backward. MaxK
-    // models ship CBSR rows; ReLU models ship dense rows.
+    // Boundary exchange, replica-exact: a boundary node adjacent to
+    // multiple remote parts is shipped once per remote reader, every
+    // layer, forward and backward — which is what the sharded executor
+    // (dist::HaloExchange) actually sends. MaxK layers ship CBSR rows,
+    // the final layer and ReLU models ship dense rows.
     const auto counts = boundaryCounts(g, part);
     std::uint64_t boundary = 0;
     for (std::uint64_t c : counts)
         boundary += c;
-    boundary = static_cast<std::uint64_t>(
+    result.boundaryNodes = static_cast<std::uint64_t>(
         boundary * cluster.boundarySampleRate);
-    result.boundaryNodes = boundary;
 
-    const std::uint32_t k = std::min<std::uint32_t>(
-        cfg.maxkK, static_cast<std::uint32_t>(cfg.hiddenDim));
-    const Bytes row_bytes =
-        cfg.nonlin == Nonlinearity::MaxK
-            ? Bytes(k) * (4 + (cfg.hiddenDim <= 256 ? 1 : 2))
-            : Bytes(4) * cfg.hiddenDim;
-    result.exchangedBytes =
-        Bytes(boundary) * row_bytes * cfg.numLayers * 2; // fwd + bwd
+    const std::uint64_t replicas = static_cast<std::uint64_t>(
+        boundaryReplicaCount(g, part) * cluster.boundarySampleRate);
+    result.boundaryReplicas = replicas;
+
+    Bytes per_replica = 0;
+    for (std::uint32_t l = 0; l < cfg.numLayers; ++l)
+        per_replica += activationRowBytes(cfg, l);
+    result.exchangedBytes = Bytes(replicas) * per_replica * 2; // fwd+bwd
     result.exchangeSeconds = static_cast<double>(result.exchangedBytes) /
                              (cluster.nvlinkGBs * 1e9);
     return result;

@@ -44,8 +44,9 @@ struct DistributedEpochTiming
 {
     double computeSeconds = 0.0;   //!< slowest partition's kernel time
     double exchangeSeconds = 0.0;  //!< boundary feature all-to-all
-    double imbalance = 1.0;        //!< max/mean partition compute
-    std::uint64_t boundaryNodes = 0;
+    double imbalance = 1.0;        //!< max/mean over non-empty partitions
+    std::uint64_t boundaryNodes = 0;    //!< distinct boundary vertices
+    std::uint64_t boundaryReplicas = 0; //!< per-destination send copies
     Bytes exchangedBytes = 0;
 
     double total() const { return computeSeconds + exchangeSeconds; }
@@ -57,6 +58,25 @@ struct DistributedEpochTiming
  */
 std::vector<std::uint64_t> boundaryCounts(const CsrGraph &g,
                                           const Partition &p);
+
+/**
+ * Replica-exact exchange count: every (vertex, remote reader part) pair
+ * is one shipped row — a boundary node adjacent to three remote parts
+ * is sent three times per layer direction, once per reader. This is
+ * exactly the number of halo rows the sharded executor materialises
+ * (dist::HaloPlan::totalReplicas()).
+ */
+std::uint64_t boundaryReplicaCount(const CsrGraph &g, const Partition &p);
+
+/**
+ * Wire bytes of one exchanged activation row of layer `layer` under
+ * `cfg`: CBSR rows (k values + k narrow indices) for MaxK layers, dense
+ * fp32 rows otherwise. The final layer produces dense logits in both
+ * variants, and its width is outDim, not hiddenDim. Shared between the
+ * analytical model below and the tests that reconcile it with the
+ * measured dist::Communicator traffic.
+ */
+Bytes activationRowBytes(const ModelConfig &cfg, std::uint32_t layer);
 
 /**
  * Model one partition-parallel training epoch of `cfg` on graph g

@@ -162,14 +162,6 @@ maxkCompressFast(const Matrix &x, std::uint32_t k, CbsrMatrix &out)
                 });
 }
 
-void
-maxkAggregateFused(const CsrGraph &a, const Matrix &y, std::uint32_t k,
-                   CbsrMatrix &cbsr, Matrix &out)
-{
-    maxkCompressFast(y, k, cbsr);
-    aggregateCbsr(a, cbsr, out);
-}
-
 GnnLayer::GnnLayer(const GnnLayerConfig &cfg, std::size_t in_dim,
                    std::size_t out_dim, Rng &rng, const std::string &name)
     : cfg_(cfg),
@@ -193,28 +185,41 @@ GnnLayer::forward(const CsrGraph &a, const Matrix &x, Matrix &out,
 {
     checkInvariant(x.rows() == a.numNodes(),
                    "GnnLayer::forward: feature row count != |V|");
+    // The two phases run back-to-back here; the sharded executor
+    // (dist::ShardedModel) inserts the boundary-row halo exchange
+    // between them. The fused-forward flag only selects the fused cost
+    // model in profileEpoch; the fused launch executes the exact same
+    // arithmetic as compress-then-aggregate, so the functional result
+    // is bitwise-identical either way.
+    forwardCompute(x, training, rng);
+    forwardCombine(a, out);
+}
+
+void
+GnnLayer::forwardCompute(const Matrix &x, bool training, Rng &rng)
+{
     dropout_.forward(x, xDropped_, training, rng);
     linear1_.forward(xDropped_, y_);
 
-    const bool use_maxk =
-        cfg_.nonlin == Nonlinearity::MaxK && !cfg_.lastLayer;
-    usedCbsr_ = use_maxk;
-
-    if (use_maxk) {
-        // MaxK -> CBSR -> SpGEMM aggregation (Fig. 2b path).
-        if (cfg_.fusedForward) {
-            maxkAggregateFused(a, y_, effectiveK(), cbsr_, out);
-        } else {
-            maxkCompressFast(y_, effectiveK(), cbsr_);
-            aggregateCbsr(a, cbsr_, out);
-        }
+    usedCbsr_ = cfg_.nonlin == Nonlinearity::MaxK && !cfg_.lastLayer;
+    if (usedCbsr_) {
+        // MaxK -> CBSR (Fig. 2b path); aggregated in forwardCombine.
+        maxkCompressFast(y_, effectiveK(), cbsr_);
     } else {
         if (cfg_.lastLayer)
             hDense_ = y_;  // identity: logits stay dense
         else
             reluForward(y_, hDense_);
-        aggregateDense(a, hDense_, out);
     }
+}
+
+void
+GnnLayer::forwardCombine(const CsrGraph &a, Matrix &out)
+{
+    if (usedCbsr_)
+        aggregateCbsr(a, cbsr_, out);
+    else
+        aggregateDense(a, hDense_, out);
 
     if (cfg_.kind == GnnKind::Sage) {
         linear2_.forward(xDropped_, self_);
@@ -222,7 +227,7 @@ GnnLayer::forward(const CsrGraph &a, const Matrix &x, Matrix &out,
     } else if (cfg_.kind == GnnKind::Gin) {
         // out += (1 + eps) * h
         const Float w = 1.0f + cfg_.ginEps;
-        if (use_maxk) {
+        if (usedCbsr_) {
             // Row-aligned scatter: each output row has one writer, so
             // the parallel sweep is bitwise-identical to the serial one.
             parallelFor(0, cbsr_.rows(), kRowGrain,
@@ -250,13 +255,35 @@ GnnLayer::backward(const CsrGraph &a, const Matrix &d_out, Matrix &dx)
 {
     checkInvariant(d_out.rows() == a.numNodes(),
                    "GnnLayer::backward: gradient row count != |V|");
-    const Float gin_w = 1.0f + cfg_.ginEps;
+    // Phase split mirrors forward(): the sharded executor inserts the
+    // reverse halo exchange (partial gradients back to their owners)
+    // between the two calls.
+    backwardAgg(a, d_out);
+    backwardPost(a, d_out, dx);
+}
 
-    // Gradient w.r.t. the pre-activation y.
+void
+GnnLayer::backwardAgg(const CsrGraph &a, const Matrix &d_out)
+{
+    checkInvariant(d_out.rows() == a.numNodes(),
+                   "GnnLayer::backwardAgg: gradient row count != |V|");
     if (usedCbsr_) {
         // SSpMM: sampled A^T * d_out at the forward pattern.
         dcbsr_.adoptPattern(cbsr_);
         aggregateCbsrBackward(a, d_out, dcbsr_);
+    } else {
+        aggregateDenseTransposed(a, d_out, dh_);
+    }
+}
+
+void
+GnnLayer::backwardPost(const CsrGraph &a, const Matrix &d_out, Matrix &dx)
+{
+    (void)a;
+    const Float gin_w = 1.0f + cfg_.ginEps;
+
+    // Gradient w.r.t. the pre-activation y.
+    if (usedCbsr_) {
         if (cfg_.kind == GnnKind::Gin) {
             // Direct (1+eps) h path, masked by the same pattern —
             // folded into the CBSR gradient by the same row-aligned
@@ -281,7 +308,6 @@ GnnLayer::backward(const CsrGraph &a, const Matrix &d_out, Matrix &dx)
         // backward — no dense decompress round-trip (ISSUE 4).
         linear1_.backward(xDropped_, dcbsr_, dxDropped_);
     } else {
-        aggregateDenseTransposed(a, d_out, dh_);
         if (cfg_.kind == GnnKind::Gin)
             axpy(dh_, gin_w, d_out);
         if (!cfg_.lastLayer)

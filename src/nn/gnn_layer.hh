@@ -60,12 +60,13 @@ struct GnnLayerConfig
 
     /**
      * Run the MaxK nonlinearity and the SpGEMM aggregation as one fused
-     * launch: the layer's forward routes through maxkAggregateFused,
-     * and profileEpoch selects the spgemmForwardFused cost model, where
-     * the fused launch saves the sp_data global round-trip
-     * (core/spgemm_forward.hh). The functional result is
-     * bitwise-identical either way — the fused path executes the exact
-     * same arithmetic.
+     * launch: profileEpoch selects the spgemmForwardFused cost model,
+     * where the fused launch saves the sp_data global round-trip
+     * (core/spgemm_forward.hh). The functional path is phase-split
+     * either way (forwardCompute / forwardCombine, so the sharded
+     * executor can exchange halo rows in between) and the result is
+     * bitwise-identical — the fused launch executes the exact same
+     * arithmetic as compress-then-aggregate.
      */
     bool fusedForward = false;
 };
@@ -98,6 +99,50 @@ class GnnLayer
      * paper's SSpMM (Fig. 5).
      */
     void backward(const CsrGraph &a, const Matrix &d_out, Matrix &dx);
+
+    /*
+     * Sharded-execution phase hooks (src/dist/). The sharded executor
+     * must exchange boundary activation rows *between* the nonlinearity
+     * and the aggregation (that is the point where MaxK models carry
+     * CBSR rows — the paper's compounding communication win), and
+     * exchange partial gradients between the reverse aggregation and
+     * the rest of the backward pass. forward() and backward() above are
+     * expressed in terms of these phases, so the single-device path and
+     * the sharded path execute the exact same arithmetic in the same
+     * order (bitwise-identical at one rank).
+     */
+
+    /** Forward phase 1: dropout + Linear1 + nonlinearity (no
+     *  aggregation). Fills the activation accessible below. */
+    void forwardCompute(const Matrix &x, bool training, Rng &rng);
+
+    /** Forward phase 2: aggregation over `a` plus the model-specific
+     *  combination (SAGE self path / GIN eps term) into `out`. */
+    void forwardCombine(const CsrGraph &a, Matrix &out);
+
+    /** Whether the current forward activation is CBSR (MaxK non-last
+     *  layer) rather than dense. Valid after forwardCompute(). */
+    bool activationIsCbsr() const { return usedCbsr_; }
+
+    /** Mutable activation buffers — the sharded executor overwrites the
+     *  halo rows with the owners' exchanged values before
+     *  forwardCombine(). */
+    Matrix &activationDense() { return hDense_; }
+    CbsrMatrix &activationCbsr() { return cbsr_; }
+
+    /** Backward phase 1: reverse aggregation only (A^T * d_out, dense
+     *  or SSpMM at the forward pattern). */
+    void backwardAgg(const CsrGraph &a, const Matrix &d_out);
+
+    /** Mutable reverse-aggregation gradients — the sharded executor
+     *  ships the halo rows back to their owners (which add them into
+     *  their local rows) and zeroes them before backwardPost(). */
+    Matrix &gradAggDense() { return dh_; }
+    CbsrMatrix &gradAggCbsr() { return dcbsr_; }
+
+    /** Backward phase 2: nonlinearity backward, Linear backward, self
+     *  path, dropout backward — everything after the aggregation. */
+    void backwardPost(const CsrGraph &a, const Matrix &d_out, Matrix &dx);
 
     void collectParams(ParamRefs &out);
 
@@ -155,18 +200,6 @@ void aggregateCbsrBackward(const CsrGraph &a, const Matrix &dxl,
 
 /** MaxK + CBSR compression without device simulation (fast path). */
 void maxkCompressFast(const Matrix &x, std::uint32_t k, CbsrMatrix &out);
-
-/**
- * Fused functional MaxK + aggregation: compress y into cbsr and
- * row-wise-product aggregate it in one call — the fast-path twin of
- * the simulated spgemmForwardFused. The host path has no
- * global-memory model, so the fusion is structural (one call, shared
- * workspaces) and the result is bitwise-identical to running
- * maxkCompressFast followed by aggregateCbsr; the modeled traffic
- * saving lives in the simulated kernel (core/spgemm_forward.hh).
- */
-void maxkAggregateFused(const CsrGraph &a, const Matrix &y,
-                        std::uint32_t k, CbsrMatrix &cbsr, Matrix &out);
 
 } // namespace maxk::nn
 

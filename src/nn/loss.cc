@@ -9,29 +9,30 @@
 namespace maxk::nn
 {
 
-LossResult
-softmaxCrossEntropy(const Matrix &logits,
-                    const std::vector<std::uint32_t> &labels,
-                    const std::vector<std::uint8_t> &mask)
+double
+softmaxCrossEntropyInto(const Matrix &logits,
+                        const std::vector<std::uint32_t> &labels,
+                        const std::vector<std::uint8_t> &mask,
+                        std::size_t norm_count, Matrix &grad,
+                        Matrix &probs)
 {
     checkInvariant(labels.size() == logits.rows(),
                    "softmaxCrossEntropy: label count mismatch");
     checkInvariant(mask.size() == logits.rows(),
                    "softmaxCrossEntropy: mask size mismatch");
 
-    LossResult result;
-    result.gradLogits.resize(logits.rows(), logits.cols());
+    grad.resize(logits.rows(), logits.cols());
 
     std::size_t active = 0;
     for (std::uint8_t m : mask)
         active += m ? 1 : 0;
     if (active == 0)
-        return result;
+        return 0.0;
+    const std::size_t denom = norm_count ? norm_count : active;
 
-    Matrix probs;
     rowSoftmax(logits, probs);
 
-    const double inv_n = 1.0 / static_cast<double>(active);
+    const double inv_n = 1.0 / static_cast<double>(denom);
     double loss = 0.0;
     for (std::size_t r = 0; r < logits.rows(); ++r) {
         if (!mask[r])
@@ -41,19 +42,31 @@ softmaxCrossEntropy(const Matrix &logits,
                        "softmaxCrossEntropy: label out of range");
         const Float p = std::max(probs.at(r, y), 1e-12f);
         loss -= std::log(static_cast<double>(p));
-        Float *g = result.gradLogits.row(r);
+        Float *g = grad.row(r);
         const Float *pr = probs.row(r);
         for (std::size_t c = 0; c < logits.cols(); ++c)
             g[c] = static_cast<Float>((pr[c] - (c == y ? 1.0f : 0.0f)) *
                                       inv_n);
     }
-    result.loss = loss * inv_n;
-    return result;
+    return loss * inv_n;
 }
 
 LossResult
-sigmoidBce(const Matrix &logits, const Matrix &targets,
-           const std::vector<std::uint8_t> &mask)
+softmaxCrossEntropy(const Matrix &logits,
+                    const std::vector<std::uint32_t> &labels,
+                    const std::vector<std::uint8_t> &mask)
+{
+    LossResult result;
+    Matrix probs;
+    result.loss = softmaxCrossEntropyInto(logits, labels, mask, 0,
+                                          result.gradLogits, probs);
+    return result;
+}
+
+double
+sigmoidBceInto(const Matrix &logits, const Matrix &targets,
+               const std::vector<std::uint8_t> &mask,
+               std::size_t norm_count, Matrix &grad)
 {
     checkInvariant(targets.rows() == logits.rows() &&
                        targets.cols() == logits.cols(),
@@ -61,24 +74,24 @@ sigmoidBce(const Matrix &logits, const Matrix &targets,
     checkInvariant(mask.size() == logits.rows(),
                    "sigmoidBce: mask size mismatch");
 
-    LossResult result;
-    result.gradLogits.resize(logits.rows(), logits.cols());
+    grad.resize(logits.rows(), logits.cols());
 
     std::size_t active = 0;
     for (std::uint8_t m : mask)
         active += m ? 1 : 0;
     if (active == 0)
-        return result;
+        return 0.0;
 
     const double denom =
-        static_cast<double>(active) * static_cast<double>(logits.cols());
+        static_cast<double>(norm_count ? norm_count : active) *
+        static_cast<double>(logits.cols());
     double loss = 0.0;
     for (std::size_t r = 0; r < logits.rows(); ++r) {
         if (!mask[r])
             continue;
         const Float *z = logits.row(r);
         const Float *t = targets.row(r);
-        Float *g = result.gradLogits.row(r);
+        Float *g = grad.row(r);
         for (std::size_t c = 0; c < logits.cols(); ++c) {
             // Numerically-stable BCE-with-logits:
             // loss = max(z,0) - z*t + log(1 + exp(-|z|)).
@@ -89,7 +102,16 @@ sigmoidBce(const Matrix &logits, const Matrix &targets,
             g[c] = static_cast<Float>((sig - td) / denom);
         }
     }
-    result.loss = loss / denom;
+    return loss / denom;
+}
+
+LossResult
+sigmoidBce(const Matrix &logits, const Matrix &targets,
+           const std::vector<std::uint8_t> &mask)
+{
+    LossResult result;
+    result.loss =
+        sigmoidBceInto(logits, targets, mask, 0, result.gradLogits);
     return result;
 }
 

@@ -36,6 +36,22 @@ LossResult softmaxCrossEntropy(const Matrix &logits,
                                const std::vector<std::uint8_t> &mask);
 
 /**
+ * Workspace-reusing core of softmaxCrossEntropy: the gradient and the
+ * softmax scratch live in caller-owned storage (capacity is reused
+ * across epochs — required by the sharded trainer's fully
+ * allocation-free steady-state epochs), and `norm_count`, when nonzero,
+ * overrides the masked-node count in the mean normalisation. Sharded
+ * ranks pass the GLOBAL training-node count so each local gradient row
+ * is bitwise-identical to the single-device gradient of that node.
+ * Returns the (normalised) loss contribution of the masked rows.
+ */
+double softmaxCrossEntropyInto(const Matrix &logits,
+                               const std::vector<std::uint32_t> &labels,
+                               const std::vector<std::uint8_t> &mask,
+                               std::size_t norm_count, Matrix &grad,
+                               Matrix &probs);
+
+/**
  * Masked sigmoid binary cross-entropy against dense {0,1} targets.
  *
  * @param logits  (N x C)
@@ -44,6 +60,12 @@ LossResult softmaxCrossEntropy(const Matrix &logits,
  */
 LossResult sigmoidBce(const Matrix &logits, const Matrix &targets,
                       const std::vector<std::uint8_t> &mask);
+
+/** Workspace-reusing core of sigmoidBce; see softmaxCrossEntropyInto
+ *  for the norm_count contract. */
+double sigmoidBceInto(const Matrix &logits, const Matrix &targets,
+                      const std::vector<std::uint8_t> &mask,
+                      std::size_t norm_count, Matrix &grad);
 
 /**
  * Build multi-label targets from community labels: bits `label` and

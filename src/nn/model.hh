@@ -55,6 +55,14 @@ class GnnModel
     const ModelConfig &config() const { return cfg_; }
     std::vector<GnnLayer> &layers() { return layers_; }
 
+    /**
+     * The dropout RNG stream. The sharded executor (dist::ShardedModel)
+     * drives the layer phase hooks directly and must consume this
+     * stream exactly like forward() does, so a 1-rank sharded run stays
+     * bitwise-identical to the single-device path.
+     */
+    Rng &dropoutRng() { return dropRng_; }
+
     /** Input/output width of layer l per the stacking rule. */
     std::size_t layerInDim(std::uint32_t l) const;
     std::size_t layerOutDim(std::uint32_t l) const;

@@ -107,15 +107,78 @@ TEST(Distributed, MaxkShrinksExchangeVolume)
     ClusterConfig cluster;
     cluster.numGpus = 4;
 
-    const auto relu = profileDistributedEpoch(
-        baseModel(Nonlinearity::Relu), g, p, cluster, opt);
-    const auto maxk = profileDistributedEpoch(
-        baseModel(Nonlinearity::MaxK, 32), g, p, cluster, opt);
-    // CBSR rows: 5*32 = 160 B vs dense 4*256 = 1024 B -> 6.4x less.
+    const ModelConfig relu_cfg = baseModel(Nonlinearity::Relu);
+    const ModelConfig maxk_cfg = baseModel(Nonlinearity::MaxK, 32);
+    const auto relu = profileDistributedEpoch(relu_cfg, g, p, cluster,
+                                              opt);
+    const auto maxk = profileDistributedEpoch(maxk_cfg, g, p, cluster,
+                                              opt);
+    // Per-layer accounting: the two hidden layers ship CBSR rows
+    // (5*32 = 160 B vs dense 4*256 = 1024 B); the final layer ships
+    // dense logits (4*16 B) in both variants.
+    Bytes relu_row = 0, maxk_row = 0;
+    for (std::uint32_t l = 0; l < relu_cfg.numLayers; ++l) {
+        relu_row += activationRowBytes(relu_cfg, l);
+        maxk_row += activationRowBytes(maxk_cfg, l);
+    }
+    EXPECT_EQ(relu_row, Bytes(2 * 1024 + 64));
+    EXPECT_EQ(maxk_row, Bytes(2 * 160 + 64));
     EXPECT_NEAR(static_cast<double>(relu.exchangedBytes) /
                     maxk.exchangedBytes,
-                1024.0 / 160.0, 0.01);
+                static_cast<double>(relu_row) / maxk_row, 1e-12);
     EXPECT_LT(maxk.total(), relu.total());
+}
+
+TEST(Distributed, ReplicaExactExchangeAccounting)
+{
+    // Path A - B - C with three singleton parts: B is one boundary
+    // node but has TWO remote readers (parts 0 and 2), so it ships
+    // twice per layer direction; A and C ship once each. Replicas = 4,
+    // distinct boundary nodes = 3 — the old model undercounted B.
+    const CsrGraph g = CsrGraph::fromEdges(
+        3, {{0, 1}, {1, 2}}, true, false);
+    Partition p;
+    p.numParts = 3;
+    p.assignment = {0, 1, 2};
+    EXPECT_EQ(boundaryReplicaCount(g, p), 4u);
+    const auto counts = boundaryCounts(g, p);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], 3u);
+
+    const ModelConfig cfg = baseModel(Nonlinearity::Relu);
+    ClusterConfig cluster;
+    cluster.numGpus = 3;
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.01);
+    const auto t = profileDistributedEpoch(cfg, g, p, cluster, opt);
+    EXPECT_EQ(t.boundaryReplicas, 4u);
+    EXPECT_EQ(t.boundaryNodes, 3u);
+    Bytes per_replica = 0;
+    for (std::uint32_t l = 0; l < cfg.numLayers; ++l)
+        per_replica += activationRowBytes(cfg, l);
+    EXPECT_EQ(t.exchangedBytes, Bytes(4) * per_replica * 2);
+}
+
+TEST(Distributed, ImbalanceIgnoresEmptyParts)
+{
+    // Two equal halves plus an empty third part: the mean must be over
+    // the two non-empty parts, so a balanced split reports ~1.0, not
+    // the 1.5 the old |parts| denominator produced.
+    Rng rng(8);
+    CsrGraph g = erdosRenyi(400, 2400, rng);
+    g.setAggregatorWeights(Aggregator::SageMean);
+    Partition p;
+    p.numParts = 3;
+    p.assignment.resize(400);
+    for (NodeId v = 0; v < 400; ++v)
+        p.assignment[v] = v < 200 ? 0 : 1;
+    ClusterConfig cluster;
+    cluster.numGpus = 3;
+    SimOptions opt;
+    opt.device = gpusim::DeviceConfig::a100().scaledForWorkingSet(0.01);
+    const auto t = profileDistributedEpoch(
+        baseModel(Nonlinearity::Relu), g, p, cluster, opt);
+    EXPECT_GE(t.imbalance, 1.0);
+    EXPECT_LT(t.imbalance, 1.3);
 }
 
 TEST(Distributed, BoundarySamplingCutsExchange)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -14,6 +15,7 @@
 #include "support/fixtures.hh"
 #include "graph/partition.hh"
 #include "graph/registry.hh"
+#include "nn/distributed.hh"
 #include "nn/trainer.hh"
 
 namespace maxk
@@ -80,6 +82,51 @@ TEST(Partition, MembersMatchAssignment)
     EXPECT_EQ(total, 200u);
 }
 
+TEST(Partition, MembersAllMatchesPerPartScans)
+{
+    // The single-pass bucket build must agree with the O(V*P) per-part
+    // scan it replaces, including ascending order within each bucket.
+    Rng rng(12);
+    const CsrGraph g =
+        test::makeGraph(test::GraphShape::PowerLaw, 500, 4000, rng);
+    const Partition p = bfsPartition(g, 5, rng);
+    const auto buckets = p.membersAll();
+    ASSERT_EQ(buckets.size(), 5u);
+    for (std::uint32_t part = 0; part < 5; ++part) {
+        EXPECT_EQ(buckets[part], p.members(part));
+        EXPECT_TRUE(std::is_sorted(buckets[part].begin(),
+                                   buckets[part].end()));
+    }
+}
+
+TEST(Partition, EverySeedablePartIsNonEmpty)
+{
+    // Seed-collision regression: the bounded retry loop can fail on
+    // tiny graphs, which used to leave a part frontier-less — and
+    // empty whenever the seeded parts' BFS growth covered every vertex
+    // (no leftovers to back-fill it). The first-unassigned-vertex
+    // fallback guarantees every part is seeded while unassigned
+    // vertices exist, so with n >= parts no part may be empty. Sweep
+    // many streams on the small shapes where collisions concentrate.
+    for (const NodeId n : {2u, 3u, 4u, 8u}) {
+        std::vector<std::pair<NodeId, NodeId>> edges;
+        for (NodeId v = 0; v + 1 < n; ++v)
+            edges.emplace_back(v, v + 1);
+        const CsrGraph g = CsrGraph::fromEdges(n, edges, true, false);
+        for (std::uint64_t seed = 0; seed < 2048; ++seed) {
+            Rng rng(seed * 2654435761u + n);
+            const Partition p = bfsPartition(g, n, rng);
+            std::vector<NodeId> sizes(n, 0);
+            for (std::uint32_t a : p.assignment)
+                ++sizes[a];
+            for (NodeId part = 0; part < n; ++part)
+                ASSERT_GT(sizes[part], 0u)
+                    << "empty part " << part << " at n=" << n
+                    << " seed=" << seed;
+        }
+    }
+}
+
 TEST(Subgraph, ExtractInducedEdgesOnly)
 {
     // Path 0-1-2-3; extract {0, 1, 3}: only edge 0-1 survives.
@@ -119,6 +166,74 @@ TEST(Subgraph, RowsStaySorted)
         picks.push_back(299 - v); // descending order on purpose
     const CsrGraph sub = extractSubgraph(g, picks);
     EXPECT_TRUE(sub.validate());
+}
+
+TEST(Subgraph, GlobalIdRoundTrip)
+{
+    // Every subgraph edge must map back — through global_ids — to an
+    // edge of the original graph with the same value, and the count
+    // must equal the induced-edge count computed directly.
+    Rng rng(13);
+    CsrGraph g =
+        test::makeGraph(test::GraphShape::PowerLaw, 300, 2600, rng);
+    g.setAggregatorWeights(Aggregator::Gcn);
+    const Partition p = bfsPartition(g, 4, rng);
+    for (std::uint32_t part = 0; part < 4; ++part) {
+        std::vector<NodeId> ids;
+        const CsrGraph sub = extractSubgraph(g, p.members(part), &ids);
+        ASSERT_TRUE(sub.validate());
+        ASSERT_EQ(ids, p.members(part));
+        EdgeId checked = 0;
+        for (NodeId v = 0; v < sub.numNodes(); ++v) {
+            for (EdgeId e = sub.rowPtr()[v]; e < sub.rowPtr()[v + 1];
+                 ++e) {
+                const NodeId gs = ids[v];
+                const NodeId gd = ids[sub.colIdx()[e]];
+                bool found = false;
+                for (EdgeId ge = g.rowPtr()[gs];
+                     ge < g.rowPtr()[gs + 1] && !found; ++ge) {
+                    if (g.colIdx()[ge] == gd) {
+                        found = true;
+                        ASSERT_EQ(sub.values()[e], g.values()[ge]);
+                    }
+                }
+                ASSERT_TRUE(found);
+                ++checked;
+            }
+        }
+        EdgeId expected = 0;
+        for (NodeId v : ids)
+            for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e)
+                expected += p.assignment[g.colIdx()[e]] == part ? 1 : 0;
+        EXPECT_EQ(checked, expected);
+    }
+}
+
+TEST(Partition, ReplicaCountMatchesNaiveReference)
+{
+    // boundaryReplicaCount (stamp-based, one pass) against a per-node
+    // set-based reference: Σ_v |{remote parts adjacent to v}|.
+    Rng rng(14);
+    const CsrGraph g =
+        test::makeGraph(test::GraphShape::ErdosRenyi, 400, 3200, rng);
+    const Partition p = bfsPartition(g, 5, rng);
+    std::uint64_t expected = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        std::set<std::uint32_t> readers;
+        for (EdgeId e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e) {
+            const std::uint32_t q = p.assignment[g.colIdx()[e]];
+            if (q != p.assignment[v])
+                readers.insert(q);
+        }
+        expected += readers.size();
+    }
+    EXPECT_EQ(nn::boundaryReplicaCount(g, p), expected);
+    // Replicas >= distinct boundary nodes, strictly more when any node
+    // borders several parts.
+    std::uint64_t distinct = 0;
+    for (std::uint64_t c : nn::boundaryCounts(g, p))
+        distinct += c;
+    EXPECT_GE(nn::boundaryReplicaCount(g, p), distinct);
 }
 
 TEST(Sampling, FractionRoughlyHonoured)
