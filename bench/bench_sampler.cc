@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Mini-batch sampling pipeline bench (ISSUE 6): exercises the
+ * NeighborSampler -> MinibatchExtractor -> SampledTrainer stack end to
+ * end and emits deterministic maxk-perf-v1 records gated by
+ * tools/maxk-perf-check against bench/baselines/sampler.json.
+ *
+ * Every reported number is structural — sampled node/edge totals,
+ * gathered bytes, and the elementwise cost model applied to them —
+ * never wall time, so records are identical on every machine, thread
+ * count, and pipeline mode. The bench also re-runs each configuration
+ * synchronously (--no-pipeline equivalent) and fails hard if the
+ * trajectories are not bitwise-identical to the pipelined run: the
+ * determinism contract is enforced on every perf-gate run, not only in
+ * the unit suites. alloc_count carries the steady-state allocation
+ * count, pinned at 0 by the committed baseline.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "kernels/gemm_cost.hh"
+#include "nn/model.hh"
+#include "sample/sampled_trainer.hh"
+
+using namespace maxk;
+
+namespace
+{
+
+constexpr const char *kBench = "bench_sampler";
+
+struct SweepPoint
+{
+    std::string name;
+    std::vector<std::uint32_t> fanouts;
+    std::uint32_t batchSize;
+};
+
+nn::ModelConfig
+modelFor(const TrainingTask &task, std::uint32_t layers)
+{
+    nn::ModelConfig cfg;
+    cfg.kind = nn::GnnKind::Sage;
+    cfg.nonlin = nn::Nonlinearity::MaxK;
+    cfg.maxkK = 16;
+    cfg.numLayers = layers;
+    cfg.inDim = task.featureDim;
+    cfg.hiddenDim = 64;
+    cfg.outDim = task.numClasses;
+    cfg.dropout = 0.3f;
+    return cfg;
+}
+
+sample::SampledTrainResult
+runOnce(const TrainingTask &task, TrainingData &data,
+        const SweepPoint &point, bool pipelined)
+{
+    const nn::ModelConfig cfg =
+        modelFor(task, static_cast<std::uint32_t>(point.fanouts.size()));
+    nn::GnnModel model(cfg);
+    sample::SamplerConfig scfg;
+    scfg.fanouts = point.fanouts;
+    scfg.batchSize = point.batchSize;
+    scfg.seed = 909;
+    sample::SampledTrainer trainer(model, data, task, scfg);
+
+    sample::SampledTrainConfig tc;
+    tc.epochs = 4;
+    tc.evalEvery = 2;
+    tc.pipeline = pipelined;
+    tc.queueDepth = 2;
+    return trainer.run(tc);
+}
+
+bool
+bitwiseEqual(const sample::SampledTrainResult &a,
+             const sample::SampledTrainResult &b)
+{
+    return a.trainLoss == b.trainLoss && a.valMetric == b.valMetric &&
+           a.testMetric == b.testMetric &&
+           a.finalLogits.equals(b.finalLogits) &&
+           a.batchesTrained == b.batchesTrained &&
+           a.sampledNodes == b.sampledNodes &&
+           a.sampledEdges == b.sampledEdges;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
+    bench::banner("Mini-batch sampling pipeline: deterministic fanout "
+                  "sampling + pipelined training");
+
+    TrainingTask task = *findTrainingTask("Flickr");
+    task.accuracyNodes = 600;
+    task.accuracyAvgDegree = 10.0;
+    Rng rng(606);
+    TrainingData data = materializeTrainingData(task, rng);
+    const std::size_t feat_dim = data.features.cols();
+
+    const auto device = gpusim::DeviceConfig::a100();
+
+    std::vector<SweepPoint> sweep{
+        {"f4x4/b64", {4, 4}, 64},
+        {"f8x8/b64", {8, 8}, 64},
+        {"f8x8/b256", {8, 8}, 256},
+    };
+    bench::smokeShrink(sweep);
+
+    TextTable table({"config", "batches", "nodes/batch", "smp nodes",
+                     "smp edges", "steady allocs", "piped==sync",
+                     "final acc"});
+    for (const SweepPoint &point : sweep) {
+        const sample::SampledTrainResult piped =
+            runOnce(task, data, point, true);
+        const sample::SampledTrainResult sync =
+            runOnce(task, data, point, false);
+        const bool equal = bitwiseEqual(piped, sync);
+        if (!equal)
+            fatal("bench_sampler: pipelined run diverged from the "
+                  "synchronous run on " + point.name);
+
+        const double nodes_per_batch =
+            static_cast<double>(piped.sampledNodes) /
+            static_cast<double>(piped.batchesTrained);
+        table.addRow({point.name,
+                      std::to_string(piped.batchesTrained),
+                      formatFloat(nodes_per_batch, 1),
+                      std::to_string(piped.sampledNodes),
+                      std::to_string(piped.sampledEdges),
+                      std::to_string(piped.steadyStateAllocCount),
+                      equal ? "yes" : "NO",
+                      formatFloat(piped.finalTestMetric, 3)});
+
+        if (bench::perfEnabled()) {
+            // Structural costs only: gather traffic = feature rows
+            // copied; sampling touches one edge record per sampled
+            // edge. The elementwise model converts element counts to
+            // simulated seconds; nothing here reads a clock.
+            bench::PerfRecord smp;
+            smp.bench = kBench;
+            smp.kernel = "sample+extract";
+            smp.graph = task.info.name + "-acc/" + point.name;
+            smp.dim = static_cast<std::uint32_t>(feat_dim);
+            smp.k = point.fanouts.front();
+            smp.simSeconds = elementwiseSimSeconds(
+                piped.sampledNodes * feat_dim + piped.sampledEdges,
+                device);
+            smp.dramBytes =
+                piped.sampledNodes * feat_dim * sizeof(Float);
+            smp.l2ReqBytes =
+                piped.sampledEdges * (sizeof(NodeId) + sizeof(Float));
+            smp.peakWorkspaceBytes = 0;
+            smp.allocCount = piped.steadyStateAllocCount;
+            bench::perfRecords().push_back(smp);
+
+            bench::PerfRecord train;
+            train.bench = kBench;
+            train.kernel = "train-minibatch";
+            train.graph = smp.graph;
+            train.dim = 64; // hidden width
+            train.k = 16;   // model maxkK
+            train.simSeconds = elementwiseSimSeconds(
+                piped.sampledNodes * 64, device);
+            train.dramBytes = piped.sampledEdges;
+            train.l2ReqBytes = piped.batchesTrained;
+            train.peakWorkspaceBytes = 0;
+            train.allocCount = piped.steadyStateAllocCount;
+            bench::perfRecords().push_back(train);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Takeaways: keyed per-(epoch,batch,vertex) streams make every "
+        "sampled minibatch\nbitwise-reproducible at any thread count; "
+        "the bounded-queue pipeline overlaps\nsampling with training "
+        "without perturbing the trajectory; steady-state epochs\n"
+        "allocate nothing thanks to capacity-padded slot workspaces.\n");
+    bench::writePerfReport();
+    return 0;
+}

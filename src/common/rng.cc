@@ -100,4 +100,30 @@ Rng::fork()
     return Rng(a ^ rotl(b, 31) ^ 0xA5A5A5A55A5A5A5Aull);
 }
 
+namespace
+{
+
+/** Absorb one word into a running key (splitmix64 finalisation). */
+inline std::uint64_t
+absorbWord(std::uint64_t h, std::uint64_t w)
+{
+    h += w + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+rngKey(std::uint64_t a, std::uint64_t b, std::uint64_t c, std::uint64_t d)
+{
+    std::uint64_t h = 0x243F6A8885A308D3ull; // pi fraction: nothing up the sleeve
+    h = absorbWord(h, a);
+    h = absorbWord(h, b);
+    h = absorbWord(h, c);
+    h = absorbWord(h, d);
+    return h;
+}
+
 } // namespace maxk

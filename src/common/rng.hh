@@ -63,6 +63,18 @@ class Rng
     static std::uint64_t splitmix64(std::uint64_t &state);
 };
 
+/**
+ * Derive a stream key from up to four component words (splitmix64
+ * finalisation per word, so every component fully avalanches). The
+ * neighbor sampler keys one Rng per (epoch, batch, seed vertex) through
+ * this, which is what makes sampled minibatches bitwise-identical at
+ * any thread count and any pipeline interleaving: the stream a vertex
+ * draws from depends only on these coordinates, never on which worker
+ * expands it or when.
+ */
+std::uint64_t rngKey(std::uint64_t a, std::uint64_t b = 0,
+                     std::uint64_t c = 0, std::uint64_t d = 0);
+
 } // namespace maxk
 
 #endif // MAXK_COMMON_RNG_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Bounded producer/consumer pipeline overlapping minibatch preparation
+ * with training (FGNN's pipelined task queues, SNIPPETS.md Sec. 1).
+ *
+ * One producer thread fills pre-allocated slots and hands them through a
+ * bounded ready-queue to the consumer (the training loop); consumed
+ * slots return through a free-queue for reuse, so steady-state operation
+ * recycles the same slot workspaces forever. Because slots are
+ * persistent and production order equals consumption order, running the
+ * same produce function synchronously (no thread, depth ignored) yields
+ * bitwise-identical training trajectories — the property test_pipeline
+ * pins down.
+ *
+ * Producer exceptions are captured and rethrown from next() on the
+ * consumer thread. The queue depth bounds how far the producer may run
+ * ahead (depth batches in the ready queue plus one being consumed).
+ */
+
+#ifndef MAXK_SAMPLE_PIPELINE_HH
+#define MAXK_SAMPLE_PIPELINE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace maxk::sample
+{
+
+/**
+ * Blocking bounded MPMC queue of pointers. close() wakes all waiters;
+ * pop() drains remaining items before reporting closed.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        checkInvariant(capacity_ >= 1, "BoundedQueue: capacity must be >= 1");
+    }
+
+    /** Block until space; false if the queue was closed instead. */
+    bool push(T *item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock,
+                      [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_)
+            return false;
+        items_.push_back(item);
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Block until an item; false once closed and drained. */
+    bool pop(T *&item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        item = items_.front();
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Close: no further pushes; pops drain then report closed. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T *> items_;
+    bool closed_ = false;
+};
+
+/**
+ * Single-producer pipeline over caller-owned slots. The producer thread
+ * runs `produce(slot, index)` for index 0, 1, ... until it returns
+ * false; the consumer drains with next()/recycle(). Slots must outlive
+ * the pipeline.
+ */
+template <typename T>
+class Pipeline
+{
+  public:
+    using ProduceFn = std::function<bool(T &, std::size_t)>;
+
+    /**
+     * @param depth   max batches buffered ahead of the consumer (>= 1)
+     * @param slots   persistent slot workspaces (need depth + 1 to keep
+     *                the producer busy while one slot is consumed)
+     * @param produce fill `slot` with item `index`; false = end of
+     *                stream (slot untouched or ignored)
+     */
+    Pipeline(std::size_t depth, std::vector<T> &slots, ProduceFn produce)
+        : ready_(depth), free_(slots.size() == 0 ? 1 : slots.size()),
+          produce_(std::move(produce))
+    {
+        checkInvariant(depth >= 1, "Pipeline: depth must be >= 1");
+        checkInvariant(slots.size() >= 2,
+                       "Pipeline: need at least two slots");
+        for (T &slot : slots)
+            free_.push(&slot);
+        producer_ = std::thread([this] { producerLoop(); });
+    }
+
+    Pipeline(const Pipeline &) = delete;
+    Pipeline &operator=(const Pipeline &) = delete;
+
+    ~Pipeline()
+    {
+        // Unblock the producer whatever it is waiting on, then join.
+        ready_.close();
+        free_.close();
+        if (producer_.joinable())
+            producer_.join();
+    }
+
+    /**
+     * Next produced slot in production order; nullptr at end of stream.
+     * Rethrows any producer exception on this (consumer) thread.
+     */
+    T *next()
+    {
+        T *slot = nullptr;
+        if (ready_.pop(slot))
+            return slot;
+        if (error_)
+            std::rethrow_exception(error_);
+        return nullptr;
+    }
+
+    /** Return a consumed slot for reuse. */
+    void recycle(T *slot) { free_.push(slot); }
+
+  private:
+    void producerLoop()
+    {
+        try {
+            for (std::size_t index = 0;; ++index) {
+                T *slot = nullptr;
+                if (!free_.pop(slot))
+                    return; // consumer tore the pipeline down
+                if (!produce_(*slot, index)) {
+                    free_.push(slot);
+                    break;
+                }
+                if (!ready_.push(slot))
+                    return;
+            }
+        } catch (...) {
+            error_ = std::current_exception();
+        }
+        ready_.close();
+    }
+
+    BoundedQueue<T> ready_;
+    BoundedQueue<T> free_;
+    ProduceFn produce_;
+    std::exception_ptr error_;
+    std::thread producer_;
+};
+
+} // namespace maxk::sample
+
+#endif // MAXK_SAMPLE_PIPELINE_HH

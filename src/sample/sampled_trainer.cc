@@ -1,0 +1,198 @@
+#include "sample/sampled_trainer.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "nn/gnn_layer.hh"
+#include "nn/loss.hh"
+#include "nn/metrics.hh"
+#include "sample/pipeline.hh"
+#include "tensor/alloc_probe.hh"
+
+namespace maxk::sample
+{
+
+SampledTrainer::SampledTrainer(nn::GnnModel &model, TrainingData &data,
+                               const TrainingTask &task,
+                               const SamplerConfig &scfg)
+    : model_(model), data_(data), task_(task),
+      sampler_(data.graph, scfg), evalModel_(model.config())
+{
+    if (scfg.fanouts.size() != model_.config().numLayers)
+        fatal("SampledTrainer: fanout arity (" +
+              std::to_string(scfg.fanouts.size()) +
+              ") must equal the model layer count (" +
+              std::to_string(model_.config().numLayers) + ")");
+
+    for (NodeId v = 0; v < data_.graph.numNodes(); ++v)
+        if (data_.trainMask[v])
+            trainIds_.push_back(v);
+    if (trainIds_.empty())
+        fatal("SampledTrainer: training mask selects no nodes");
+
+    // Full-graph weights for the evaluation forward (same convention as
+    // nn::Trainer); minibatch CSRs get their own local weights from the
+    // extractor.
+    data_.graph.setAggregatorWeights(
+        nn::aggregatorFor(model_.config().kind));
+    if (task_.multiLabel)
+        multiTargets_ =
+            nn::multiLabelTargets(data_.labels, task_.numClasses);
+
+    extractor_.emplace(sampler_.nodeCapacity(),
+                       nn::aggregatorFor(model_.config().kind),
+                       data_.features, data_.labels,
+                       task_.multiLabel ? &multiTargets_ : nullptr);
+}
+
+double
+SampledTrainer::evalMetric(const Matrix &logits,
+                           const std::vector<std::uint8_t> &mask) const
+{
+    switch (task_.metric) {
+      case MetricKind::Accuracy:
+        return nn::accuracy(logits, data_.labels, mask);
+      case MetricKind::MicroF1:
+        return nn::microF1(logits, multiTargets_, mask);
+      case MetricKind::RocAuc:
+        return nn::rocAuc(logits, multiTargets_, mask);
+    }
+    return 0.0;
+}
+
+void
+SampledTrainer::syncEvalParams()
+{
+    const nn::ParamRefs src = model_.params();
+    const nn::ParamRefs dst = evalModel_.params();
+    checkInvariant(src.size() == dst.size(),
+                   "SampledTrainer: eval replica parameter mismatch");
+    // Same config => identical shapes; same-size Matrix copy-assign
+    // reuses the destination storage (no allocation event).
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i]->value = src[i]->value;
+}
+
+double
+SampledTrainer::trainStep(const Minibatch &mb, nn::Adam &adam)
+{
+    const Matrix &logits = model_.forward(mb.graph, mb.features, true);
+    // norm_count 0: normalise by the active masked count, i.e. the mean
+    // over this batch's seeds (padding rows are never masked).
+    const double mean_loss =
+        task_.multiLabel
+            ? nn::sigmoidBceInto(logits, mb.targets, mb.trainMask, 0,
+                                 gradWs_)
+            : nn::softmaxCrossEntropyInto(logits, mb.labels, mb.trainMask,
+                                          0, gradWs_, probsWs_);
+    model_.backward(mb.graph, gradWs_);
+    adam.step();
+    return mean_loss;
+}
+
+SampledTrainResult
+SampledTrainer::run(const SampledTrainConfig &cfg)
+{
+    checkInvariant(model_.config().outDim == task_.numClasses,
+                   "SampledTrainer: model outDim != task classes");
+    const std::uint32_t eval_every =
+        std::max<std::uint32_t>(cfg.evalEvery, 1);
+    if (cfg.evalEvery == 0)
+        logMessage(LogLevel::Warn,
+                   "SampledTrainer: evalEvery=0 clamped to 1");
+    const std::uint32_t depth = std::max<std::uint32_t>(cfg.queueDepth, 1);
+
+    Stopwatch watch;
+    SampledTrainResult result;
+
+    nn::Adam adam(model_.params(), cfg.lr, 0.9f, 0.999f, 1e-8f,
+                  cfg.weightDecay);
+
+    // Slot workspaces persist across epochs; the pipeline recycles them,
+    // so after warmup no stage allocates tracked storage.
+    std::vector<Minibatch> slots(cfg.pipeline ? depth + 1 : 1);
+
+    const std::uint32_t batch_size = sampler_.config().batchSize;
+    const std::uint32_t nb = sampler_.numBatches(trainIds_.size());
+    std::uint64_t alloc_base = 0;
+
+    for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        if (epoch == 2)
+            alloc_base = AllocProbe::totalAllocCount();
+
+        sampler_.epochOrder(epoch, trainIds_, order_);
+
+        // Shared by both modes: fill `slot` with this epoch's batch b.
+        auto produce = [&, epoch](Minibatch &slot, std::size_t b) {
+            if (b >= nb)
+                return false;
+            const std::size_t lo = b * static_cast<std::size_t>(batch_size);
+            const std::size_t hi =
+                std::min<std::size_t>(lo + batch_size, order_.size());
+            seedsWs_.assign(order_.begin() + lo, order_.begin() + hi);
+            sampler_.sample(epoch, static_cast<std::uint32_t>(b),
+                            seedsWs_, batchWs_);
+            extractor_->extract(batchWs_, slot);
+            return true;
+        };
+
+        double loss_sum = 0.0;
+        std::size_t seed_sum = 0;
+        auto consume = [&](const Minibatch &mb) {
+            loss_sum += trainStep(mb, adam) *
+                        static_cast<double>(mb.numSeeds);
+            seed_sum += mb.numSeeds;
+            ++result.batchesTrained;
+            result.sampledNodes += mb.numNodes;
+            result.sampledEdges += mb.graph.numEdges();
+        };
+
+        if (cfg.pipeline) {
+            Pipeline<Minibatch> pipe(depth, slots, produce);
+            while (Minibatch *mb = pipe.next()) {
+                consume(*mb);
+                pipe.recycle(mb);
+            }
+        } else {
+            for (std::size_t b = 0; produce(slots[0], b); ++b)
+                consume(slots[0]);
+        }
+        checkInvariant(seed_sum == trainIds_.size(),
+                       "SampledTrainer: epoch did not visit every seed");
+        result.trainLoss.push_back(loss_sum /
+                                   static_cast<double>(seed_sum));
+
+        if (epoch % eval_every == 0 || epoch + 1 == cfg.epochs) {
+            syncEvalParams();
+            const Matrix &logits =
+                evalModel_.forward(data_.graph, data_.features, false);
+            const double val = evalMetric(logits, data_.valMask);
+            const double test = evalMetric(logits, data_.testMask);
+            result.evalEpochs.push_back(epoch);
+            result.valMetric.push_back(val);
+            result.testMetric.push_back(test);
+            if (val >= result.bestValMetric) {
+                result.bestValMetric = val;
+                result.testAtBestVal = test;
+            }
+            result.finalTestMetric = test;
+            result.finalLogits = logits;
+            if (cfg.verbose)
+                logMessage(LogLevel::Info,
+                           "epoch " + std::to_string(epoch) + " loss " +
+                               std::to_string(result.trainLoss.back()) +
+                               " val " + std::to_string(val) + " test " +
+                               std::to_string(test));
+        }
+    }
+
+    if (cfg.epochs > 2)
+        result.steadyStateAllocCount =
+            AllocProbe::totalAllocCount() - alloc_base;
+    result.hostSeconds = watch.seconds();
+    return result;
+}
+
+} // namespace maxk::sample

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Sample-based mini-batch trainer: the third stage of the pipeline,
+ * driving the existing GnnModel forward/backward on extracted
+ * minibatches (ISSUE 6).
+ *
+ * Loss semantics: each batch contributes the mean loss over its seed
+ * vertices (softmaxCrossEntropyInto / sigmoidBceInto with norm_count =
+ * 0, i.e. the active masked count), and the reported epoch loss is the
+ * seed-weighted mean over the epoch — identical to the mean over all
+ * training vertices visited once per epoch.
+ *
+ * Determinism contract (asserted by tests/test_pipeline.cc): the
+ * pipelined run (`pipeline = true`, any queueDepth >= 1) is
+ * bitwise-identical to the synchronous run at any MAXK_THREADS.
+ * Sampling draws only from per-(epoch, batch, vertex) keyed streams;
+ * the model's dropout stream is consumed exclusively on the consumer
+ * thread in batch order; and padding to the sampler's fixed node
+ * capacity makes every forward shape-constant, so stream consumption
+ * cannot depend on sampled sizes either.
+ *
+ * Evaluation runs full-graph on a second, identically-configured model
+ * whose parameter values are copied from the training model at each
+ * eval point. Two models keep the minibatch-shaped and graph-shaped
+ * workspaces separate, which is what makes steady-state epochs
+ * (epoch >= 2) free of Matrix/CbsrMatrix heap allocations across all
+ * pipeline stages (sampling, extraction, training, evaluation).
+ */
+
+#ifndef MAXK_SAMPLE_SAMPLED_TRAINER_HH
+#define MAXK_SAMPLE_SAMPLED_TRAINER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/registry.hh"
+#include "nn/model.hh"
+#include "nn/optimizer.hh"
+#include "sample/extractor.hh"
+#include "sample/sampler.hh"
+
+namespace maxk::sample
+{
+
+/** Mini-batch training hyper-parameters. */
+struct SampledTrainConfig
+{
+    std::uint32_t epochs = 20;
+    Float lr = 0.01f;
+    Float weightDecay = 0.0f;
+    std::uint32_t evalEvery = 1;   //!< 0 is clamped to 1 (every epoch)
+    bool pipeline = true;          //!< overlap sampling with training
+    std::uint32_t queueDepth = 2;  //!< batches buffered ahead (>= 1)
+    bool verbose = false;
+};
+
+/** Outcome of a mini-batch run: trajectory, metrics, and the pipeline
+ *  observability counters the tests and bench pin down. */
+struct SampledTrainResult
+{
+    std::vector<double> trainLoss;   //!< seed-weighted mean per epoch
+    std::vector<double> valMetric;   //!< one per eval point (full graph)
+    std::vector<double> testMetric;
+    std::vector<std::uint32_t> evalEpochs;
+
+    double bestValMetric = 0.0;
+    double testAtBestVal = 0.0;
+    double finalTestMetric = 0.0;
+    double hostSeconds = 0.0;
+
+    /** Full-graph logits of the last evaluation. */
+    Matrix finalLogits;
+
+    /** Matrix/CbsrMatrix heap allocations during epochs >= 2 (0 once
+     *  every slot and workspace is warm). */
+    std::uint64_t steadyStateAllocCount = 0;
+
+    std::uint64_t batchesTrained = 0;
+    std::uint64_t sampledNodes = 0;  //!< Σ real (unpadded) batch nodes
+    std::uint64_t sampledEdges = 0;  //!< Σ sampled minibatch edges
+};
+
+/** Mini-batch trainer over NeighborSampler + MinibatchExtractor. */
+class SampledTrainer
+{
+  public:
+    /**
+     * fatal() on config errors: sampler fanout arity != model layer
+     * count, empty training mask, or an invalid SamplerConfig (zero
+     * batch size, empty fanout list — checked by NeighborSampler).
+     *
+     * @param model training model (its dropout stream is the only
+     *              shared RNG; consumed in batch order)
+     * @param data  graph + features + labels + masks (mutated: edge
+     *              weights are set for the model's aggregator, for the
+     *              full-graph evaluation forward)
+     * @param task  metric / multi-label configuration
+     * @param scfg  sampling configuration
+     */
+    SampledTrainer(nn::GnnModel &model, TrainingData &data,
+                   const TrainingTask &task, const SamplerConfig &scfg);
+
+    /** Run the loop; bitwise-deterministic given seeds (any threads,
+     *  any pipeline mode/depth). */
+    SampledTrainResult run(const SampledTrainConfig &cfg);
+
+    const NeighborSampler &sampler() const { return sampler_; }
+
+  private:
+    double evalMetric(const Matrix &logits,
+                      const std::vector<std::uint8_t> &mask) const;
+
+    /** Copy training parameter values into the eval replica. */
+    void syncEvalParams();
+
+    /** Forward/backward/step on one extracted minibatch. */
+    double trainStep(const Minibatch &mb, nn::Adam &adam);
+
+    nn::GnnModel &model_;
+    TrainingData &data_;
+    const TrainingTask &task_;
+    NeighborSampler sampler_;
+    nn::GnnModel evalModel_;   //!< full-graph eval replica (same cfg)
+    Matrix multiTargets_;      //!< global BCE targets when multiLabel
+    std::optional<MinibatchExtractor> extractor_;
+    std::vector<NodeId> trainIds_;
+
+    // Persistent run() workspaces.
+    std::vector<NodeId> order_;    //!< epoch seed order
+    std::vector<NodeId> seedsWs_;  //!< current batch seeds
+    SampleBatch batchWs_;          //!< sampler output
+    Matrix gradWs_;                //!< d(loss)/d(logits)
+    Matrix probsWs_;               //!< softmax scratch
+};
+
+} // namespace maxk::sample
+
+#endif // MAXK_SAMPLE_SAMPLED_TRAINER_HH

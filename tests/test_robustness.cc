@@ -23,6 +23,7 @@
 #include "graph/registry.hh"
 #include "graph/stats.hh"
 #include "nn/trainer.hh"
+#include "sample/sampled_trainer.hh"
 #include "tensor/init.hh"
 
 namespace maxk
@@ -276,6 +277,86 @@ TEST(PivotRobustness, InfinityAndTinyValues)
     ASSERT_EQ(sel.size(), 2u);
     EXPECT_EQ(sel[0], 0u); // 1e30
     EXPECT_EQ(sel[1], 2u); // 1e-30 beats 0 and -1e30
+}
+
+/* ---------------------------------------------- sampler config errors */
+
+namespace samplerrobust
+{
+
+TrainingTask
+tinyTask()
+{
+    TrainingTask task = *findTrainingTask("Flickr");
+    task.accuracyNodes = 200;
+    task.accuracyAvgDegree = 6.0;
+    return task;
+}
+
+nn::ModelConfig
+tinyModel(const TrainingTask &task)
+{
+    nn::ModelConfig cfg;
+    cfg.kind = nn::GnnKind::Sage;
+    cfg.nonlin = nn::Nonlinearity::Relu;
+    cfg.numLayers = 2;
+    cfg.inDim = task.featureDim;
+    cfg.hiddenDim = 16;
+    cfg.outDim = task.numClasses;
+    return cfg;
+}
+
+} // namespace samplerrobust
+
+TEST(SamplerRobustness, ZeroBatchSizeIsFatal)
+{
+    Rng rng(1);
+    const CsrGraph g = erdosRenyi(50, 200, rng);
+    sample::SamplerConfig scfg;
+    scfg.batchSize = 0;
+    EXPECT_EXIT(sample::NeighborSampler(g, scfg),
+                ::testing::ExitedWithCode(1),
+                "batch size must be >= 1");
+}
+
+TEST(SamplerRobustness, EmptyFanoutListIsFatal)
+{
+    Rng rng(2);
+    const CsrGraph g = erdosRenyi(50, 200, rng);
+    sample::SamplerConfig scfg;
+    scfg.fanouts.clear();
+    EXPECT_EXIT(sample::NeighborSampler(g, scfg),
+                ::testing::ExitedWithCode(1),
+                "need at least one fanout");
+}
+
+TEST(SamplerRobustness, FanoutArityMismatchIsFatal)
+{
+    const TrainingTask task = samplerrobust::tinyTask();
+    Rng rng(7);
+    TrainingData data = materializeTrainingData(task, rng);
+    nn::GnnModel model(samplerrobust::tinyModel(task));
+
+    sample::SamplerConfig scfg;
+    scfg.fanouts = {4}; // one fanout for a two-layer model
+    EXPECT_EXIT(sample::SampledTrainer(model, data, task, scfg),
+                ::testing::ExitedWithCode(1),
+                "fanout arity .1. must equal the model layer count .2.");
+}
+
+TEST(SamplerRobustness, EmptyTrainMaskIsFatal)
+{
+    const TrainingTask task = samplerrobust::tinyTask();
+    Rng rng(8);
+    TrainingData data = materializeTrainingData(task, rng);
+    std::fill(data.trainMask.begin(), data.trainMask.end(), 0);
+    nn::GnnModel model(samplerrobust::tinyModel(task));
+
+    sample::SamplerConfig scfg;
+    scfg.fanouts = {4, 4};
+    EXPECT_EXIT(sample::SampledTrainer(model, data, task, scfg),
+                ::testing::ExitedWithCode(1),
+                "training mask selects no nodes");
 }
 
 } // namespace
