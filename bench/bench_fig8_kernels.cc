@@ -21,6 +21,7 @@
 #include "core/maxk.hh"
 #include "core/spgemm_forward.hh"
 #include "core/sspmm_backward.hh"
+#include "kernels/registry.hh"
 #include "kernels/spmm_gnna.hh"
 #include "kernels/spmm_row_wise.hh"
 #include "tensor/init.hh"
@@ -36,6 +37,8 @@ struct GraphResult
     std::string name;
     double avgDeg;
     double tSpmmCusp, tSpmmGnna;
+    std::string selectorPick;   //!< adaptive SpMM pick for this twin
+    std::string selectorReason;
     std::vector<double> spgemmVsCusp, sspmmVsCusp;
     std::vector<double> spgemmVsGnna, sspmmVsGnna;
 };
@@ -101,6 +104,10 @@ runGraph(const DatasetInfo &info, const std::vector<std::uint32_t> &ks)
     GraphResult r;
     r.name = info.name;
     r.avgDeg = twin.graph.avgDegree();
+    r.selectorPick = std::string(
+        kernels::resolveSpmmVariant("auto", twin.graph, kDimOrigin, 0,
+                                    twin.opt, &r.selectorReason)
+            .name);
 
     Rng rng(9000 + twin.graph.numNodes());
     Matrix x(twin.graph.numNodes(), kDimOrigin);
@@ -172,6 +179,15 @@ main(int argc, char **argv)
         std::fprintf(stderr, "  [%zu/%zu] %s done (%.1fs)\n", i + 1,
                      limit, suite[i].name.c_str(), watch.seconds());
     }
+
+    // What the adaptive selector would run for the dense SpMM baseline
+    // of each dataset (kernelVariant="auto" at the same launch shape).
+    TextTable picks({"Graph", "avg deg", "adaptive SpMM pick", "why"});
+    for (const auto &r : results)
+        picks.addRow({r.name, formatFloat(r.avgDeg, 0), r.selectorPick,
+                      r.selectorReason});
+    std::printf("\n-- Adaptive selector picks (dim_origin = 256) --\n%s",
+                picks.render().c_str());
 
     printSeries("MaxK-GNN forward SpGEMM speedup vs cuSPARSE SpMM",
                 results, ks, &GraphResult::spgemmVsCusp);

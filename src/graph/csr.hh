@@ -23,6 +23,9 @@
 namespace maxk
 {
 
+class EdgeGroupPartition;
+struct DegreeStats;
+
 /**
  * Aggregator semantics decide the edge weights used during feature
  * aggregation (Fig. 5 caption): SAGE mean uses 1/d(target), GCN uses
@@ -125,6 +128,35 @@ class CsrGraph
     /** Times transposeCached() actually built (test observability). */
     std::size_t transposeBuildCount() const { return transposeBuilds_; }
 
+    /**
+     * Lazily built, cached Edge-Group partition at the given workload
+     * cap — the partition-consuming kernels (spmm_gnna, the nnz-balanced
+     * and row-caching variants, SpGEMM/SSpMM launch sites going through
+     * the kernel registry) share one build per (graph, cap). The
+     * partition depends only on the sparsity structure, which is
+     * immutable after construction, so no invalidation exists; a call
+     * with a different cap rebuilds and replaces the cache. Same
+     * threading contract as transposeCached(): first call for a given
+     * cap from the coordinating thread. Defined in graph/edge_groups.cc.
+     */
+    const EdgeGroupPartition &
+    edgeGroupsCached(std::uint32_t workload_cap) const;
+
+    /** Times edgeGroupsCached() actually built (test observability). */
+    std::size_t edgeGroupBuildCount() const { return egBuilds_; }
+
+    /**
+     * Lazily built, cached degree-distribution summary — the adaptive
+     * kernel selector reads these features on every launch, so the
+     * O(|V| log |V|) pass must run once per graph, not once per launch.
+     * Structure-only, hence never invalidated. Same threading contract
+     * as transposeCached(). Defined in graph/stats.cc.
+     */
+    const DegreeStats &degreeStatsCached() const;
+
+    /** Times degreeStatsCached() actually built (test observability). */
+    std::size_t degreeStatsBuildCount() const { return statsBuilds_; }
+
     /** True when the sparsity pattern (not values) is symmetric. */
     bool structureSymmetric() const;
 
@@ -141,6 +173,11 @@ class CsrGraph
     std::vector<Float> values_;
     mutable std::shared_ptr<const CsrGraph> transposeCache_;
     mutable std::size_t transposeBuilds_ = 0;
+    mutable std::shared_ptr<const EdgeGroupPartition> egCache_;
+    mutable std::uint32_t egCacheCap_ = 0;
+    mutable std::size_t egBuilds_ = 0;
+    mutable std::shared_ptr<const DegreeStats> statsCache_;
+    mutable std::size_t statsBuilds_ = 0;
 };
 
 } // namespace maxk

@@ -29,6 +29,18 @@ EdgeGroupPartition::build(const CsrGraph &g, std::uint32_t workload_cap)
     return part;
 }
 
+const EdgeGroupPartition &
+CsrGraph::edgeGroupsCached(std::uint32_t workload_cap) const
+{
+    if (!egCache_ || egCacheCap_ != workload_cap) {
+        egCache_ = std::make_shared<const EdgeGroupPartition>(
+            EdgeGroupPartition::build(*this, workload_cap));
+        egCacheCap_ = workload_cap;
+        ++egBuilds_;
+    }
+    return *egCache_;
+}
+
 std::uint32_t
 EdgeGroupPartition::egsPerWarp(std::uint32_t dim_k)
 {

@@ -136,6 +136,54 @@ ringLattice(NodeId num_nodes, std::uint32_t k, bool self_loops)
 }
 
 CsrGraph
+zipf(NodeId num_nodes, EdgeId target_edges, double exponent, Rng &rng,
+     bool self_loops)
+{
+    checkInvariant(num_nodes >= 2, "zipf: need at least two nodes");
+    checkInvariant(exponent > 0.0, "zipf: exponent must be positive");
+
+    // Cumulative Zipf mass over vertex ids; endpoint draws invert it by
+    // binary search. O(n) setup, O(log n) per draw.
+    std::vector<double> cdf(num_nodes);
+    double mass = 0.0;
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        mass += 1.0 / std::pow(static_cast<double>(v) + 1.0, exponent);
+        cdf[v] = mass;
+    }
+    auto draw_zipf = [&]() -> NodeId {
+        const double r = rng.uniform() * mass;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+        return static_cast<NodeId>(it - cdf.begin());
+    };
+
+    // One uniform endpoint, one Zipf endpoint: hubs collect edges from
+    // everywhere, the tail keeps roughly constant degree. Dedup after
+    // symmetrisation collapses a draw-dependent fraction (hub edges
+    // collide often), so oversample in rounds like rmat().
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(target_edges);
+    EdgeId draws = static_cast<EdgeId>(target_edges * 0.62);
+    CsrGraph g;
+    for (int round = 0; round < 8; ++round) {
+        for (EdgeId e = 0; e < draws; ++e) {
+            const NodeId s =
+                static_cast<NodeId>(rng.nextBounded(num_nodes));
+            const NodeId d = draw_zipf();
+            if (s != d)
+                edges.emplace_back(s, d);
+        }
+        g = CsrGraph::fromEdges(num_nodes, edges, true, self_loops);
+        if (g.numEdges() >= target_edges)
+            break;
+        const double deficit =
+            static_cast<double>(target_edges - g.numEdges()) /
+            target_edges;
+        draws = static_cast<EdgeId>(target_edges * deficit * 1.5) + 1024;
+    }
+    return g;
+}
+
+CsrGraph
 star(NodeId num_nodes, bool self_loops)
 {
     std::vector<std::pair<NodeId, NodeId>> edges;

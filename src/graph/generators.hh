@@ -63,6 +63,22 @@ CsrGraph ringLattice(NodeId num_nodes, std::uint32_t k,
 /** Star graph: node 0 connected to all others (extreme imbalance case). */
 CsrGraph star(NodeId num_nodes, bool self_loops = true);
 
+/**
+ * Zipfian-degree hub graph: endpoint v is drawn with probability
+ * proportional to 1 / (v + 1)^exponent, so low-numbered vertices become
+ * hubs while the tail stays sparse. Unlike RMAT (whose skew is coupled
+ * to the quadrant probabilities) the tail exponent is a direct knob,
+ * which is what the kernel-selector fixtures need: a family of graphs
+ * whose degree skew varies while |V| and nnz stay fixed.
+ *
+ * @param num_nodes    vertex count
+ * @param target_edges approximate nnz after symmetrisation/dedup
+ * @param exponent     Zipf tail exponent (larger = heavier hubs);
+ *                     must be > 0
+ */
+CsrGraph zipf(NodeId num_nodes, EdgeId target_edges, double exponent,
+              Rng &rng, bool self_loops = true);
+
 } // namespace maxk
 
 #endif // MAXK_GRAPH_GENERATORS_HH

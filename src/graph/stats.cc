@@ -1,6 +1,7 @@
 #include "graph/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <vector>
@@ -27,6 +28,19 @@ computeDegreeStats(const CsrGraph &g)
     s.medianDegree = degs[degs.size() / 2];
     s.p99Degree = degs[static_cast<std::size_t>(degs.size() * 0.99)];
     s.skewRatio = s.avgDegree > 0.0 ? s.maxDegree / s.avgDegree : 0.0;
+    s.density = static_cast<double>(s.numEdges) /
+                (static_cast<double>(s.numNodes) * s.numNodes);
+
+    double var = 0.0;
+    std::size_t empty = 0;
+    for (const EdgeId d : degs) {
+        const double diff = static_cast<double>(d) - s.avgDegree;
+        var += diff * diff;
+        if (d == 0)
+            ++empty;
+    }
+    s.stdDegree = std::sqrt(var / degs.size());
+    s.emptyRowFraction = static_cast<double>(empty) / degs.size();
 
     // Gini over the sorted degree vector:
     //   G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n,  i is 1-based.
@@ -41,15 +55,27 @@ computeDegreeStats(const CsrGraph &g)
     return s;
 }
 
+const DegreeStats &
+CsrGraph::degreeStatsCached() const
+{
+    if (!statsCache_) {
+        statsCache_ = std::make_shared<const DegreeStats>(
+            computeDegreeStats(*this));
+        ++statsBuilds_;
+    }
+    return *statsCache_;
+}
+
 std::string
 describe(const DegreeStats &s)
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "|V|=%u |E|=%u avg=%.1f max=%u med=%u p99=%u gini=%.3f "
-                  "skew=%.1f",
+                  "skew=%.1f std=%.1f dens=%.2e empty=%.3f",
                   s.numNodes, s.numEdges, s.avgDegree, s.maxDegree,
-                  s.medianDegree, s.p99Degree, s.gini, s.skewRatio);
+                  s.medianDegree, s.p99Degree, s.gini, s.skewRatio,
+                  s.stdDegree, s.density, s.emptyRowFraction);
     return buf;
 }
 

@@ -25,6 +25,9 @@ struct DegreeStats
     EdgeId p99Degree = 0;     //!< 99th-percentile degree
     double gini = 0.0;        //!< Gini coefficient of the degree vector
     double skewRatio = 0.0;   //!< maxDegree / avgDegree ("evil row" factor)
+    double stdDegree = 0.0;   //!< population std dev of the degree vector
+    double density = 0.0;     //!< nnz / (|V| * |V|)
+    double emptyRowFraction = 0.0; //!< fraction of zero-degree rows
 };
 
 /** Compute the summary in O(|V| log |V|). */

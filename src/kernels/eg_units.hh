@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared work-unit planning for the nnz-balanced and row-caching SpMM
+ * variants: pack consecutive Edge Groups (graph/edge_groups) into
+ * contiguous runs with a fixed nonzero budget. Runs close early at a
+ * row boundary whenever the whole next row would fit in a fresh run but
+ * not in the remainder, so only rows longer than the budget ever split
+ * across runs — those are the rows that need the deterministic
+ * cross-run partial merge.
+ */
+
+#ifndef MAXK_KERNELS_EG_UNITS_HH
+#define MAXK_KERNELS_EG_UNITS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "graph/edge_groups.hh"
+
+namespace maxk::kernels
+{
+
+/** One work unit: a contiguous run [egBegin, egEnd) of Edge Groups. */
+struct EgUnit
+{
+    std::size_t egBegin;
+    std::size_t egEnd;
+};
+
+/** Greedy fixed-nnz packing of the EG sequence (see file comment). */
+inline std::vector<EgUnit>
+planEgUnits(const CsrGraph &a, const std::vector<EdgeGroup> &groups,
+            EdgeId unit_nnz)
+{
+    std::vector<EgUnit> units;
+    std::size_t start = 0;
+    EdgeId cur = 0;
+    auto close = [&](std::size_t end_gi) {
+        if (end_gi > start) {
+            units.push_back(EgUnit{start, end_gi});
+            start = end_gi;
+            cur = 0;
+        }
+    };
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const EdgeGroup &eg = groups[gi];
+        if (eg.begin == a.rowPtr()[eg.row]) {
+            const EdgeId row_nnz =
+                a.rowPtr()[eg.row + 1] - a.rowPtr()[eg.row];
+            if (cur > 0 &&
+                cur + std::min<EdgeId>(row_nnz, unit_nnz) > unit_nnz)
+                close(gi);
+        }
+        cur += eg.end - eg.begin;
+        if (cur >= unit_nnz)
+            close(gi + 1);
+    }
+    close(groups.size());
+    return units;
+}
+
+/** Flag the rows whose EGs straddle a unit boundary (1 = split). */
+inline std::vector<std::uint8_t>
+markSplitRows(const std::vector<EdgeGroup> &groups,
+              const std::vector<EgUnit> &units, NodeId num_nodes)
+{
+    std::vector<std::uint8_t> split(num_nodes, 0);
+    for (std::size_t u = 0; u + 1 < units.size(); ++u) {
+        const NodeId last = groups[units[u].egEnd - 1].row;
+        if (groups[units[u + 1].egBegin].row == last)
+            split[last] = 1;
+    }
+    return split;
+}
+
+} // namespace maxk::kernels
+
+#endif // MAXK_KERNELS_EG_UNITS_HH

@@ -1,0 +1,59 @@
+#include "kernels/selector.hh"
+
+#include <cstdio>
+
+#include "tensor/matrix.hh"
+
+namespace maxk::kernels
+{
+
+KernelChoice
+selectSpmmVariant(const DegreeStats &s, std::size_t dim, std::uint32_t k,
+                  const gpusim::DeviceConfig &dev)
+{
+    char buf[160];
+
+    // Effective dense-row width the schedules move per neighbour: MaxK
+    // operands carry k values per row, dense operands the full dim.
+    const std::size_t eff_dim = k > 0 && k < dim ? k : dim;
+    const std::size_t row_bytes = eff_dim * sizeof(Float);
+    const std::size_t staged_rows =
+        row_bytes ? dev.sharedMemPerSm / 2 / row_bytes : 0;
+
+    const double cv =
+        s.avgDegree > 0.0 ? s.stdDegree / s.avgDegree : 0.0;
+    const bool regular =
+        s.gini < kSelectRegularGini && cv < kSelectRegularCv;
+
+    if (regular && s.avgDegree > 0.0 && staged_rows >= kSelectMinStagedRows) {
+        std::snprintf(buf, sizeof buf,
+                      "near-regular degrees (gini=%.3f cv=%.2f) with %zu "
+                      "stageable rows: row reuse pays for staging",
+                      s.gini, cv, staged_rows);
+        return {&kernelVariantOrDie("spmm_row_caching"), buf};
+    }
+
+    if (cv >= kSelectHubCv && staged_rows >= kSelectMinStagedRows) {
+        std::snprintf(buf, sizeof buf,
+                      "hub-dominated degrees (cv=%.1f >= %.1f): staged hub "
+                      "rows recur in every tile",
+                      cv, kSelectHubCv);
+        return {&kernelVariantOrDie("spmm_row_caching"), buf};
+    }
+
+    if (s.avgDegree > 0.0 && s.avgDegree <= kSelectLowDegree) {
+        std::snprintf(buf, sizeof buf,
+                      "low average degree (%.1f <= %.1f): per-row metadata "
+                      "sector rounding dominates, amortise it",
+                      s.avgDegree, kSelectLowDegree);
+        return {&kernelVariantOrDie("spmm_nnz_balanced"), buf};
+    }
+
+    std::snprintf(buf, sizeof buf,
+                  "irregular high-degree graph (avg=%.1f gini=%.3f): "
+                  "row-wise register accumulation is unbeaten",
+                  s.avgDegree, s.gini);
+    return {&defaultSpmmVariant(), buf};
+}
+
+} // namespace maxk::kernels

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Adaptive per-launch kernel selection from cheap graph features.
+ *
+ * The selector reads only DegreeStats (already cached on the graph) plus
+ * the launch shape (dim, k) and the device's shared-memory budget — no
+ * trial runs, no per-edge work — and picks the SpMM schedule the traffic
+ * model favours:
+ *
+ *  - near-regular graphs (tiny gini / stdDegree) keep neighbourhood
+ *    overlap between consecutive rows, so the row-caching schedule
+ *    collapses dense-row traffic — provided the shared-memory budget
+ *    actually fits a useful number of staged rows at this width;
+ *  - extreme-hub graphs (stdDegree many multiples of avgDegree) see the
+ *    same collapse from the other direction: the hubs' dense rows recur
+ *    inside every tile, so staging them absorbs most of the traffic;
+ *  - low average degree makes per-row metadata sector rounding the
+ *    dominant waste, which the nnz-balanced schedule amortises;
+ *  - everything else stays on the row-wise (cuSPARSE-like) default —
+ *    mid-skew power-law and uniform high-degree graphs have too little
+ *    tile-local reuse for the staging barriers to pay.
+ *
+ * Thresholds are pinned by the committed bench/baselines/adaptive.json
+ * gate: bench_adaptive sweeps the corpus and hard-fails if a pick is
+ * ever slower (simulated seconds or DRAM bytes) than the static
+ * default.
+ */
+
+#ifndef MAXK_KERNELS_SELECTOR_HH
+#define MAXK_KERNELS_SELECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device.hh"
+#include "graph/stats.hh"
+#include "kernels/registry.hh"
+
+namespace maxk::kernels
+{
+
+/** Average degree at or below which metadata amortisation dominates. */
+constexpr double kSelectLowDegree = 8.0;
+
+/** Gini coefficient below which a graph counts as near-regular. */
+constexpr double kSelectRegularGini = 0.05;
+
+/** stdDegree/avgDegree bound accompanying the gini regularity test. */
+constexpr double kSelectRegularCv = 0.25;
+
+/** stdDegree/avgDegree above which hub rows dominate the edge mass. */
+constexpr double kSelectHubCv = 5.0;
+
+/** Minimum staged rows for the row cache to be worth its barriers. */
+constexpr std::size_t kSelectMinStagedRows = 16;
+
+/** A selector decision: the chosen variant plus its justification. */
+struct KernelChoice
+{
+    const KernelVariant *variant; //!< never null
+    std::string reason;           //!< human-readable feature trace
+};
+
+/**
+ * Pick the forward SpMM variant for one launch.
+ *
+ * @param s   cached degree statistics of the adjacency
+ * @param dim dense feature width of the launch
+ * @param k   MaxK width (0 = dense operand); bounds the effective row
+ *            width the row cache must hold
+ * @param dev device, for the shared-memory staging budget
+ */
+KernelChoice selectSpmmVariant(const DegreeStats &s, std::size_t dim,
+                               std::uint32_t k,
+                               const gpusim::DeviceConfig &dev);
+
+} // namespace maxk::kernels
+
+#endif // MAXK_KERNELS_SELECTOR_HH

@@ -7,6 +7,7 @@
 #define MAXK_KERNELS_SIM_OPTIONS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "gpusim/device.hh"
 
@@ -60,6 +61,16 @@ struct SimOptions
      * Functional output is bitwise-identical to the unfused pipeline.
      */
     bool fusedForward = false;
+
+    /**
+     * SpMM kernel variant for baseline/dense aggregation launches:
+     * "" or "default" = the static row-wise default, "auto" = the
+     * adaptive per-launch selector (kernels/selector.hh), anything else
+     * a registered variant name (kernels/registry.hh). Functional
+     * results are identical for every value; only the simulated
+     * schedule — and therefore the reported stats — changes.
+     */
+    std::string kernelVariant;
 
     /**
      * Host worker threads for the row-parallel kernel loops. 0 = use

@@ -34,10 +34,16 @@ spmmGnna(const CsrGraph &a, const EdgeGroupPartition &part, const Matrix &x,
                                          resolveThreads(opt.threads));
     gpusim::runSharded(ctx, chunks, [&](auto &dev, std::uint32_t,
                                         IndexRange egs) {
+        // Row accumulator held in double across all of a row's EGs (the
+        // row-aligned chunks guarantee they share one chunk), flushed
+        // with a single cast at the row's last EG — reference-order
+        // numerics, so the result is bitwise-identical to spmmReference.
         std::vector<double> buf(dim);
         for (std::size_t gi = egs.begin; gi < egs.end; ++gi) {
             const EdgeGroup &eg = part.groups()[gi];
             const std::uint64_t warp = gi + 1; // serial loop pre-increments
+            const bool first_eg_of_row = eg.begin == a.rowPtr()[eg.row];
+            const bool last_eg_of_row = eg.end == a.rowPtr()[eg.row + 1];
             // Neighbour-group metadata (group descriptor: row id + extent).
             dev.globalReadStreaming(warp, &eg, sizeof(EdgeGroup));
             dev.globalReadStreaming(warp, &a.values()[eg.begin],
@@ -45,7 +51,8 @@ spmmGnna(const CsrGraph &a, const EdgeGroupPartition &part, const Matrix &x,
             dev.globalReadStreaming(warp, &a.colIdx()[eg.begin],
                                     (eg.end - eg.begin) * sizeof(NodeId));
 
-            std::fill(buf.begin(), buf.end(), 0.0);
+            if (first_eg_of_row)
+                std::fill(buf.begin(), buf.end(), 0.0);
             for (EdgeId e = eg.begin; e < eg.end; ++e) {
                 const NodeId j = a.colIdx()[e];
                 const Float v = a.values()[e];
@@ -64,9 +71,9 @@ spmmGnna(const CsrGraph &a, const EdgeGroupPartition &part, const Matrix &x,
             // Atomic merge of the group's partial sum into global output;
             // groups beyond a row's first serialize on the same addresses.
             Float *yr = y.row(eg.row);
-            for (std::size_t d = 0; d < dim; ++d)
-                yr[d] += static_cast<Float>(buf[d]);
-            const bool first_eg_of_row = eg.begin == a.rowPtr()[eg.row];
+            if (last_eg_of_row)
+                for (std::size_t d = 0; d < dim; ++d)
+                    yr[d] = static_cast<Float>(buf[d]);
             dev.sharedOps(first_eg_of_row ? dim / 4 : 2 * dim, 0);
             dev.globalAtomicAccum(warp, yr, dim * sizeof(Float));
         }

@@ -11,6 +11,11 @@
  * plus atomic write-back; the paper measures it ~1.3-1.4x slower than
  * cuSPARSE on high-degree graphs, which this model reproduces via its
  * extra traffic plus an efficiency factor.
+ *
+ * The functional output is bitwise-identical to spmmReference at any
+ * MAXK_THREADS: each row's partial sums accumulate in one double buffer
+ * across its neighbour groups (row-aligned chunks keep them on one
+ * worker) and are cast once at the row's last group.
  */
 
 #ifndef MAXK_KERNELS_SPMM_GNNA_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Nnz-balanced SpMM (the Ge-SpMM "nnzbalance" schedule): work units own
+ * a fixed budget of nonzeros instead of a fixed set of rows, so hub rows
+ * spread across many units and no warp inherits a whole "evil row".
+ *
+ * Two structural effects distinguish it from the row-wise baseline in
+ * the traffic model:
+ *
+ *  - CSR metadata (values + column indices) streams in one contiguous
+ *    request per unit rather than one per row, so the 32-byte sector
+ *    rounding amortises across row boundaries — a real win on
+ *    low-degree graphs where a 2-edge row otherwise charges two full
+ *    sectors for 16 useful bytes;
+ *  - rows whose edges span more than one unit pay a deterministic
+ *    cross-row partial merge: a zero-fill pass plus one atomic
+ *    accumulation per touching unit, instead of a single plain store.
+ *
+ * Unit planning reuses the Edge-Group partition (graph/edge_groups):
+ * units are contiguous EG runs that close early at row boundaries, so
+ * only rows longer than the unit budget ever split.
+ */
+
+#ifndef MAXK_KERNELS_SPMM_NNZ_BALANCED_HH
+#define MAXK_KERNELS_SPMM_NNZ_BALANCED_HH
+
+#include "gpusim/kernel_stats.hh"
+#include "graph/csr.hh"
+#include "kernels/sim_options.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk
+{
+
+/** Nonzeros per work unit, as a multiple of SimOptions::workloadCap. */
+constexpr std::uint32_t kNnzUnitGroups = 4;
+
+/** Y = A * X with the nnz-balanced kernel. Bitwise-identical to
+ *  spmmReference at any MAXK_THREADS. */
+gpusim::KernelStats spmmNnzBalanced(const CsrGraph &a, const Matrix &x,
+                                    Matrix &y, const SimOptions &opt = {});
+
+} // namespace maxk
+
+#endif // MAXK_KERNELS_SPMM_NNZ_BALANCED_HH

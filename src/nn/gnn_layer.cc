@@ -6,6 +6,8 @@
 #include "common/parallel.hh"
 #include "core/maxk.hh"
 #include "core/transpose_gather.hh"
+#include "kernels/registry.hh"
+#include "kernels/spmm_fast.hh"
 #include "tensor/ops.hh"
 
 namespace maxk::nn
@@ -48,47 +50,16 @@ aggregatorFor(GnnKind kind)
 void
 aggregateDense(const CsrGraph &a, const Matrix &x, Matrix &out)
 {
-    const std::size_t dim = x.cols();
-    out.ensureShape(a.numNodes(), dim);
-    out.setZero();
-    parallelFor(0, a.numNodes(), kRowGrain,
-                [&](std::uint32_t, std::size_t begin, std::size_t end) {
-                    for (std::size_t r = begin; r < end; ++r) {
-                        const NodeId i = static_cast<NodeId>(r);
-                        Float *o = out.row(i);
-                        for (EdgeId e = a.rowPtr()[i];
-                             e < a.rowPtr()[i + 1]; ++e) {
-                            const Float v = a.values()[e];
-                            const Float *xr = x.row(a.colIdx()[e]);
-                            for (std::size_t d = 0; d < dim; ++d)
-                                o[d] += v * xr[d];
-                        }
-                    }
-                });
+    // The shared fp32 fast loop behind every registered forward variant
+    // (kernels/spmm_fast.hh); the historical name stays for call sites.
+    spmmRowWiseFast(a, x, out);
 }
 
 void
 aggregateDenseTransposed(const CsrGraph &a, const Matrix &x, Matrix &out)
 {
-    const std::size_t dim = x.cols();
-    out.ensureShape(a.numNodes(), dim);
-    out.setZero();
-    if (resolveThreads(0) <= 1) {
-        for (NodeId i = 0; i < a.numNodes(); ++i) {
-            const Float *xr = x.row(i);
-            for (EdgeId e = a.rowPtr()[i]; e < a.rowPtr()[i + 1]; ++e) {
-                const Float v = a.values()[e];
-                Float *o = out.row(a.colIdx()[e]);
-                for (std::size_t d = 0; d < dim; ++d)
-                    o[d] += v * xr[d];
-            }
-        }
-        return;
-    }
-
-    // Scatter-shaped: bitwise-deterministic gather over the stable
-    // transpose (see core/transpose_gather.hh).
-    gatherTransposedDense(a, x, out);
+    // Shared fp32 reverse-aggregation loop (kernels/spmm_fast.hh).
+    spmmTransposedFast(a, x, out);
 }
 
 void
@@ -216,10 +187,16 @@ GnnLayer::forwardCompute(const Matrix &x, bool training, Rng &rng)
 void
 GnnLayer::forwardCombine(const CsrGraph &a, Matrix &out)
 {
-    if (usedCbsr_)
+    if (usedCbsr_) {
         aggregateCbsr(a, cbsr_, out);
-    else
-        aggregateDense(a, hDense_, out);
+    } else {
+        // Registry dispatch: every forward variant shares the same fp32
+        // fast loop, so the configured variant ("auto" included) cannot
+        // perturb training numerics — it selects the simulated schedule
+        // profileEpoch charges for this aggregation.
+        kernels::resolveSpmmVariant(cfg_.kernelVariant, a, hDense_.cols())
+            .fast(a, hDense_, out);
+    }
 
     if (cfg_.kind == GnnKind::Sage) {
         linear2_.forward(xDropped_, self_);

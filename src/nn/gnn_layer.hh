@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "core/cbsr.hh"
 #include "graph/csr.hh"
@@ -69,6 +70,16 @@ struct GnnLayerConfig
      * arithmetic as compress-then-aggregate.
      */
     bool fusedForward = false;
+
+    /**
+     * SpMM variant for the dense aggregation path: "" = static
+     * row-wise default, "auto" = adaptive selector, else a registered
+     * variant name (kernels/registry.hh). Every variant shares the
+     * same fp32 functional loop, so training numerics are invariant —
+     * the choice drives the simulated schedule profileEpoch charges
+     * and what the sharded executor pins per partition.
+     */
+    std::string kernelVariant;
 };
 
 /** One trainable GNN layer (fast functional path). */
@@ -145,6 +156,14 @@ class GnnLayer
     void backwardPost(const CsrGraph &a, const Matrix &d_out, Matrix &dx);
 
     void collectParams(ParamRefs &out);
+
+    /** Re-pin the aggregation variant after construction (the sharded
+     *  executor resolves "auto" once against its rank's extended
+     *  subgraph and pins the result here). */
+    void setKernelVariant(std::string v)
+    {
+        cfg_.kernelVariant = std::move(v);
+    }
 
     const GnnLayerConfig &config() const { return cfg_; }
     std::size_t inDim() const { return linear1_.inDim(); }

@@ -20,6 +20,7 @@ GnnModel::GnnModel(const ModelConfig &cfg)
         lc.lastLayer = l + 1 == cfg.numLayers;
         lc.ginEps = cfg.ginEps;
         lc.dropout = cfg.dropout;
+        lc.kernelVariant = cfg.kernelVariant;
         layers_.emplace_back(lc, layerInDim(l), layerOutDim(l), init_rng,
                              "layer" + std::to_string(l));
     }

@@ -8,6 +8,7 @@
 #define MAXK_NN_MODEL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/csr.hh"
@@ -32,6 +33,11 @@ struct ModelConfig
     Float dropout = 0.5f;
     Float ginEps = 0.0f;
     std::uint64_t seed = 42;
+
+    /** SpMM variant for dense aggregation ("" = default, "auto" =
+     *  adaptive selector, else a registry name); copied into every
+     *  layer's GnnLayerConfig. */
+    std::string kernelVariant;
 };
 
 /** Stack of GNN layers with cached activations for backprop. */

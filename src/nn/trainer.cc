@@ -9,8 +9,8 @@
 #include "core/spgemm_forward.hh"
 #include "core/sspmm_backward.hh"
 #include "kernels/gemm_cost.hh"
+#include "kernels/registry.hh"
 #include "kernels/spmm_gnna.hh"
-#include "kernels/spmm_row_wise.hh"
 #include "nn/loss.hh"
 #include "nn/metrics.hh"
 #include "nn/optimizer.hh"
@@ -22,17 +22,27 @@ namespace maxk::nn
 namespace
 {
 
-/** Simulated latency of one SpMM of width dim on graph a. */
+/**
+ * Simulated latency of one SpMM of width dim on graph a. A configured
+ * kernel variant (model- or launch-level, "auto" included) overrides
+ * the legacy baseline enum and dispatches through the registry; the
+ * enum keeps charging its historical kernels otherwise.
+ */
 double
 baselineAggSeconds(const CsrGraph &a, const EdgeGroupPartition &part,
                    std::size_t dim, const SimOptions &opt,
-                   BaselineKernel baseline, Rng &rng)
+                   BaselineKernel baseline, std::string_view variant,
+                   Rng &rng)
 {
     Matrix x(a.numNodes(), dim);
     fillNormal(x, rng, 0.0f, 1.0f);
     Matrix y;
+    if (!variant.empty())
+        return kernels::resolveSpmmVariant(variant, a, dim, 0, opt)
+            .run(a, x, y, opt)
+            .totalSeconds;
     if (baseline == BaselineKernel::CuSparse)
-        return spmmRowWise(a, x, y, opt).totalSeconds;
+        return kernels::defaultSpmmVariant().run(a, x, y, opt).totalSeconds;
     return spmmGnna(a, part, x, y, opt).totalSeconds;
 }
 
@@ -136,12 +146,17 @@ profileEpoch(const ModelConfig &cfg, const CsrGraph &a,
                                           out_dim,
                                       opt.device);
             }
+            // Model-level variant beats the launch-level one; both beat
+            // the legacy baseline enum.
+            const std::string_view variant = !cfg.kernelVariant.empty()
+                                                 ? cfg.kernelVariant
+                                                 : opt.kernelVariant;
             t.aggFwd += baselineAggSeconds(a, part, out_dim, opt,
-                                           baseline, rng);
+                                           baseline, variant, rng);
             // Backward SpMM on A^T (same structure for the symmetric
             // twins; identical traffic).
             t.aggBwd += baselineAggSeconds(a, part, out_dim, opt,
-                                           baseline, rng);
+                                           baseline, variant, rng);
         }
     }
 

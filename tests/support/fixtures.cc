@@ -16,6 +16,7 @@ graphShapeName(GraphShape shape)
     case GraphShape::Star: return "Star";
     case GraphShape::Ring: return "Ring";
     case GraphShape::Community: return "Community";
+    case GraphShape::Zipf: return "Zipf";
     }
     return "Unknown";
 }
@@ -48,6 +49,9 @@ makeGraph(GraphShape shape, NodeId num_nodes, EdgeId num_edges, Rng &rng,
                 .graph;
         break;
     }
+    case GraphShape::Zipf:
+        g = zipf(num_nodes, num_edges, 1.1, rng);
+        break;
     }
     g.setAggregatorWeights(agg);
     return g;

@@ -32,6 +32,7 @@ enum class GraphShape
     Star,       //!< extreme imbalance: one hub row
     Ring,       //!< k-regular lattice: perfectly balanced rows
     Community,  //!< stochastic block model (learnable labels)
+    Zipf,       //!< Zipfian in-degrees: tunable hub-heavy tail
 };
 
 /** Human-readable shape name (test parameter labels). */

@@ -273,6 +273,81 @@ TEST(Stats, DescribeMentionsKeyNumbers)
     const std::string d = describe(computeDegreeStats(g));
     EXPECT_NE(d.find("|V|=10"), std::string::npos);
     EXPECT_NE(d.find("|E|=20"), std::string::npos);
+    EXPECT_NE(d.find("std="), std::string::npos);
+    EXPECT_NE(d.find("dens="), std::string::npos);
+    EXPECT_NE(d.find("empty="), std::string::npos);
+}
+
+TEST(Stats, ExtendedFieldsOnRegularGraph)
+{
+    const CsrGraph g = ringLattice(64, 4, false);
+    const DegreeStats s = computeDegreeStats(g);
+    EXPECT_NEAR(s.stdDegree, 0.0, 1e-12);
+    EXPECT_NEAR(s.emptyRowFraction, 0.0, 1e-12);
+    EXPECT_NEAR(s.density, 256.0 / (64.0 * 64.0), 1e-12);
+}
+
+TEST(Stats, ExtendedFieldsOnStar)
+{
+    const CsrGraph g = star(100, false);
+    const DegreeStats s = computeDegreeStats(g);
+    // Hub degree 99 against 99 leaves of degree 1: huge spread.
+    EXPECT_GT(s.stdDegree, 5.0);
+    EXPECT_NEAR(s.emptyRowFraction, 0.0, 1e-12);
+    EXPECT_NEAR(s.density, 198.0 / (100.0 * 100.0), 1e-12);
+}
+
+TEST(Stats, EmptyRowFractionCountsIsolatedNodes)
+{
+    // Nodes 2 and 3 have no edges at all.
+    const CsrGraph g =
+        CsrGraph::fromEdges(4, {{0, 1}}, true, false);
+    const DegreeStats s = computeDegreeStats(g);
+    EXPECT_NEAR(s.emptyRowFraction, 0.5, 1e-12);
+    EXPECT_NEAR(s.density, 2.0 / 16.0, 1e-12);
+}
+
+TEST(Generators, ZipfIsHubHeavy)
+{
+    Rng rng(37);
+    const CsrGraph g = zipf(2000, 20000, 1.1, rng);
+    EXPECT_TRUE(g.validate());
+    EXPECT_TRUE(g.structureSymmetric());
+    EXPECT_GT(g.numEdges(), 20000u / 2);
+    EXPECT_LT(g.numEdges(), 20000u * 3);
+    const DegreeStats s = computeDegreeStats(g);
+    EXPECT_GT(s.skewRatio, 5.0);
+    EXPECT_GT(s.gini, 0.25);
+}
+
+TEST(Generators, ZipfExponentControlsSkew)
+{
+    Rng rng_a(41), rng_b(41);
+    const DegreeStats mild =
+        computeDegreeStats(zipf(1500, 12000, 0.6, rng_a));
+    const DegreeStats steep =
+        computeDegreeStats(zipf(1500, 12000, 1.4, rng_b));
+    EXPECT_GT(steep.gini, mild.gini);
+    EXPECT_GT(steep.maxDegree, mild.maxDegree);
+}
+
+TEST(StatsCache, DegreeStatsBuildOnceAndMatchFresh)
+{
+    Rng rng(43);
+    const CsrGraph g = erdosRenyi(80, 400, rng);
+    EXPECT_EQ(g.degreeStatsBuildCount(), 0u);
+    const DegreeStats &s1 = g.degreeStatsCached();
+    EXPECT_EQ(g.degreeStatsBuildCount(), 1u);
+    const DegreeStats &s2 = g.degreeStatsCached();
+    EXPECT_EQ(&s1, &s2); // same object, not an equal rebuild
+    EXPECT_EQ(g.degreeStatsBuildCount(), 1u);
+
+    const DegreeStats fresh = computeDegreeStats(g);
+    EXPECT_EQ(s1.avgDegree, fresh.avgDegree);
+    EXPECT_EQ(s1.gini, fresh.gini);
+    EXPECT_EQ(s1.stdDegree, fresh.stdDegree);
+    EXPECT_EQ(s1.density, fresh.density);
+    EXPECT_EQ(s1.emptyRowFraction, fresh.emptyRowFraction);
 }
 
 TEST(GraphIo, SaveLoadRoundTrip)

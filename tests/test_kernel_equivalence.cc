@@ -25,6 +25,8 @@
 #include "core/spgemm_forward.hh"
 #include "core/sspmm_backward.hh"
 #include "graph/edge_groups.hh"
+#include "kernels/registry.hh"
+#include "kernels/spmm_fast.hh"
 #include "kernels/spmm_gnna.hh"
 #include "kernels/spmm_outer_naive.hh"
 #include "kernels/spmm_ref.hh"
@@ -93,6 +95,43 @@ TEST_P(KernelEquivalence, DenseSpmmVariantsAgreePairwise)
     EXPECT_TRUE(test::matricesNear(y_row, y_ref, kTol));
     EXPECT_TRUE(test::matricesNear(y_gnna, y_ref, kTol));
     EXPECT_TRUE(test::matricesNear(y_row, y_gnna, kTol));
+}
+
+/**
+ * Registry sweep, the PR-7 acceptance bar: every registered variant —
+ * enumerated, not named — reproduces its reference bitwise (`equals`,
+ * not "near") at every thread count. Forward variants must equal
+ * spmmReference, transposed ones spmmTransposedReference; the fp32 fast
+ * path of each variant must equal the shared fast loop the same way.
+ */
+TEST_P(KernelEquivalence, RegistryVariantsBitwiseMatchReferenceAcrossThreads)
+{
+    Matrix y_ref, y_tref, y_fast_ref, y_tfast_ref;
+    spmmReference(g_, x_, y_ref);
+    spmmTransposedReference(g_, x_, y_tref);
+    spmmRowWiseFast(g_, x_, y_fast_ref);
+    spmmTransposedFast(g_, x_, y_tfast_ref);
+
+    for (const kernels::KernelVariant &v : kernels::kernelRegistry()) {
+        const Matrix &want_sim = v.transposed ? y_tref : y_ref;
+        for (const std::uint32_t threads : {1u, 4u, 8u}) {
+            SimOptions opt = opt_;
+            opt.threads = threads;
+            Matrix y;
+            v.run(g_, x_, y, opt);
+            EXPECT_TRUE(y.equals(want_sim))
+                << v.name << " (simulated) at threads=" << threads;
+        }
+        // spmm_ref's fast loop is the double-precision reference by
+        // design; every other variant shares the fp32 loops.
+        const Matrix &want_fast =
+            v.name == "spmm_ref"
+                ? y_ref
+                : (v.transposed ? y_tfast_ref : y_fast_ref);
+        Matrix y;
+        v.fast(g_, x_, y);
+        EXPECT_TRUE(y.equals(want_fast)) << v.name << " (fast)";
+    }
 }
 
 /** The outer-product kernel computes A^T X: it must agree both with the
@@ -269,7 +308,9 @@ INSTANTIATE_TEST_SUITE_P(
     ShapeDimK, KernelEquivalence,
     ::testing::Combine(::testing::Values(GraphShape::ErdosRenyi,
                                          GraphShape::PowerLaw,
-                                         GraphShape::Star),
+                                         GraphShape::Star,
+                                         GraphShape::Ring,
+                                         GraphShape::Zipf),
                        ::testing::Values(16u, 33u, 64u),
                        ::testing::Values(4u, 8u, 16u)),
     sweepName);
@@ -367,6 +408,13 @@ TEST_F(DiskGraphEquivalence, AllSpmmVariantsAgree)
     spmmOuterNaive(g_, x_, y_outer, opt_);
     spmmTransposedReference(g_, x_, y_t);
     EXPECT_TRUE(test::matricesNear(y_outer, y_t, kTol));
+
+    // And the full registry, bitwise, on the ingested graph.
+    for (const kernels::KernelVariant &v : kernels::kernelRegistry()) {
+        Matrix y;
+        v.run(g_, x_, y, opt_);
+        EXPECT_TRUE(y.equals(v.transposed ? y_t : y_ref)) << v.name;
+    }
 }
 
 TEST_F(DiskGraphEquivalence, SpgemmAndSspmmMatchOracles)
