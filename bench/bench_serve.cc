@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Online inference serving bench (ISSUE 8): trains a small SAGE+MaxK
+ * model, then replays Zipfian single-vertex request traffic through
+ * ServeSession with the embedding cache off and at increasing cache
+ * fractions. Emits deterministic maxk-perf-v1 records gated by
+ * tools/maxk-perf-check against bench/baselines/serve.json.
+ *
+ * Every reported number is structural: planned rows/edges/bytes through
+ * the gemm/elementwise roofline and arrival times built from uniform
+ * draws — never wall time and never libm on data-dependent values — so
+ * records are identical on every machine and thread count. The bench
+ * hard-fails (fatal) if any cached replay's logits diverge bitwise from
+ * the cache-off replay, if the warm cache serves zero hits, or if the
+ * warm simulated throughput fails to strictly beat the cache-off path:
+ * the correctness anchor and the headline win are enforced on every
+ * perf-gate run, not only in the unit suites.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "nn/model.hh"
+#include "sample/sampled_trainer.hh"
+#include "serve/session.hh"
+
+using namespace maxk;
+
+namespace
+{
+
+constexpr const char *kBench = "bench_serve";
+
+struct CachePoint
+{
+    std::string name;
+    double fraction;
+    std::uint32_t lruSlots;
+};
+
+/**
+ * Zipf(s=1.0) request trace: vertex rank r drawn with exact weight 1/r
+ * (cumulative table + one uniform draw — no pow/log), arrival gaps
+ * uniform in [0, 2*mean_gap). Hot ranks map to vertex ids directly.
+ */
+std::vector<serve::ServeRequest>
+zipfTrace(Rng &rng, NodeId num_nodes, std::size_t count, double mean_gap)
+{
+    std::vector<double> cum(num_nodes);
+    double total = 0.0;
+    for (NodeId r = 0; r < num_nodes; ++r) {
+        total += 1.0 / static_cast<double>(r + 1);
+        cum[r] = total;
+    }
+    std::vector<serve::ServeRequest> trace(count);
+    double t = 0.0;
+    for (serve::ServeRequest &req : trace) {
+        t += rng.uniform() * 2.0 * mean_gap;
+        req.arrivalSimSeconds = t;
+        const double u = rng.uniform() * total;
+        req.vertex = static_cast<NodeId>(
+            std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+    }
+    return trace;
+}
+
+void
+expectSameLogits(const Matrix &ref, const Matrix &got,
+                 const std::string &config)
+{
+    if (!ref.equals(got))
+        fatal("bench_serve: cached logits diverged bitwise from the "
+              "cache-off replay on " + config);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
+    bench::banner("Online inference serving: deadline batching + "
+                  "hot-vertex CBSR embedding cache");
+
+    // Train a small model on the Flickr accuracy twin so the served
+    // logits are the output of a real training trajectory.
+    TrainingTask task = *findTrainingTask("Flickr");
+    task.accuracyNodes = 600;
+    task.accuracyAvgDegree = 10.0;
+    Rng rng(707);
+    TrainingData data = materializeTrainingData(task, rng);
+
+    nn::ModelConfig mcfg;
+    mcfg.kind = nn::GnnKind::Sage;
+    mcfg.nonlin = nn::Nonlinearity::MaxK;
+    mcfg.maxkK = 16;
+    mcfg.numLayers = 2;
+    mcfg.inDim = task.featureDim;
+    mcfg.hiddenDim = 64;
+    mcfg.outDim = task.numClasses;
+    mcfg.dropout = 0.1f;
+    nn::GnnModel model(mcfg);
+    {
+        sample::SamplerConfig scfg;
+        scfg.fanouts = {8, 8};
+        scfg.batchSize = 64;
+        scfg.seed = 909;
+        sample::SampledTrainer trainer(model, data, task, scfg);
+        sample::SampledTrainConfig tc;
+        tc.epochs = bench::fastMode() ? 1 : 3;
+        tc.evalEvery = 4;
+        trainer.run(tc);
+    }
+
+    const std::size_t count = bench::fastMode() ? 192 : 768;
+    Rng traffic_rng(808);
+    const std::vector<serve::ServeRequest> trace =
+        zipfTrace(traffic_rng, data.graph.numNodes(), count, 2e-4);
+
+    auto serve_cfg = [](const CachePoint &point) {
+        serve::ServeConfig cfg;
+        cfg.fanout = 8;
+        cfg.batchCapacity = 32;
+        cfg.deadlineSimSeconds = 2e-3;
+        cfg.cacheFraction = point.fraction;
+        cfg.lruSlots = point.lruSlots;
+        return cfg;
+    };
+
+    // Cache-off reference: full recompute for every request.
+    const CachePoint off{"cache-off", 0.0, 0};
+    serve::ServeSession off_session(model, data.graph, data.features,
+                                    serve_cfg(off));
+    auto off_rep = off_session.replay(trace);
+    if (!off_rep.hasValue())
+        fatal("bench_serve: cache-off replay failed: " +
+              off_rep.error().message);
+
+    std::vector<CachePoint> sweep{
+        {"pin5%", 0.05, 0},
+        {"pin10%+lru64", 0.10, 64},
+        {"pin25%+lru64", 0.25, 64},
+    };
+    bench::smokeShrink(sweep);
+
+    TextTable table({"config", "batches", "hit rate", "injected",
+                     "recomputed", "req/s (sim)", "p50 lat", "p99 lat",
+                     "steady allocs"});
+    auto add_row = [&](const std::string &name,
+                       const serve::ServeReport &rep) {
+        const double lookups =
+            static_cast<double>(rep.cacheHits + rep.cacheMisses);
+        const double hit_rate =
+            lookups > 0.0
+                ? static_cast<double>(rep.cacheHits) / lookups
+                : 0.0;
+        table.addRow({name, std::to_string(rep.batches),
+                      formatFloat(hit_rate * 100.0, 1) + "%",
+                      std::to_string(rep.nodesInjected),
+                      std::to_string(rep.nodesRecomputed),
+                      formatFloat(rep.requestsPerSimSecond, 0),
+                      formatFloat(rep.p50LatencySimSeconds * 1e3, 3) +
+                          "ms",
+                      formatFloat(rep.p99LatencySimSeconds * 1e3, 3) +
+                          "ms",
+                      std::to_string(rep.steadyStateAllocCount)});
+    };
+    auto record = [&](const std::string &name,
+                      const serve::ServeReport &rep) {
+        if (!bench::perfEnabled())
+            return;
+        bench::PerfRecord rec;
+        rec.bench = kBench;
+        rec.kernel = "serve-replay/" + name;
+        rec.graph = task.info.name + "-acc";
+        rec.dim = static_cast<std::uint32_t>(mcfg.hiddenDim);
+        rec.k = mcfg.maxkK;
+        rec.simSeconds = rep.serviceSimSeconds;
+        rec.dramBytes =
+            rep.featureBytesGathered + rep.cacheBytesInjected;
+        rec.l2ReqBytes =
+            rep.edgesAggregated * (sizeof(NodeId) + sizeof(Float));
+        rec.peakWorkspaceBytes = 0;
+        rec.allocCount = rep.steadyStateAllocCount;
+        bench::perfRecords().push_back(rec);
+
+        bench::PerfRecord lat;
+        lat.bench = kBench;
+        lat.kernel = "serve-p99/" + name;
+        lat.graph = rec.graph;
+        lat.dim = rec.dim;
+        lat.k = rec.k;
+        lat.simSeconds = rep.p99LatencySimSeconds;
+        lat.dramBytes = rep.nodesInjected;
+        lat.l2ReqBytes = rep.nodesRecomputed;
+        lat.peakWorkspaceBytes = 0;
+        lat.allocCount = rep.steadyStateAllocCount;
+        bench::perfRecords().push_back(lat);
+    };
+
+    add_row(off.name, off_rep.value());
+    record(off.name, off_rep.value());
+
+    for (const CachePoint &point : sweep) {
+        serve::ServeSession session(model, data.graph, data.features,
+                                    serve_cfg(point));
+        // Cold replay fills the cache; the warm replay is the
+        // steady-state measurement the paper's serving story is about.
+        auto cold = session.replay(trace);
+        if (!cold.hasValue())
+            fatal("bench_serve: cold replay failed on " + point.name);
+        expectSameLogits(off_rep.value().logits, cold.value().logits,
+                         point.name + " (cold)");
+        auto warm = session.replay(trace);
+        if (!warm.hasValue())
+            fatal("bench_serve: warm replay failed on " + point.name);
+        expectSameLogits(off_rep.value().logits, warm.value().logits,
+                         point.name + " (warm)");
+
+        if (warm.value().cacheHits == 0)
+            fatal("bench_serve: warm cache served zero hits on " +
+                  point.name);
+        if (warm.value().requestsPerSimSecond <=
+            off_rep.value().requestsPerSimSecond)
+            fatal("bench_serve: cache failed to improve simulated "
+                  "throughput on " + point.name);
+
+        add_row(point.name + " (warm)", warm.value());
+        record(point.name, warm.value());
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Takeaways: fixed per-vertex sampled adjacency + batch-invariant "
+        "edge weights make\ncached serving bitwise-equal to full "
+        "recompute (enforced above); CBSR storage\nkeeps each cached row "
+        "at k values + k narrow indices (~k/dim of dense); Zipfian\n"
+        "traffic turns the pinned hot set into cache hits and strictly "
+        "higher simulated\nthroughput, with steady-state replay "
+        "allocating nothing.\n");
+    bench::writePerfReport();
+    return 0;
+}

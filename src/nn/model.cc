@@ -41,10 +41,30 @@ GnnModel::layerOutDim(std::uint32_t l) const
 const Matrix &
 GnnModel::forward(const CsrGraph &a, const Matrix &x, bool training)
 {
+    return forwardFrom(0, a, x, training);
+}
+
+const Matrix &
+GnnModel::forwardFrom(std::uint32_t first, const CsrGraph &a,
+                      const Matrix &x, bool training,
+                      const LayerHook &hook)
+{
+    checkInvariant(first < layers_.size(),
+                   "GnnModel::forwardFrom: layer index out of range");
     acts_.resize(layers_.size() + 1);
-    acts_[0] = x;
-    for (std::size_t l = 0; l < layers_.size(); ++l)
-        layers_[l].forward(a, acts_[l], acts_[l + 1], training, dropRng_);
+    acts_[first] = x;
+    for (std::size_t l = first; l < layers_.size(); ++l) {
+        GnnLayer &layer = layers_[l];
+        if (!hook) {
+            layer.forward(a, acts_[l], acts_[l + 1], training, dropRng_);
+            continue;
+        }
+        // Phase-split path: same arithmetic in the same order as
+        // layer.forward(), with the hook at the activation seam.
+        layer.forwardCompute(acts_[l], training, dropRng_);
+        hook(static_cast<std::uint32_t>(l), layer);
+        layer.forwardCombine(a, acts_[l + 1]);
+    }
     return acts_.back();
 }
 

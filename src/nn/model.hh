@@ -8,6 +8,7 @@
 #define MAXK_NN_MODEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,33 @@ class GnnModel
      */
     const Matrix &forward(const CsrGraph &a, const Matrix &x,
                           bool training);
+
+    /**
+     * Hook invoked between a layer's forwardCompute and forwardCombine
+     * phases — the point where the activation (CBSR for MaxK layers,
+     * dense otherwise) is complete but not yet aggregated. The serving
+     * layer injects cached embedding rows and harvests newly computed
+     * ones here; the sharded executor exchanges halo rows at the same
+     * seam.
+     */
+    using LayerHook = std::function<void(std::uint32_t layer, GnnLayer &)>;
+
+    /**
+     * Forward starting at layer `first` (0 == forward()): `x` is taken
+     * as the input of layer `first` and layers below it are skipped
+     * entirely. This is the cached-embedding entry point: when every
+     * activation a serving batch needs below `first` comes out of the
+     * EmbeddingCache, the lower layers contribute no arithmetic at all.
+     * The optional `hook` runs per executed layer between the compute
+     * and combine phases (see LayerHook). Activations from layer `first`
+     * on are cached for backward(); earlier ones keep their prior
+     * contents. No dropout stream is consumed for skipped layers when
+     * `training` is false (the serving mode), so partial and full
+     * forwards stay bitwise-consistent.
+     */
+    const Matrix &forwardFrom(std::uint32_t first, const CsrGraph &a,
+                              const Matrix &x, bool training,
+                              const LayerHook &hook = {});
 
     /** Backprop from d(loss)/d(logits); accumulates parameter grads. */
     void backward(const CsrGraph &a, const Matrix &grad_logits);

@@ -118,25 +118,41 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
     const std::uint32_t nb = sampler_.numBatches(trainIds_.size());
     std::uint64_t alloc_base = 0;
 
+    // Cross-epoch production: one produce function maps a GLOBAL batch
+    // index to (epoch, batch), so a single producer thread can run ahead
+    // across epoch boundaries (it samples epoch e+1 while the consumer
+    // still trains and evaluates epoch e). The epoch seed order is
+    // computed by whoever produces batch 0 of that epoch — in pipelined
+    // mode that is the producer thread, which is the only reader/writer
+    // of order_/seedsWs_/batchWs_; the consumer touches none of them.
+    auto produce = [&](Minibatch &slot, std::size_t idx) {
+        const std::size_t epoch = idx / nb;
+        const std::size_t b = idx % nb;
+        if (epoch >= cfg.epochs)
+            return false;
+        if (b == 0)
+            sampler_.epochOrder(static_cast<std::uint32_t>(epoch),
+                                trainIds_, order_);
+        const std::size_t lo = b * static_cast<std::size_t>(batch_size);
+        const std::size_t hi =
+            std::min<std::size_t>(lo + batch_size, order_.size());
+        seedsWs_.assign(order_.begin() + lo, order_.begin() + hi);
+        sampler_.sample(static_cast<std::uint32_t>(epoch),
+                        static_cast<std::uint32_t>(b), seedsWs_, batchWs_);
+        extractor_->extract(batchWs_, slot);
+        return true;
+    };
+
+    std::optional<Pipeline<Minibatch>> pipe;
+    if (cfg.pipeline) {
+        pipe.emplace(depth, slots, produce);
+        ++result.producerSpawns;
+    }
+
+    std::size_t sync_idx = 0;
     for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         if (epoch == 2)
             alloc_base = AllocProbe::totalAllocCount();
-
-        sampler_.epochOrder(epoch, trainIds_, order_);
-
-        // Shared by both modes: fill `slot` with this epoch's batch b.
-        auto produce = [&, epoch](Minibatch &slot, std::size_t b) {
-            if (b >= nb)
-                return false;
-            const std::size_t lo = b * static_cast<std::size_t>(batch_size);
-            const std::size_t hi =
-                std::min<std::size_t>(lo + batch_size, order_.size());
-            seedsWs_.assign(order_.begin() + lo, order_.begin() + hi);
-            sampler_.sample(epoch, static_cast<std::uint32_t>(b),
-                            seedsWs_, batchWs_);
-            extractor_->extract(batchWs_, slot);
-            return true;
-        };
 
         double loss_sum = 0.0;
         std::size_t seed_sum = 0;
@@ -149,15 +165,19 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
             result.sampledEdges += mb.graph.numEdges();
         };
 
-        if (cfg.pipeline) {
-            Pipeline<Minibatch> pipe(depth, slots, produce);
-            while (Minibatch *mb = pipe.next()) {
+        // Exactly nb batches belong to this epoch in either mode.
+        for (std::uint32_t b = 0; b < nb; ++b) {
+            if (cfg.pipeline) {
+                Minibatch *mb = pipe->next();
+                checkInvariant(mb != nullptr,
+                               "SampledTrainer: pipeline ended early");
                 consume(*mb);
-                pipe.recycle(mb);
-            }
-        } else {
-            for (std::size_t b = 0; produce(slots[0], b); ++b)
+                pipe->recycle(mb);
+            } else {
+                const bool ok = produce(slots[0], sync_idx++);
+                checkInvariant(ok, "SampledTrainer: produce ended early");
                 consume(slots[0]);
+            }
         }
         checkInvariant(seed_sum == trainIds_.size(),
                        "SampledTrainer: epoch did not visit every seed");

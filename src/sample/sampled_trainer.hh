@@ -79,6 +79,12 @@ struct SampledTrainResult
     std::uint64_t batchesTrained = 0;
     std::uint64_t sampledNodes = 0;  //!< Σ real (unpadded) batch nodes
     std::uint64_t sampledEdges = 0;  //!< Σ sampled minibatch edges
+
+    /** Producer threads spawned over the whole run: 1 in pipelined mode
+     *  (the producer lives across epochs — cross-epoch pipelining), 0 in
+     *  synchronous mode. Pinned by tests/test_pipeline.cc as the
+     *  regression guard against reintroducing a per-epoch join. */
+    std::uint32_t producerSpawns = 0;
 };
 
 /** Mini-batch trainer over NeighborSampler + MinibatchExtractor. */

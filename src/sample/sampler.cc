@@ -94,14 +94,22 @@ NeighborSampler::sample(std::uint32_t epoch, std::uint32_t batch,
     std::vector<NodeId> &exp_vertex = sampledFlat_; // expansion order
     exp_vertex.clear();
 
+    // Duplicate seeds collapse to one row: serving traces routinely ask
+    // for the same vertex twice in a batch window, and the sampled
+    // neighborhood of a vertex is seed-multiplicity-independent anyway
+    // (per-vertex keyed streams). out.seeds keeps the deduplicated,
+    // ascending set.
+    NodeId unique_seeds = 0;
     for (const NodeId s : out.seeds) {
         checkInvariant(s < n, "NeighborSampler::sample: seed out of range");
-        checkInvariant(stamp_[s] != curStamp_,
-                       "NeighborSampler::sample: duplicate seed");
+        if (stamp_[s] == curStamp_)
+            continue;
         stamp_[s] = curStamp_;
+        out.seeds[unique_seeds++] = s;
         frontier_.push_back(s);
         out.nodes.push_back(s);
     }
+    out.seeds.resize(unique_seeds);
 
     for (std::size_t hop = 0; hop < cfg_.fanouts.size(); ++hop) {
         const std::uint32_t f = cfg_.fanouts[hop];

@@ -64,7 +64,8 @@ struct SampleBatch
     /** Sampled vertices, ascending global ids (seeds included). */
     std::vector<NodeId> nodes;
 
-    /** Seed vertices of this batch, ascending global ids. */
+    /** Seed vertices of this batch, ascending global ids, deduplicated
+     *  (duplicate seeds in the input collapse to one row). */
     std::vector<NodeId> seeds;
 
     /** Local-id CSR over `nodes`: row r holds the sampled out-edges of
@@ -111,8 +112,11 @@ class NeighborSampler
 
     /**
      * Sample the k-hop neighborhood of `seeds` into `out` (workspaces
-     * reused; all vectors overwritten). Bitwise-deterministic for a
-     * given (epoch, batch, seeds) at any thread count. Not reentrant:
+     * reused; all vectors overwritten). Seeds may be an arbitrary
+     * request set — any order, duplicates allowed (collapsed), isolated
+     * vertices allowed (they become seed-only rows) — not just
+     * train-mask batches. Bitwise-deterministic for a given
+     * (epoch, batch, seed set) at any thread count. Not reentrant:
      * one sample() at a time per sampler (the pipeline's single
      * producer stage satisfies this by construction).
      */

@@ -1,0 +1,65 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace maxk::serve
+{
+
+RequestBatcher::RequestBatcher(double deadline_sim_seconds,
+                               std::uint32_t capacity)
+    : deadline_(deadline_sim_seconds), capacity_(capacity)
+{
+    if (!(deadline_ > 0.0) || !std::isfinite(deadline_))
+        fatal("RequestBatcher: deadline must be finite and > 0 "
+              "(a zero deadline would dispatch every request alone, "
+              "which is the non-batched path — configure capacity 1 "
+              "instead)");
+    if (capacity_ == 0)
+        fatal("RequestBatcher: batch capacity must be >= 1");
+}
+
+void
+RequestBatcher::plan(const std::vector<ServeRequest> &trace,
+                     std::vector<RequestBatch> &out)
+{
+    out.clear();
+    orderWs_.resize(trace.size());
+    for (std::uint32_t i = 0; i < trace.size(); ++i)
+        orderWs_[i] = i;
+    // Total order (arrival, trace index): ties broken by submission
+    // order, so equal-time arrivals batch deterministically.
+    std::sort(orderWs_.begin(), orderWs_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (trace[a].arrivalSimSeconds !=
+                      trace[b].arrivalSimSeconds)
+                      return trace[a].arrivalSimSeconds <
+                             trace[b].arrivalSimSeconds;
+                  return a < b;
+              });
+
+    std::size_t at = 0;
+    while (at < orderWs_.size()) {
+        RequestBatch batch;
+        const double open = trace[orderWs_[at]].arrivalSimSeconds;
+        const double latest = open + deadline_;
+        double dispatch = latest;
+        while (at < orderWs_.size() &&
+               batch.requests.size() < capacity_ &&
+               trace[orderWs_[at]].arrivalSimSeconds <= latest) {
+            batch.requests.push_back(orderWs_[at]);
+            ++at;
+        }
+        if (batch.requests.size() == capacity_) {
+            // Filled before the deadline: dispatch as soon as the last
+            // member arrived (never earlier than the batch opener).
+            dispatch = trace[batch.requests.back()].arrivalSimSeconds;
+        }
+        batch.dispatchSimSeconds = dispatch;
+        out.push_back(std::move(batch));
+    }
+}
+
+} // namespace maxk::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deadline-driven request batching for online inference (ISSUE 8).
+ *
+ * Single-node prediction requests arrive on a simulated clock; running
+ * one sampled-minibatch forward per request would waste the fixed
+ * per-launch cost on one row of useful output. The batcher coalesces
+ * requests into minibatches under a latency contract: a batch opens
+ * when its first request arrives and dispatches at
+ *
+ *     min(first_arrival + deadline, arrival that fills the capacity)
+ *
+ * so no request ever waits longer than the deadline in simulated time,
+ * and no batch exceeds the forward's seed capacity. Batching is a pure
+ * function of the trace (arrival times + capacity + deadline) — it
+ * never looks at cache state or results — which is one half of the
+ * serving determinism story: the same trace always produces the same
+ * batches, and ServeSession guarantees the same batches always produce
+ * the same logits.
+ */
+
+#ifndef MAXK_SERVE_BATCHER_HH
+#define MAXK_SERVE_BATCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace maxk::serve
+{
+
+/** One single-vertex prediction request on the simulated clock. */
+struct ServeRequest
+{
+    /** Arrival time in simulated seconds (any finite value; traces need
+     *  not be sorted — the batcher orders them). */
+    double arrivalSimSeconds = 0.0;
+
+    /** Vertex whose logits are requested. */
+    NodeId vertex = 0;
+};
+
+/** One dispatched batch: trace indices in arrival order. */
+struct RequestBatch
+{
+    /** Simulated dispatch time: when the forward for this batch starts. */
+    double dispatchSimSeconds = 0.0;
+
+    /** Indices into the request trace, ascending (arrival, index). */
+    std::vector<std::uint32_t> requests;
+};
+
+/** Deadline/capacity batching policy (see file comment). */
+class RequestBatcher
+{
+  public:
+    /**
+     * @param deadline_sim_seconds max simulated wait of any request
+     *                             (fatal() unless finite and > 0)
+     * @param capacity             max requests per batch (fatal() on 0)
+     */
+    RequestBatcher(double deadline_sim_seconds, std::uint32_t capacity);
+
+    double deadline() const { return deadline_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /**
+     * Partition `trace` into dispatch batches. Invariants (asserted by
+     * tests/test_serve.cc): every request lands in exactly one batch;
+     * within a batch requests are ordered by (arrival, trace index);
+     * dispatch <= arrival_r + deadline for every member r;
+     * dispatch >= arrival of the last member; |batch| <= capacity.
+     * Deterministic: depends only on arrival times and the config.
+     */
+    void plan(const std::vector<ServeRequest> &trace,
+              std::vector<RequestBatch> &out);
+
+  private:
+    double deadline_;
+    std::uint32_t capacity_;
+    std::vector<std::uint32_t> orderWs_;
+};
+
+} // namespace maxk::serve
+
+#endif // MAXK_SERVE_BATCHER_HH

@@ -1,0 +1,189 @@
+#include "serve/embedding_cache.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace maxk::serve
+{
+
+EmbeddingCache::EmbeddingCache(NodeId num_nodes,
+                               std::vector<LayerSpec> specs,
+                               const std::vector<NodeId> &pinned,
+                               std::uint32_t lru_slots)
+    : numNodes_(num_nodes),
+      pinnedCount_(static_cast<NodeId>(pinned.size())),
+      lruSlots_(lru_slots)
+{
+    checkInvariant(!specs.empty(), "EmbeddingCache: no layer specs");
+    pinnedSlotOf_.assign(numNodes_, -1);
+    for (std::size_t p = 0; p < pinned.size(); ++p) {
+        const NodeId v = pinned[p];
+        checkInvariant(v < numNodes_,
+                       "EmbeddingCache: pinned vertex out of range");
+        checkInvariant(pinnedSlotOf_[v] < 0,
+                       "EmbeddingCache: duplicate pinned vertex");
+        pinnedSlotOf_[v] = static_cast<std::int64_t>(p);
+    }
+
+    const NodeId slots = slotCapacity();
+    layers_.reserve(specs.size());
+    for (LayerSpec &spec : specs) {
+        checkInvariant(spec.dimK >= 1 && spec.dimK <= spec.dimOrigin,
+                       "EmbeddingCache: bad layer spec");
+        Layer layer;
+        layer.spec = spec;
+        layer.store =
+            CbsrMatrix(slots, spec.dimK, spec.dimOrigin);
+        layer.slotOf.assign(numNodes_, -1);
+        layer.vertexOf.assign(slots, 0);
+        layer.touch.assign(slots, 0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::int64_t
+EmbeddingCache::lookup(std::uint32_t layer, NodeId v)
+{
+    Layer &ly = layers_[layer];
+    const std::int64_t slot = ly.slotOf[v];
+    if (slot < 0) {
+        ++stats_.misses;
+        return -1;
+    }
+    ++stats_.hits;
+    if (slot >= static_cast<std::int64_t>(pinnedCount_))
+        ly.touch[static_cast<std::size_t>(slot)] = ++clock_;
+    return slot;
+}
+
+std::int64_t
+EmbeddingCache::admit(std::uint32_t layer, NodeId v)
+{
+    Layer &ly = layers_[layer];
+    checkInvariant(ly.slotOf[v] < 0,
+                   "EmbeddingCache::admit: entry already valid");
+    // Pinned vertices own their reserved slot in every layer store.
+    if (pinnedSlotOf_[v] >= 0) {
+        const std::int64_t slot = pinnedSlotOf_[v];
+        ly.slotOf[v] = slot;
+        ly.vertexOf[static_cast<std::size_t>(slot)] = v;
+        ++stats_.stores;
+        return slot;
+    }
+    if (lruSlots_ == 0) {
+        ++stats_.rejected;
+        return -1;
+    }
+    std::int64_t slot;
+    if (ly.lruUsed < lruSlots_) {
+        slot = static_cast<std::int64_t>(pinnedCount_ + ly.lruUsed);
+        ++ly.lruUsed;
+    } else {
+        // Evict the least-recently-touched LRU entry. Stamps are unique
+        // (one global counter), so the victim is deterministic.
+        const std::size_t lo = pinnedCount_;
+        const std::size_t hi = pinnedCount_ + lruSlots_;
+        std::size_t victim = lo;
+        for (std::size_t s = lo + 1; s < hi; ++s)
+            if (ly.touch[s] < ly.touch[victim])
+                victim = s;
+        ly.slotOf[ly.vertexOf[victim]] = -1;
+        ++stats_.evictions;
+        slot = static_cast<std::int64_t>(victim);
+    }
+    ly.slotOf[v] = slot;
+    ly.vertexOf[static_cast<std::size_t>(slot)] = v;
+    ly.touch[static_cast<std::size_t>(slot)] = ++clock_;
+    ++stats_.stores;
+    return slot;
+}
+
+void
+EmbeddingCache::storeCbsrRow(std::uint32_t layer, std::int64_t slot,
+                             const CbsrMatrix &src, NodeId src_row)
+{
+    Layer &ly = layers_[layer];
+    checkInvariant(src.dimK() == ly.spec.dimK &&
+                       src.dimOrigin() == ly.spec.dimOrigin,
+                   "EmbeddingCache::storeCbsrRow: shape mismatch");
+    const std::uint32_t k = ly.spec.dimK;
+    const Float *sd = src.dataRow(src_row);
+    Float *dd = ly.store.dataRow(static_cast<NodeId>(slot));
+    for (std::uint32_t kk = 0; kk < k; ++kk) {
+        dd[kk] = sd[kk];
+        ly.store.setIndex(static_cast<NodeId>(slot), kk,
+                          src.indexAt(src_row, kk));
+    }
+}
+
+void
+EmbeddingCache::loadCbsrRow(std::uint32_t layer, std::int64_t slot,
+                            CbsrMatrix &dst, NodeId dst_row) const
+{
+    const Layer &ly = layers_[layer];
+    checkInvariant(dst.dimK() == ly.spec.dimK &&
+                       dst.dimOrigin() == ly.spec.dimOrigin,
+                   "EmbeddingCache::loadCbsrRow: shape mismatch");
+    const std::uint32_t k = ly.spec.dimK;
+    const Float *sd = ly.store.dataRow(static_cast<NodeId>(slot));
+    Float *dd = dst.dataRow(dst_row);
+    for (std::uint32_t kk = 0; kk < k; ++kk) {
+        dd[kk] = sd[kk];
+        dst.setIndex(dst_row, kk,
+                     ly.store.indexAt(static_cast<NodeId>(slot), kk));
+    }
+}
+
+void
+EmbeddingCache::storeDenseRow(std::uint32_t layer, std::int64_t slot,
+                              const Float *src)
+{
+    Layer &ly = layers_[layer];
+    checkInvariant(ly.spec.dimK == ly.spec.dimOrigin,
+                   "EmbeddingCache::storeDenseRow: layer is CBSR");
+    Float *dd = ly.store.dataRow(static_cast<NodeId>(slot));
+    for (std::uint32_t c = 0; c < ly.spec.dimK; ++c) {
+        dd[c] = src[c];
+        ly.store.setIndex(static_cast<NodeId>(slot), c, c);
+    }
+}
+
+void
+EmbeddingCache::loadDenseRow(std::uint32_t layer, std::int64_t slot,
+                             Float *dst) const
+{
+    const Layer &ly = layers_[layer];
+    const Float *sd = ly.store.dataRow(static_cast<NodeId>(slot));
+    // Identity indices by construction: a straight row copy is the
+    // bitwise round-trip.
+    for (std::uint32_t c = 0; c < ly.spec.dimK; ++c)
+        dst[c] = sd[c];
+}
+
+Bytes
+EmbeddingCache::rowBytes(std::uint32_t layer) const
+{
+    const CbsrMatrix &store = layers_[layer].store;
+    return store.dataRowBytes() + store.indexRowBytes();
+}
+
+Bytes
+EmbeddingCache::storageBytes() const
+{
+    Bytes total = 0;
+    for (const Layer &ly : layers_)
+        total += ly.store.storageBytes();
+    return total;
+}
+
+Bytes
+EmbeddingCache::denseEquivalentBytes() const
+{
+    Bytes total = 0;
+    for (const Layer &ly : layers_)
+        total += Bytes(slotCapacity()) * ly.spec.dimOrigin * sizeof(Float);
+    return total;
+}
+
+} // namespace maxk::serve

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Hot-vertex embedding cache for the serving path (ISSUE 8).
+ *
+ * FGNN's caching policy adapted to MaxK-GNN: rank vertices by how often
+ * pre-sampling visits them, pin the top fraction, and keep their
+ * layer-wise historical activations resident so steady-state traffic
+ * only recomputes the uncached part of each request's L-hop frontier.
+ * What makes this affordable is the paper's CBSR format: a MaxK
+ * activation row is k values + k narrow indices instead of dim_origin
+ * floats, so a cached layer costs ~k/dim of the dense footprint
+ * (k*(4+1) bytes per row for dim <= 256 — the Sec. 4.3 traffic figure).
+ *
+ * Layout: one CBSR store per cacheable layer (layers 0..L-2; the last
+ * layer's output is the logits themselves). Slots [0, P) belong to the
+ * pinned set — reserved at construction, valid after first store, never
+ * evicted. Slots [P, P+lruSlots) form an optional LRU region admitting
+ * non-pinned vertices, with eviction by least-recent touch (lookup hit
+ * or store). All storage is allocated up front, so serving steady state
+ * performs zero Matrix/CbsrMatrix heap allocations.
+ *
+ * Correctness stance: the cache stores values that are bitwise equal to
+ * what recomputation would produce (ServeSession's per-vertex sampled
+ * adjacency is fixed, so layer activations are pure functions of the
+ * vertex). Cache contents therefore affect stats and simulated cost,
+ * never logits — the property tests/test_serve.cc pins down.
+ */
+
+#ifndef MAXK_SERVE_EMBEDDING_CACHE_HH
+#define MAXK_SERVE_EMBEDDING_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cbsr.hh"
+#include "tensor/matrix.hh"
+
+namespace maxk::serve
+{
+
+/** Hit/miss/eviction accounting (compared against a naive map oracle
+ *  by tests/test_serve.cc). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;       //!< lookup() found a valid entry
+    std::uint64_t misses = 0;     //!< lookup() found none
+    std::uint64_t stores = 0;     //!< admit() granted a slot
+    std::uint64_t evictions = 0;  //!< LRU entry displaced by admit()
+    std::uint64_t rejected = 0;   //!< admit() declined (no LRU region)
+};
+
+/** Per-layer embedding store with pinned + LRU regions. */
+class EmbeddingCache
+{
+  public:
+    /** Shape of one cacheable layer's activation rows. */
+    struct LayerSpec
+    {
+        std::uint32_t dimK = 0;      //!< stored values per row
+        std::uint32_t dimOrigin = 0; //!< dense row width
+        bool cbsr = false;           //!< MaxK activation (real sparsity);
+                                     //!< false = dense row stored with
+                                     //!< identity indices (dimK == dim)
+    };
+
+    /**
+     * @param num_nodes global vertex count (addressing arrays)
+     * @param specs     one entry per cacheable layer (layer 0..L-2)
+     * @param pinned    pinned vertex set (FGNN top-fraction ranking);
+     *                  duplicates are a caller bug (checkInvariant)
+     * @param lru_slots extra per-layer slots for non-pinned vertices
+     */
+    EmbeddingCache(NodeId num_nodes, std::vector<LayerSpec> specs,
+                   const std::vector<NodeId> &pinned,
+                   std::uint32_t lru_slots);
+
+    std::uint32_t numLayers() const
+    {
+        return static_cast<std::uint32_t>(layers_.size());
+    }
+    NodeId pinnedCount() const { return pinnedCount_; }
+    std::uint32_t lruSlots() const { return lruSlots_; }
+    NodeId slotCapacity() const { return pinnedCount_ + lruSlots_; }
+    bool pinned(NodeId v) const { return pinnedSlotOf_[v] >= 0; }
+
+    /** Valid-entry probe without stats or LRU side effects. */
+    bool cached(std::uint32_t layer, NodeId v) const
+    {
+        return layers_[layer].slotOf[v] >= 0;
+    }
+
+    /**
+     * Read-path lookup: slot index of (layer, v) or -1. Counts one
+     * hit/miss and refreshes the LRU touch stamp on LRU-region hits.
+     */
+    std::int64_t lookup(std::uint32_t layer, NodeId v);
+
+    /**
+     * Admission after computing (layer, v): returns the slot to store
+     * into, or -1 when not admissible (non-pinned vertex with no LRU
+     * region). Evicts the least-recently-touched LRU entry when the
+     * region is full. Counts stores/evictions/rejected.
+     */
+    std::int64_t admit(std::uint32_t layer, NodeId v);
+
+    /** Copy activation row `src_row` of `src` into `slot`. The source
+     *  must match the layer spec (checkInvariant). */
+    void storeCbsrRow(std::uint32_t layer, std::int64_t slot,
+                      const CbsrMatrix &src, NodeId src_row);
+
+    /** Inject `slot` into row `dst_row` of a CBSR activation (both data
+     *  and index segments — bitwise round-trip). */
+    void loadCbsrRow(std::uint32_t layer, std::int64_t slot,
+                     CbsrMatrix &dst, NodeId dst_row) const;
+
+    /** Dense-row variants (ReLU/identity layers): the row is stored as
+     *  k == dim CBSR with identity indices. */
+    void storeDenseRow(std::uint32_t layer, std::int64_t slot,
+                       const Float *src);
+    void loadDenseRow(std::uint32_t layer, std::int64_t slot,
+                      Float *dst) const;
+
+    /** Bytes one cached row of `layer` occupies (data + index). */
+    Bytes rowBytes(std::uint32_t layer) const;
+
+    /** Total cache storage footprint across layers. */
+    Bytes storageBytes() const;
+
+    /** Dense footprint the same entries would need (the k/dim win). */
+    Bytes denseEquivalentBytes() const;
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Layer
+    {
+        LayerSpec spec;
+        CbsrMatrix store;                  //!< slotCapacity() rows
+        std::vector<std::int64_t> slotOf;  //!< vertex -> slot, -1 invalid
+        std::vector<NodeId> vertexOf;      //!< slot -> vertex
+        std::vector<std::uint64_t> touch;  //!< LRU stamps (LRU region)
+        NodeId lruUsed = 0;
+    };
+
+    NodeId numNodes_ = 0;
+    NodeId pinnedCount_ = 0;
+    std::uint32_t lruSlots_ = 0;
+    std::uint64_t clock_ = 0;
+    std::vector<std::int64_t> pinnedSlotOf_;  //!< shared across layers
+    std::vector<Layer> layers_;
+    CacheStats stats_;
+};
+
+} // namespace maxk::serve
+
+#endif // MAXK_SERVE_EMBEDDING_CACHE_HH

@@ -228,6 +228,29 @@ TEST(SampledTrainer, MultiLabelPipelinedBitwiseEqualsSync)
     expectBitwiseEqual(piped, sync);
 }
 
+TEST(SampledTrainer, ProducerLivesAcrossEpochs)
+{
+    // Cross-epoch pipelining: ONE producer thread spans the whole run
+    // (epoch boundaries are just indices in its stream), so epoch N+1's
+    // first batches are sampled while epoch N still trains. This pins
+    // the thread count as the regression guard against reintroducing a
+    // per-epoch spawn/join — and the bitwise sweep above proves the
+    // pipelined stream stays identical to the synchronous one.
+    ThreadGuard guard;
+    const TrainingTask task = miniTask("Flickr", 400);
+    Rng rng(55);
+    TrainingData data = materializeTrainingData(task, rng);
+
+    setDefaultThreads(4);
+    const SampledTrainResult piped = runOnce(task, data, true, 2);
+    EXPECT_EQ(piped.producerSpawns, 1u)
+        << "expected one producer across all epochs (cross-epoch "
+           "pipelining), not one per epoch";
+    const SampledTrainResult sync = runOnce(task, data, false, 1);
+    EXPECT_EQ(sync.producerSpawns, 0u);
+    expectBitwiseEqual(piped, sync);
+}
+
 /* ------------------------------------------------- zero-alloc steady */
 
 TEST(SampledTrainer, SteadyStateEpochsAreAllocationFree)

@@ -24,6 +24,7 @@
 #include "graph/stats.hh"
 #include "nn/trainer.hh"
 #include "sample/sampled_trainer.hh"
+#include "serve/session.hh"
 #include "tensor/init.hh"
 
 namespace maxk
@@ -357,6 +358,114 @@ TEST(SamplerRobustness, EmptyTrainMaskIsFatal)
     EXPECT_EXIT(sample::SampledTrainer(model, data, task, scfg),
                 ::testing::ExitedWithCode(1),
                 "training mask selects no nodes");
+}
+
+/* ------------------------------------------------ serve config errors */
+
+namespace serverobust
+{
+
+struct Rig
+{
+    CsrGraph graph;
+    Matrix features;
+    nn::GnnModel model;
+
+    Rig()
+        : graph([] {
+              Rng rng(9);
+              return erdosRenyi(60, 360, rng);
+          }()),
+          features(graph.numNodes(), 8), model([] {
+              nn::ModelConfig cfg;
+              cfg.kind = nn::GnnKind::Sage;
+              cfg.nonlin = nn::Nonlinearity::MaxK;
+              cfg.maxkK = 4;
+              cfg.numLayers = 2;
+              cfg.inDim = 8;
+              cfg.hiddenDim = 16;
+              cfg.outDim = 4;
+              return nn::GnnModel(cfg);
+          }())
+    {
+        Rng rng(10);
+        fillNormal(features, rng, 0.0f, 1.0f);
+    }
+};
+
+serve::ServeConfig
+baseConfig()
+{
+    serve::ServeConfig cfg;
+    cfg.fanout = 3;
+    cfg.batchCapacity = 4;
+    return cfg;
+}
+
+} // namespace serverobust
+
+TEST(ServeRobustness, ZeroDeadlineIsFatal)
+{
+    serverobust::Rig rig;
+    serve::ServeConfig cfg = serverobust::baseConfig();
+    cfg.deadlineSimSeconds = 0.0;
+    EXPECT_EXIT(serve::ServeSession(rig.model, rig.graph, rig.features,
+                                    cfg),
+                ::testing::ExitedWithCode(1),
+                "deadline must be finite and > 0");
+}
+
+TEST(ServeRobustness, NegativeDeadlineIsFatal)
+{
+    serverobust::Rig rig;
+    serve::ServeConfig cfg = serverobust::baseConfig();
+    cfg.deadlineSimSeconds = -1e-3;
+    EXPECT_EXIT(serve::ServeSession(rig.model, rig.graph, rig.features,
+                                    cfg),
+                ::testing::ExitedWithCode(1),
+                "deadline must be finite and > 0");
+}
+
+TEST(ServeRobustness, CacheFractionOutsideUnitIntervalIsFatal)
+{
+    serverobust::Rig rig;
+    for (const double fraction : {-0.1, 1.5}) {
+        serve::ServeConfig cfg = serverobust::baseConfig();
+        cfg.cacheFraction = fraction;
+        EXPECT_EXIT(serve::ServeSession(rig.model, rig.graph,
+                                        rig.features, cfg),
+                    ::testing::ExitedWithCode(1),
+                    "cacheFraction must be in .0, 1.");
+    }
+}
+
+TEST(ServeRobustness, ZeroBatchCapacityIsFatal)
+{
+    serverobust::Rig rig;
+    serve::ServeConfig cfg = serverobust::baseConfig();
+    cfg.batchCapacity = 0;
+    EXPECT_EXIT(serve::ServeSession(rig.model, rig.graph, rig.features,
+                                    cfg),
+                ::testing::ExitedWithCode(1),
+                "batchCapacity must be >= 1");
+}
+
+TEST(ServeRobustness, OutOfRangeVertexIsTypedErrorNotAbort)
+{
+    // A bad REQUEST is recoverable input, not a config bug: the replay
+    // returns a ServeError naming the offending trace index instead of
+    // exiting, and the session keeps serving afterwards.
+    serverobust::Rig rig;
+    serve::ServeSession session(rig.model, rig.graph, rig.features,
+                                serverobust::baseConfig());
+    const auto bad = session.replay(
+        {{1e-4, 2}, {2e-4, rig.graph.numNodes() + 5}});
+    ASSERT_FALSE(bad.hasValue());
+    EXPECT_EQ(bad.error().requestIndex, 1u);
+    EXPECT_NE(bad.error().message.find("out of range"),
+              std::string::npos);
+    const auto good = session.replay({{1e-4, 2}, {2e-4, 3}});
+    EXPECT_TRUE(good.hasValue());
 }
 
 } // namespace

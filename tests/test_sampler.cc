@@ -326,6 +326,72 @@ TEST(NeighborSampler, FanoutZeroYieldsSeedOnlyBatch)
     EXPECT_EQ(b.rowPtr, std::vector<EdgeId>(9, 0));
 }
 
+/* -------------------------------------- arbitrary request seed sets */
+
+TEST(NeighborSampler, DuplicateSeedsCollapseToUniqueSet)
+{
+    // Serving traces routinely repeat a vertex inside one batch; the
+    // sampler must collapse duplicates to the sorted unique set and
+    // produce the exact batch the deduplicated request would.
+    const CsrGraph g =
+        test::makeGraph(test::GraphShape::PowerLaw, 200, 1600, 31);
+    SamplerConfig cfg;
+    cfg.fanouts = {4, 3};
+    cfg.batchSize = 6;
+    NeighborSampler s(g, cfg);
+
+    SampleBatch unique, dup;
+    s.sample(0, 0, {5, 9, 42}, unique);
+    s.sample(0, 0, {42, 5, 9, 5, 42, 9}, dup);
+    ASSERT_TRUE(sameBatch(unique, dup));
+    EXPECT_EQ(dup.seeds, (std::vector<NodeId>{5, 9, 42}));
+    checkBatchInvariants(g, s, dup);
+}
+
+TEST(NeighborSampler, ArbitraryRequestSetsNotJustTrainBatches)
+{
+    // Frontier-restricted extraction serves ANY vertex set: unsorted,
+    // isolated members, duplicates — and each vertex's sampled rows are
+    // independent of which request set pulled it in (keyed streams).
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId v = 0; v + 1 < 40; ++v)
+        edges.push_back({v, v + 1});
+    // Vertices 40..44 stay isolated.
+    CsrGraph g = CsrGraph::fromEdges(45, edges, true, false);
+
+    SamplerConfig cfg;
+    cfg.fanouts = {2, 2};
+    cfg.batchSize = 8;
+    NeighborSampler s(g, cfg);
+
+    SampleBatch lone, mixed;
+    s.sample(7, 3, {12}, lone);
+    s.sample(7, 3, {44, 12, 40, 3, 12}, mixed);
+    checkBatchInvariants(g, s, mixed);
+    EXPECT_EQ(mixed.seeds, (std::vector<NodeId>{3, 12, 40, 44}));
+    // Isolated seeds contribute exactly their own empty row.
+    for (const NodeId iso : {40u, 44u}) {
+        const auto it = std::lower_bound(mixed.nodes.begin(),
+                                         mixed.nodes.end(), iso);
+        ASSERT_NE(it, mixed.nodes.end());
+        const std::size_t r =
+            static_cast<std::size_t>(it - mixed.nodes.begin());
+        EXPECT_EQ(mixed.rowPtr[r + 1] - mixed.rowPtr[r], 0u);
+    }
+    // Vertex 12's sampled adjacency is the same in both batches.
+    const auto row_of = [](const SampleBatch &b, NodeId v) {
+        return static_cast<std::size_t>(
+            std::lower_bound(b.nodes.begin(), b.nodes.end(), v) -
+            b.nodes.begin());
+    };
+    const std::size_t rl = row_of(lone, 12), rm = row_of(mixed, 12);
+    ASSERT_EQ(lone.rowPtr[rl + 1] - lone.rowPtr[rl],
+              mixed.rowPtr[rm + 1] - mixed.rowPtr[rm]);
+    for (EdgeId e = 0; e < lone.rowPtr[rl + 1] - lone.rowPtr[rl]; ++e)
+        EXPECT_EQ(lone.nodes[lone.colIdx[lone.rowPtr[rl] + e]],
+                  mixed.nodes[mixed.colIdx[mixed.rowPtr[rm] + e]]);
+}
+
 TEST(NeighborSampler, CapacityBoundsAndBatchCounts)
 {
     const CsrGraph g =
