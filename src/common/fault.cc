@@ -1,0 +1,132 @@
+#include "common/fault.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace maxk
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::RankThrow:
+        return "rank-throw";
+      case FaultKind::CommTimeout:
+        return "comm-timeout";
+      case FaultKind::CheckpointTruncate:
+        return "ckpt-truncate";
+      case FaultKind::CheckpointBitFlip:
+        return "ckpt-bitflip";
+      case FaultKind::ServeBurst:
+        return "serve-burst";
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::named(const std::string &name, std::uint64_t seed)
+{
+    // Keyed firing indices: small deterministic draws so the scenario
+    // lands inside short CI-sized runs but still moves with the seed.
+    FaultPlan plan;
+    if (name == "rank-throw") {
+        Rng rng(rngKey(seed, 0xFA017ull, 1));
+        FaultSpec s;
+        s.kind = FaultKind::RankThrow;
+        s.site = "sharded.epoch";
+        s.occurrence = 2 + rng.nextBounded(3); // epoch 2..4
+        s.rank = static_cast<std::uint32_t>(rng.nextBounded(3));
+        plan.add(std::move(s));
+    } else if (name == "comm-timeout") {
+        Rng rng(rngKey(seed, 0xFA017ull, 2));
+        FaultSpec transient;
+        transient.kind = FaultKind::CommTimeout;
+        transient.site = "comm.allReduceSum";
+        transient.occurrence = rng.nextBounded(4);
+        transient.rank = kAnyRank;
+        transient.transient = true;
+        plan.add(std::move(transient));
+        FaultSpec fatal_spec;
+        fatal_spec.kind = FaultKind::CommTimeout;
+        fatal_spec.site = "comm.allToAllv";
+        fatal_spec.occurrence = 4 + rng.nextBounded(4);
+        fatal_spec.rank = static_cast<std::uint32_t>(rng.nextBounded(2));
+        plan.add(std::move(fatal_spec));
+    } else if (name == "ckpt-corrupt") {
+        Rng rng(rngKey(seed, 0xFA017ull, 3));
+        FaultSpec flip;
+        flip.kind = FaultKind::CheckpointBitFlip;
+        flip.site = "checkpoint.write";
+        flip.occurrence = 1 + rng.nextBounded(2); // the 2nd or 3rd save
+        flip.payload = rng.next();                // bit position (mod size)
+        plan.add(std::move(flip));
+        FaultSpec trunc;
+        trunc.kind = FaultKind::CheckpointTruncate;
+        trunc.site = "checkpoint.write";
+        trunc.occurrence = 3 + rng.nextBounded(2);
+        trunc.payload = 1 + rng.nextBounded(64); // bytes cut off the tail
+        plan.add(std::move(trunc));
+    } else if (name == "serve-burst") {
+        Rng rng(rngKey(seed, 0xFA017ull, 4));
+        FaultSpec burst;
+        burst.kind = FaultKind::ServeBurst;
+        burst.site = "serve.replay";
+        burst.occurrence = 0;
+        burst.payload = 96 + rng.nextBounded(64); // burst request count
+        plan.add(std::move(burst));
+    } else {
+        fatal("FaultPlan::named: unknown scenario '" + name +
+              "' (known: rank-throw, comm-timeout, ckpt-corrupt, "
+              "serve-burst)");
+    }
+    return plan;
+}
+
+const FaultSpec *
+FaultInjector::fire(std::string_view site, std::uint32_t rank)
+{
+    if (!armed())
+        return nullptr;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (consumed_.size() != plan_.specs().size())
+        consumed_.assign(plan_.specs().size(), false);
+    const std::uint64_t visit =
+        counts_[{std::string(site), rank}]++;
+    const std::vector<FaultSpec> &specs = plan_.specs();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const FaultSpec &s = specs[i];
+        if (s.site != site)
+            continue;
+        if (s.rank != kAnyRank && s.rank != rank)
+            continue;
+        if (s.occurrence != visit)
+            continue;
+        if (s.transient) {
+            if (consumed_[i])
+                continue;
+            consumed_[i] = true;
+        }
+        return &s;
+    }
+    return nullptr;
+}
+
+void
+FaultInjector::maybeThrow(std::string_view site, std::uint32_t rank)
+{
+    if (const FaultSpec *s = fire(site, rank))
+        throw InjectedFault(*s);
+}
+
+std::uint64_t
+FaultInjector::visits(std::string_view site, std::uint32_t rank) const
+{
+    if (!armed())
+        return 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = counts_.find({std::string(site), rank});
+    return it == counts_.end() ? 0 : it->second;
+}
+
+} // namespace maxk

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic fault injection (ISSUE 9 tentpole).
+ *
+ * A FaultPlan schedules faults against named hook points ("sites")
+ * threaded through the training, communication, checkpoint, and serving
+ * subsystems. Firing is keyed on the Nth visit of a (site, rank) pair —
+ * never on wall clock or thread scheduling — so every failure scenario
+ * is bitwise-reproducible across runs and thread counts: each rank's
+ * own call sequence is deterministic, hence so is its per-site visit
+ * counter, hence so is the exact program point where the fault lands.
+ *
+ * The injector is a cheap null check when disarmed; production code
+ * pays one pointer test per hook point. Named scenarios derive their
+ * firing indices from rngKey streams, the same discipline the sampler
+ * uses for reproducible randomness.
+ */
+
+#ifndef MAXK_COMMON_FAULT_HH
+#define MAXK_COMMON_FAULT_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace maxk
+{
+
+/** What an injected fault does at its hook point. */
+enum class FaultKind : std::uint32_t
+{
+    RankThrow,          //!< throw InjectedFault (kill a rank / a trainer)
+    CommTimeout,        //!< a collective times out (dist::CommTimeout)
+    CheckpointTruncate, //!< truncate the checkpoint image before write
+    CheckpointBitFlip,  //!< flip one payload bit before write
+    ServeBurst,         //!< append a deadline-violating request burst
+};
+
+/** Stable name of a FaultKind (logs, CLI output). */
+const char *faultKindName(FaultKind kind);
+
+/** Any-rank wildcard for FaultSpec::rank. */
+inline constexpr std::uint32_t kAnyRank = 0xFFFFFFFFu;
+
+/** One scheduled fault: fire at the `occurrence`-th visit (0-based) of
+ *  `site` by `rank` (kAnyRank matches every rank's own counter). */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::RankThrow;
+    std::string site;              //!< hook-point name, e.g. "comm.allReduceSum"
+    std::uint64_t occurrence = 0;  //!< 0-based visit index that triggers
+    std::uint32_t rank = kAnyRank; //!< rank filter
+    std::uint64_t payload = 0;     //!< kind-specific (byte offset, burst size)
+    bool transient = false;        //!< clears after firing once (retryable)
+};
+
+/** Thrown by hook points for RankThrow faults (and by kinds whose
+ *  subsystem has no more specific exception). */
+struct InjectedFault : std::runtime_error
+{
+    explicit InjectedFault(const FaultSpec &s)
+        : std::runtime_error("injected fault [" +
+                             std::string(faultKindName(s.kind)) +
+                             "] at site '" + s.site + "' occurrence " +
+                             std::to_string(s.occurrence)),
+          spec(s)
+    {
+    }
+    FaultSpec spec;
+};
+
+/** An ordered set of FaultSpecs; the replayable failure scenario. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    FaultPlan &add(FaultSpec spec)
+    {
+        specs_.push_back(std::move(spec));
+        return *this;
+    }
+
+    const std::vector<FaultSpec> &specs() const { return specs_; }
+    bool empty() const { return specs_.empty(); }
+
+    /**
+     * Build a named scenario with keyed-RNG firing indices: the same
+     * (name, seed) always schedules the same faults at the same visit
+     * counts. Known names (the maxk-faults CLI replays them):
+     *   "rank-throw"   one RankThrow at a sharded epoch boundary
+     *   "comm-timeout" one transient + one fatal CommTimeout
+     *   "ckpt-corrupt" a CheckpointBitFlip then a CheckpointTruncate
+     *   "serve-burst"  one ServeBurst at replay entry
+     * fatal() on an unknown name.
+     */
+    static FaultPlan named(const std::string &name, std::uint64_t seed);
+
+  private:
+    std::vector<FaultSpec> specs_;
+};
+
+/**
+ * Runtime half: counts (site, rank) visits and hands back the spec that
+ * fires at the current one. Thread-safe (rank threads share one
+ * injector); deterministic because each rank's visit sequence is.
+ */
+class FaultInjector
+{
+  public:
+    /** Disarmed injector: every fire() is a null check away from free. */
+    FaultInjector() = default;
+
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    bool armed() const { return !plan_.empty(); }
+
+    /**
+     * Record one visit of (site, rank); return the scheduled spec if
+     * this visit triggers one, nullptr otherwise. A transient spec is
+     * consumed by its first firing (a retry of the same site then
+     * passes); a non-transient spec keeps firing its visit forever —
+     * i.e. exactly once per run, since the visit count moves on.
+     * The returned pointer stays valid for the injector's lifetime.
+     */
+    const FaultSpec *fire(std::string_view site, std::uint32_t rank = 0);
+
+    /** Throw InjectedFault if a RankThrow fault fires here. Hook points
+     *  that cannot host other kinds use this shorthand. */
+    void maybeThrow(std::string_view site, std::uint32_t rank = 0);
+
+    /** Visits of (site, rank) so far (tests pin determinism on this). */
+    std::uint64_t visits(std::string_view site,
+                         std::uint32_t rank = 0) const;
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    mutable std::mutex mu_;
+    FaultPlan plan_;
+    std::map<std::pair<std::string, std::uint32_t>, std::uint64_t>
+        counts_;
+    std::vector<bool> consumed_; //!< per-spec transient-fired flags
+};
+
+} // namespace maxk
+
+#endif // MAXK_COMMON_FAULT_HH

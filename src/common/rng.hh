@@ -57,6 +57,24 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Stream-position capture for checkpoint/restore: copy the raw
+     * xoshiro256** state out / back in. A generator restored via
+     * setStateWords continues the exact draw sequence the captured one
+     * would have produced — the property that makes a resumed training
+     * run bitwise-equal to the uninterrupted one.
+     */
+    void stateWords(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = s_[i];
+    }
+    void setStateWords(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = in[i];
+    }
+
   private:
     std::uint64_t s_[4];
 

@@ -1,5 +1,6 @@
 #include "dist/comm.hh"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -9,6 +10,14 @@
 
 namespace maxk::dist
 {
+
+namespace
+{
+
+/** Upper bound on consecutive transient-fault retries of one hook. */
+constexpr std::uint32_t kCommRetryLimit = 4;
+
+} // namespace
 
 /**
  * Mailbox state shared by the ranks of one world.
@@ -28,6 +37,8 @@ struct CommShared
     std::uint32_t arrived = 0;  //!< ranks waiting at the current phase
     bool aborted = false;
     std::vector<const void *> slots;  //!< one published pointer per rank
+    FaultInjector *faults = nullptr;  //!< hook-site injector (not owned)
+    double phaseTimeoutSeconds = 0.0; //!< 0 = wait forever
 };
 
 std::uint32_t
@@ -49,11 +60,61 @@ Communicator::sync()
         shared_->cv.notify_all();
         return;
     }
-    shared_->cv.wait(lk, [&] {
+    const auto arrived = [&] {
         return shared_->phase != my_phase || shared_->aborted;
-    });
+    };
+    if (shared_->phaseTimeoutSeconds > 0.0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    shared_->phaseTimeoutSeconds));
+        if (!shared_->cv.wait_until(lk, deadline, arrived)) {
+            // Watchdog fired: this rank is the root cause; peers (and
+            // any rank that never arrives) wake with CommAborted.
+            shared_->aborted = true;
+            shared_->cv.notify_all();
+            throw CommTimeout(
+                "rank " + std::to_string(rank_) +
+                ": collective phase exceeded its deadline of " +
+                std::to_string(shared_->phaseTimeoutSeconds) + " s");
+        }
+    } else {
+        shared_->cv.wait(lk, arrived);
+    }
     if (shared_->aborted)
         throw CommAborted();
+}
+
+void
+Communicator::faultPoint(const char *site)
+{
+    FaultInjector *inj = shared_->faults;
+    if (!inj)
+        return;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        const FaultSpec *s = inj->fire(site, rank_);
+        if (!s)
+            return; // no fault at this visit (or the retry cleared it)
+        if (s->kind == FaultKind::CommTimeout && s->transient &&
+            attempt < kCommRetryLimit) {
+            ++retries_;
+            logMessage(LogLevel::Warn,
+                       "comm: rank " + std::to_string(rank_) +
+                           " retrying transient timeout at " + site);
+            continue;
+        }
+        if (s->kind == FaultKind::CommTimeout) {
+            std::lock_guard<std::mutex> lk(shared_->mu);
+            shared_->aborted = true;
+            shared_->cv.notify_all();
+            throw CommTimeout("rank " + std::to_string(rank_) +
+                              ": injected collective timeout at " +
+                              site + " occurrence " +
+                              std::to_string(s->occurrence));
+        }
+        throw InjectedFault(*s);
+    }
 }
 
 void
@@ -69,6 +130,7 @@ Communicator::publish(const void *ptr)
 void
 Communicator::barrier()
 {
+    faultPoint("comm.barrier");
     sync();
 }
 
@@ -82,8 +144,10 @@ Communicator::allToAllv(
                    "allToAllv: send lane count != world size");
     const std::uint32_t ch = static_cast<std::uint32_t>(channel);
 
+    faultPoint("comm.allToAllv");
     recv.resize(n);
     publish(&send);
+    faultPoint("comm.allToAllv.mid");
     // All lanes published and frozen; copy what is addressed to us.
     // Lane order (and therefore recv content) is fixed by rank index,
     // independent of thread scheduling.
@@ -112,7 +176,9 @@ Communicator::reduceImpl(T *data, std::size_t count,
     const std::uint32_t n = shared_->ranks;
     const std::uint32_t ch = static_cast<std::uint32_t>(channel);
 
+    faultPoint("comm.allReduceSum");
     publish(data);
+    faultPoint("comm.allReduceSum.mid");
     scratch.resize(count);
     // Fixed-order fold: rank 0 first, then 1, ... — every rank computes
     // the identical sum, so the replicas stay bitwise in sync.
@@ -221,6 +287,27 @@ CommWorld::totalSentBytes(CommChannel channel) const
     std::uint64_t total = 0;
     for (const Communicator &c : comms_)
         total += c.sentBytes(channel);
+    return total;
+}
+
+void
+CommWorld::setFaultInjector(FaultInjector *faults)
+{
+    shared_->faults = faults;
+}
+
+void
+CommWorld::setPhaseTimeout(double seconds)
+{
+    shared_->phaseTimeoutSeconds = seconds;
+}
+
+std::uint64_t
+CommWorld::totalTransientRetries() const
+{
+    std::uint64_t total = 0;
+    for (const Communicator &c : comms_)
+        total += c.transientRetries();
     return total;
 }
 

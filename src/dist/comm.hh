@@ -37,6 +37,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/types.hh"
 
 namespace maxk::dist
@@ -64,6 +65,20 @@ struct CommTraffic
 struct CommAborted : std::runtime_error
 {
     CommAborted() : std::runtime_error("CommWorld aborted") {}
+};
+
+/**
+ * A collective exceeded its phase deadline — either the real wall-clock
+ * timeout armed via CommWorld::setPhaseTimeout, or an injected
+ * non-transient CommTimeout fault. Distinct from CommAborted: a timeout
+ * is a root cause (run() rethrows it), an abort is a consequence.
+ */
+struct CommTimeout : std::runtime_error
+{
+    explicit CommTimeout(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
 };
 
 struct CommShared; // mailbox state, defined in comm.cc
@@ -112,6 +127,9 @@ class Communicator
     }
     const CommTraffic &traffic() const { return traffic_; }
 
+    /** Transient injected comm faults this rank absorbed by retrying. */
+    std::uint64_t transientRetries() const { return retries_; }
+
   private:
     friend class CommWorld;
     Communicator(CommShared *shared, std::uint32_t rank)
@@ -124,6 +142,21 @@ class Communicator
     /** Publish this rank's slot pointer, then sync(). */
     void publish(const void *ptr);
 
+    /**
+     * Fault hook (ISSUE 9). Polls the world's injector for (site,
+     * rank_): transient CommTimeout faults are absorbed by a bounded
+     * retry (each retry re-polls, so the visit counter advances past
+     * the scheduled occurrence); non-transient CommTimeout throws the
+     * typed CommTimeout; any other kind throws InjectedFault. Entry
+     * hooks run before the collective's first barrier, so a throwing
+     * rank leaves its peers parked at that barrier where the abort
+     * flag wakes them — never mid-copy of this rank's buffers. The
+     * ".mid" sites fire between the publish and the final barrier;
+     * tests using them must keep the collective's buffers alive past
+     * the unwind (owned outside the rank function).
+     */
+    void faultPoint(const char *site);
+
     template <class T>
     void reduceImpl(T *data, std::size_t count, std::vector<T> &scratch,
                     CommChannel channel);
@@ -131,6 +164,7 @@ class Communicator
     CommShared *shared_;
     std::uint32_t rank_;
     CommTraffic traffic_;
+    std::uint64_t retries_ = 0;
     std::vector<Float> scratchF_;
     std::vector<double> scratchD_;
 };
@@ -160,6 +194,23 @@ class CommWorld
 
     /** Σ over ranks of sentBytes(channel). */
     std::uint64_t totalSentBytes(CommChannel channel) const;
+
+    /** Attach a fault injector polled at the collective hook sites
+     *  ("comm.allToAllv"[".mid"], "comm.allReduceSum"[".mid"],
+     *  "comm.barrier"). Not owned; nullptr detaches. */
+    void setFaultInjector(FaultInjector *faults);
+
+    /**
+     * Arm a wall-clock deadline per barrier phase: a rank waiting
+     * longer than `seconds` aborts the world and throws CommTimeout
+     * (the in-process analogue of a collective watchdog). 0 disables
+     * (the default — deterministic tests inject timeouts through the
+     * fault plan instead).
+     */
+    void setPhaseTimeout(double seconds);
+
+    /** Σ over ranks of transientRetries(). */
+    std::uint64_t totalTransientRetries() const;
 
   private:
     std::unique_ptr<CommShared> shared_;

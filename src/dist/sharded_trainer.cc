@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
 #include "dist/sharded_model.hh"
+#include "nn/checkpoint.hh"
 #include "nn/loss.hh"
 #include "nn/metrics.hh"
 #include "nn/optimizer.hh"
@@ -67,7 +69,52 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
     std::vector<std::uint64_t> train_halo(ranks, 0), eval_halo(ranks, 0);
     std::uint64_t steady_allocs = 0;
 
+    // Checkpoint/restore (ISSUE 9). The weight-gradient allReduce keeps
+    // the replicas bitwise identical, so rank 0's params + Adam state
+    // describe every rank; only the dropout streams diverge and are
+    // persisted per rank ("rng.rank<r>", gathered below). The image is
+    // loaded once on this (main) thread; each rank restores from it
+    // inside the world.
+    std::optional<formats::CheckpointStore> store;
+    formats::Checkpoint ck; // rank-0 write image
+    std::optional<formats::Checkpoint> resume_image;
+    std::uint32_t start_epoch = 0;
+    const std::uint32_t ckpt_every =
+        std::max<std::uint32_t>(cfg.checkpointEvery, 1);
+    if (!cfg.checkpointDir.empty()) {
+        store.emplace(cfg.checkpointDir, "sharded", cfg.checkpointKeep);
+        if (!store->epochsOnDisk().empty()) {
+            auto loaded = store->loadLatest();
+            if (loaded) {
+                auto traj = nn::readTrajectories(
+                    loaded.value().checkpoint, result.train);
+                if (traj) {
+                    resume_image = std::move(loaded.value().checkpoint);
+                    start_epoch = static_cast<std::uint32_t>(
+                                      loaded.value().epoch) +
+                                  1;
+                    logMessage(LogLevel::Info,
+                               "ShardedTrainer: resuming after epoch " +
+                                   std::to_string(loaded.value().epoch));
+                } else {
+                    logMessage(LogLevel::Warn,
+                               "ShardedTrainer: checkpoint rejected, "
+                               "starting fresh: " +
+                                   traj.error().describe());
+                    result.train = nn::TrainResult{};
+                }
+            } else {
+                logMessage(LogLevel::Warn,
+                           "ShardedTrainer: no usable checkpoint, "
+                           "starting fresh: " +
+                               loaded.error().describe());
+            }
+        }
+    }
+    const std::uint32_t steady_epoch = start_epoch + 2;
+
     CommWorld world(ranks);
+    world.setFaultInjector(cfg.faults);
     world.run([&](Communicator &comm) {
         const std::uint32_t r = comm.rank();
         const HaloShard &shard = plan_.shards[r];
@@ -102,14 +149,38 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
         // payload, and its capacity is reused across evaluations.
         std::vector<std::vector<std::uint8_t>> gather_send(ranks),
             gather_recv;
+        // Checkpoint gather lanes: each rank's 4 dropout-stream words.
+        std::vector<std::vector<std::uint8_t>> ckpt_send(ranks),
+            ckpt_recv;
         std::uint64_t steady_base = 0;
 
-        for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        if (resume_image) {
+            auto ok =
+                nn::readModelState(*resume_image, model.inner(), adam);
+            if (!ok)
+                throw std::runtime_error(
+                    "ShardedTrainer: checkpoint rejected: " +
+                    ok.error().describe());
+            auto words = resume_image->getU64s("rng.rank" +
+                                               std::to_string(r));
+            if (!words || words.value().size() != 4)
+                throw std::runtime_error(
+                    "ShardedTrainer: checkpoint lacks the dropout "
+                    "stream of rank " +
+                    std::to_string(r));
+            model.inner().dropoutRng().setStateWords(
+                words.value().data());
+        }
+
+        for (std::uint32_t epoch = start_epoch; epoch < cfg.epochs;
+             ++epoch) {
             // Epoch-aligning barrier: when rank 0 samples the
-            // allocation counter at epoch 2, every rank has finished
-            // its warm-up epochs.
+            // allocation counter at the steady epoch, every rank has
+            // finished its warm-up epochs.
             comm.barrier();
-            if (epoch == 2 && r == 0)
+            if (cfg.faults)
+                cfg.faults->maybeThrow("sharded.epoch", r);
+            if (epoch == steady_epoch && r == 0)
                 steady_base = AllocProbe::totalAllocCount();
 
             const std::uint64_t halo0 =
@@ -188,9 +259,36 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
                     result.train.finalTestMetric = test;
                 }
             }
+
+            if (store && ((epoch + 1) % ckpt_every == 0 ||
+                          epoch + 1 == cfg.epochs)) {
+                // Gather every rank's dropout-stream position; rank 0
+                // writes one image describing the whole world.
+                std::uint64_t words[4];
+                model.inner().dropoutRng().stateWords(words);
+                ckpt_send[0].resize(sizeof(words));
+                std::memcpy(ckpt_send[0].data(), words, sizeof(words));
+                comm.allToAllv(ckpt_send, ckpt_recv,
+                               CommChannel::Gather);
+                if (r == 0) {
+                    nn::writeModelState(ck, model.inner(), adam);
+                    nn::writeTrajectories(ck, result.train);
+                    for (std::uint32_t src = 0; src < ranks; ++src)
+                        ck.set("rng.rank" + std::to_string(src),
+                               ckpt_recv[src].data(),
+                               ckpt_recv[src].size());
+                    ck.setU64("epoch", epoch);
+                    auto saved = store->save(ck, epoch, cfg.faults);
+                    if (!saved)
+                        logMessage(
+                            LogLevel::Warn,
+                            "ShardedTrainer: checkpoint save failed: " +
+                                saved.error().describe());
+                }
+            }
         }
         comm.barrier();
-        if (r == 0 && cfg.epochs > 2)
+        if (r == 0 && cfg.epochs > steady_epoch)
             steady_allocs = AllocProbe::totalAllocCount() - steady_base;
     });
 

@@ -15,9 +15,13 @@ namespace
 
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kFlagHasValues = 1u << 0;
-constexpr std::uint32_t kKnownFlags = kFlagHasValues;
+constexpr std::uint32_t kFlagSectionSums = 1u << 1;
+constexpr std::uint32_t kKnownFlags = kFlagHasValues | kFlagSectionSums;
 constexpr std::size_t kHeaderBytes = 40;
 constexpr std::uint64_t kIdxMax = std::numeric_limits<NodeId>::max();
+
+/** Section names, payload order (values only when present). */
+constexpr const char *kSectionNames[3] = {"indptr", "indices", "values"};
 
 Unexpected<IoError>
 fail(IoErrorCode code, const std::string &path, std::string msg)
@@ -50,7 +54,19 @@ struct BinHeader
     std::uint64_t numEdges = 0;
     std::uint64_t checksum = 0;
     bool hasValues = false;
+    bool hasSectionSums = false;
+    std::uint32_t numSections = 0; //!< 2 or 3 (values present)
     std::uint64_t payloadBytes = 0;
+
+    /** Byte size of payload section `i` (payload order). */
+    std::uint64_t sectionBytes(std::uint32_t i) const
+    {
+        switch (i) {
+          case 0: return (numNodes + 1) * 8;
+          case 1: return numEdges * 4;
+          default: return hasValues ? numEdges * 4 : 0;
+        }
+    }
 };
 
 /**
@@ -89,9 +105,13 @@ decodeHeader(const char *hdr, std::uint64_t file_size,
                     "counts exceed 32-bit index space");
 
     h.hasValues = (flags & kFlagHasValues) != 0;
+    h.hasSectionSums = (flags & kFlagSectionSums) != 0;
+    h.numSections = h.hasValues ? 3 : 2;
     h.payloadBytes = (h.numNodes + 1) * 8 + h.numEdges * 4 +
                      (h.hasValues ? h.numEdges * 4 : 0);
-    const std::uint64_t expect = kHeaderBytes + h.payloadBytes;
+    const std::uint64_t expect =
+        kHeaderBytes + h.payloadBytes +
+        (h.hasSectionSums ? std::uint64_t(h.numSections) * 8 : 0);
     if (file_size < expect)
         return fail(IoErrorCode::Truncated, path,
                     "payload truncated: " + std::to_string(file_size) +
@@ -104,18 +124,44 @@ decodeHeader(const char *hdr, std::uint64_t file_size,
     return h;
 }
 
-/** Checksum verdict + u64→u32 indptr narrowing + CSR validation. */
+/** Checksum verdict + u64→u32 indptr narrowing + CSR validation.
+ *  `file_sums`/`computed_sums` carry the per-section checksum table
+ *  (empty when the file predates it): on a whole-payload mismatch they
+ *  localise the damage to a named section and a byte offset. */
 GraphResult
 finalize(const BinHeader &h, std::uint64_t actual_checksum,
+         const std::vector<std::uint64_t> &file_sums,
+         const std::vector<std::uint64_t> &computed_sums,
          const std::vector<std::uint64_t> &indptr,
          std::vector<NodeId> col_idx, std::vector<Float> values,
          const std::string &path)
 {
-    if (actual_checksum != h.checksum)
+    if (actual_checksum != h.checksum) {
+        std::uint64_t off = kHeaderBytes;
+        for (std::size_t i = 0; i < file_sums.size(); ++i) {
+            if (file_sums[i] != computed_sums[i])
+                return fail(
+                    IoErrorCode::ChecksumMismatch, path,
+                    "checksum mismatch in section '" +
+                        std::string(kSectionNames[i]) +
+                        "' at byte offset " + std::to_string(off) +
+                        " (section says " +
+                        std::to_string(file_sums[i]) + ", computed " +
+                        std::to_string(computed_sums[i]) + ")");
+            off += h.sectionBytes(static_cast<std::uint32_t>(i));
+        }
+        if (!file_sums.empty())
+            return fail(IoErrorCode::ChecksumMismatch, path,
+                        "payload checksum mismatch but every section "
+                        "verifies — the header checksum field itself "
+                        "is damaged (file says " +
+                            std::to_string(h.checksum) + ", computed " +
+                            std::to_string(actual_checksum) + ")");
         return fail(IoErrorCode::ChecksumMismatch, path,
                     "payload checksum mismatch (file says " +
                         std::to_string(h.checksum) + ", computed " +
                         std::to_string(actual_checksum) + ")");
+    }
 
     std::vector<EdgeId> row_ptr(indptr.size());
     for (std::size_t i = 0; i < indptr.size(); ++i) {
@@ -159,6 +205,18 @@ parseBinaryCsr(std::string_view data, const std::string &path)
     const char *payload = data.data() + kHeaderBytes;
     const std::uint64_t checksum = fnv1a64(payload, h.payloadBytes);
 
+    std::vector<std::uint64_t> file_sums, computed_sums;
+    if (h.hasSectionSums) {
+        const char *table = payload + h.payloadBytes;
+        std::uint64_t off = 0;
+        for (std::uint32_t s = 0; s < h.numSections; ++s) {
+            file_sums.push_back(readRaw<std::uint64_t>(table + s * 8));
+            computed_sums.push_back(
+                fnv1a64(payload + off, h.sectionBytes(s)));
+            off += h.sectionBytes(s);
+        }
+    }
+
     std::vector<std::uint64_t> indptr(h.numNodes + 1);
     std::memcpy(indptr.data(), payload, indptr.size() * 8);
     const char *cols = payload + indptr.size() * 8;
@@ -171,8 +229,8 @@ parseBinaryCsr(std::string_view data, const std::string &path)
         std::memcpy(values.data(), cols + h.numEdges * 4,
                     values.size() * 4);
     }
-    return finalize(h, checksum, indptr, std::move(col_idx),
-                    std::move(values), path);
+    return finalize(h, checksum, file_sums, computed_sums, indptr,
+                    std::move(col_idx), std::move(values), path);
 }
 
 GraphResult
@@ -202,12 +260,19 @@ loadBinaryCsr(const std::string &path)
         return unexpected(std::move(header.error()));
     const BinHeader &h = header.value();
 
+    // Each section is folded twice: chained (seeded with the previous
+    // section's running hash) to reproduce the whole-payload checksum,
+    // and independently for the per-section diagnostic table.
+    std::vector<std::uint64_t> computed_sums;
     auto readSection = [&](void *dst, std::uint64_t bytes,
                            std::uint64_t seed) -> std::uint64_t {
+        if (bytes != 0)
+            in.read(static_cast<char *>(dst),
+                    static_cast<std::streamsize>(bytes));
+        if (h.hasSectionSums)
+            computed_sums.push_back(fnv1a64(dst, bytes));
         if (bytes == 0)
             return seed;
-        in.read(static_cast<char *>(dst),
-                static_cast<std::streamsize>(bytes));
         return fnv1a64(dst, bytes, seed);
     };
 
@@ -217,17 +282,23 @@ loadBinaryCsr(const std::string &path)
     std::vector<NodeId> col_idx(h.numEdges);
     checksum = readSection(col_idx.data(), col_idx.size() * 4, checksum);
     std::vector<Float> values;
-    if (h.hasValues && h.numEdges != 0) {
+    if (h.hasValues) {
         values.resize(h.numEdges);
         checksum =
             readSection(values.data(), values.size() * 4, checksum);
+    }
+    std::vector<std::uint64_t> file_sums;
+    if (h.hasSectionSums) {
+        file_sums.resize(h.numSections);
+        in.read(reinterpret_cast<char *>(file_sums.data()),
+                static_cast<std::streamsize>(file_sums.size() * 8));
     }
     if (!in)
         return fail(IoErrorCode::Truncated, path,
                     "read failed before the promised payload ended");
 
-    return finalize(h, checksum, indptr, std::move(col_idx),
-                    std::move(values), path);
+    return finalize(h, checksum, file_sums, computed_sums, indptr,
+                    std::move(col_idx), std::move(values), path);
 }
 
 bool
@@ -238,8 +309,10 @@ saveBinaryCsr(const CsrGraph &g, const std::string &path, bool with_values)
                     (with_values ? g.values().size() * 4 : 0));
     for (EdgeId v : g.rowPtr())
         appendRaw(payload, static_cast<std::uint64_t>(v));
+    const std::size_t cols_off = payload.size();
     for (NodeId c : g.colIdx())
         appendRaw(payload, static_cast<std::uint32_t>(c));
+    const std::size_t vals_off = payload.size();
     if (with_values)
         for (Float f : g.values())
             appendRaw(payload, f);
@@ -248,10 +321,20 @@ saveBinaryCsr(const CsrGraph &g, const std::string &path, bool with_values)
     header.reserve(kHeaderBytes);
     header.append(kBinaryCsrMagic, sizeof(kBinaryCsrMagic));
     appendRaw(header, kVersion);
-    appendRaw(header, with_values ? kFlagHasValues : 0u);
+    appendRaw(header, (with_values ? kFlagHasValues : 0u) |
+                          kFlagSectionSums);
     appendRaw(header, static_cast<std::uint64_t>(g.numNodes()));
     appendRaw(header, static_cast<std::uint64_t>(g.numEdges()));
     appendRaw(header, fnv1a64(payload.data(), payload.size()));
+
+    // Per-section diagnostic checksums, appended after the payload.
+    std::string table;
+    appendRaw(table, fnv1a64(payload.data(), cols_off));
+    appendRaw(table,
+              fnv1a64(payload.data() + cols_off, vals_off - cols_off));
+    if (with_values)
+        appendRaw(table, fnv1a64(payload.data() + vals_off,
+                                 payload.size() - vals_off));
 
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
@@ -260,6 +343,7 @@ saveBinaryCsr(const CsrGraph &g, const std::string &path, bool with_values)
               static_cast<std::streamsize>(header.size()));
     out.write(payload.data(),
               static_cast<std::streamsize>(payload.size()));
+    out.write(table.data(), static_cast<std::streamsize>(table.size()));
     return static_cast<bool>(out);
 }
 

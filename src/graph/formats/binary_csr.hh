@@ -10,16 +10,26 @@
  * Layout (little-endian, fixed 40-byte header):
  *   bytes  0..7   magic "MAXKBIN\0"
  *   u32            version (currently 1)
- *   u32            flags (bit 0: fp32 values present)
+ *   u32            flags (bit 0: fp32 values present;
+ *                         bit 1: per-section checksum table present)
  *   u64            numNodes
  *   u64            numEdges
  *   u64            FNV-1a 64 checksum of the payload bytes
  *   payload        (numNodes+1) x u64 indptr
  *                  numEdges     x u32 indices
  *                  [numEdges    x f32 values]
+ *   [table]        one u64 independent FNV-1a per present section
+ *                  (indptr, indices, [values]) — written by default
+ *                  since ISSUE 9; placed AFTER the payload so payload
+ *                  byte offsets are unchanged from table-less files
  *
  * indptr is widened to u64 on disk so the container outlives the
  * current 32-bit EdgeId (a load simply rejects files that do not fit).
+ *
+ * The whole-payload checksum is the corruption detector; the section
+ * table exists for diagnostics: on a mismatch, a load with a table
+ * names the damaged section and its absolute byte offset instead of
+ * the generic whole-payload message older files get.
  */
 
 #ifndef MAXK_GRAPH_FORMATS_BINARY_CSR_HH

@@ -1,0 +1,101 @@
+#include "nn/checkpoint.hh"
+
+namespace maxk::nn
+{
+
+void
+writeModelState(formats::Checkpoint &ck, GnnModel &model,
+                const Adam &adam)
+{
+    const ParamRefs params = model.params();
+    ck.setU64("param.count", params.size());
+    std::vector<std::uint64_t> shapes;
+    shapes.reserve(params.size() * 2);
+    for (const Param *p : params) {
+        shapes.push_back(p->value.rows());
+        shapes.push_back(p->value.cols());
+    }
+    ck.setU64s("param.shape", shapes);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        ck.setMatrix("param." + std::to_string(i), params[i]->value);
+        ck.setMatrix("adam.m." + std::to_string(i),
+                     adam.firstMoments()[i]);
+        ck.setMatrix("adam.v." + std::to_string(i),
+                     adam.secondMoments()[i]);
+    }
+    ck.setU64("adam.t", adam.stepCount());
+
+    std::uint64_t words[4];
+    model.dropoutRng().stateWords(words);
+    ck.setU64s("rng.drop", {words[0], words[1], words[2], words[3]});
+}
+
+Expected<std::monostate, IoError>
+readModelState(const formats::Checkpoint &ck, GnnModel &model,
+               Adam &adam)
+{
+    const ParamRefs params = model.params();
+
+    auto count = ck.getU64("param.count");
+    if (!count)
+        return unexpected(std::move(count.error()));
+    if (count.value() != params.size())
+        return unexpected(IoError{
+            IoErrorCode::CountMismatch, "", 0,
+            "checkpoint holds " + std::to_string(count.value()) +
+                " parameter tensors but the model has " +
+                std::to_string(params.size())});
+
+    auto shapes = ck.getU64s("param.shape");
+    if (!shapes)
+        return unexpected(std::move(shapes.error()));
+    if (shapes.value().size() != params.size() * 2)
+        return unexpected(IoError{
+            IoErrorCode::CountMismatch, "", 0,
+            "checkpoint section 'param.shape' length does not match "
+            "its parameter count"});
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (shapes.value()[2 * i] != params[i]->value.rows() ||
+            shapes.value()[2 * i + 1] != params[i]->value.cols())
+            return unexpected(IoError{
+                IoErrorCode::CountMismatch, "", 0,
+                "checkpoint parameter " + std::to_string(i) + " ('" +
+                    params[i]->name +
+                    "') was written with a different shape — the "
+                    "checkpoint belongs to a different model "
+                    "configuration"});
+    }
+
+    // Shapes verified; restore in place. Moments go through temporary
+    // matrices because Adam owns its state (resume is a one-time path;
+    // the per-epoch save path is the allocation-free one).
+    std::vector<Matrix> m(params.size()), v(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (auto r = ck.getMatrix("param." + std::to_string(i),
+                                  params[i]->value);
+            !r)
+            return r;
+        if (auto r = ck.getMatrix("adam.m." + std::to_string(i), m[i]);
+            !r)
+            return r;
+        if (auto r = ck.getMatrix("adam.v." + std::to_string(i), v[i]);
+            !r)
+            return r;
+    }
+    auto t = ck.getU64("adam.t");
+    if (!t)
+        return unexpected(std::move(t.error()));
+    adam.restoreState(m, v, t.value());
+
+    auto words = ck.getU64s("rng.drop");
+    if (!words)
+        return unexpected(std::move(words.error()));
+    if (words.value().size() != 4)
+        return unexpected(IoError{
+            IoErrorCode::CountMismatch, "", 0,
+            "checkpoint section 'rng.drop' must hold four u64 words"});
+    model.dropoutRng().setStateWords(words.value().data());
+    return std::monostate{};
+}
+
+} // namespace maxk::nn

@@ -53,6 +53,22 @@ Adam::step()
     }
 }
 
+void
+Adam::restoreState(const std::vector<Matrix> &m,
+                   const std::vector<Matrix> &v, std::uint64_t t)
+{
+    checkInvariant(m.size() == m_.size() && v.size() == v_.size(),
+                   "Adam::restoreState: moment count mismatch");
+    for (std::size_t i = 0; i < m_.size(); ++i) {
+        checkInvariant(m[i].size() == m_[i].size() &&
+                           v[i].size() == v_[i].size(),
+                       "Adam::restoreState: moment shape mismatch");
+        m_[i] = m[i];
+        v_[i] = v[i];
+    }
+    t_ = t;
+}
+
 Sgd::Sgd(ParamRefs params, Float lr) : params_(std::move(params)), lr_(lr)
 {
 }

@@ -30,6 +30,18 @@ class Adam
     Float learningRate() const { return lr_; }
     void setLearningRate(Float lr) { lr_ = lr; }
 
+    /**
+     * Optimizer-state access for checkpoint/restore: the bias-correction
+     * step count and both moment estimates. restoreState checkInvariants
+     * that the shapes match the construction-time parameters, so a
+     * restored Adam continues the exact update sequence.
+     */
+    std::uint64_t stepCount() const { return t_; }
+    const std::vector<Matrix> &firstMoments() const { return m_; }
+    const std::vector<Matrix> &secondMoments() const { return v_; }
+    void restoreState(const std::vector<Matrix> &m,
+                      const std::vector<Matrix> &v, std::uint64_t t);
+
   private:
     ParamRefs params_;
     std::vector<Matrix> m_, v_;

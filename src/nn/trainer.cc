@@ -1,6 +1,7 @@
 #include "nn/trainer.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
@@ -11,6 +12,7 @@
 #include "kernels/gemm_cost.hh"
 #include "kernels/registry.hh"
 #include "kernels/spmm_gnna.hh"
+#include "nn/checkpoint.hh"
 #include "nn/loss.hh"
 #include "nn/metrics.hh"
 #include "nn/optimizer.hh"
@@ -197,6 +199,54 @@ Trainer::evalMetric(const Matrix &logits,
     return 0.0;
 }
 
+void
+Trainer::saveCheckpoint(formats::Checkpoint &ck,
+                        const formats::CheckpointStore &store,
+                        const Adam &adam, const TrainResult &result,
+                        std::uint32_t epoch, FaultInjector *faults)
+{
+    writeModelState(ck, model_, adam);
+    writeTrajectories(ck, result);
+    ck.setU64("epoch", epoch);
+    auto saved = store.save(ck, epoch, faults);
+    if (!saved)
+        logMessage(LogLevel::Warn, "Trainer: checkpoint save failed: " +
+                                       saved.error().describe());
+}
+
+std::uint32_t
+Trainer::resumeFrom(const formats::CheckpointStore &store, Adam &adam,
+                    TrainResult &result)
+{
+    if (store.epochsOnDisk().empty())
+        return 0;
+    auto loaded = store.loadLatest();
+    if (!loaded) {
+        logMessage(LogLevel::Warn,
+                   "Trainer: no usable checkpoint, starting fresh: " +
+                       loaded.error().describe());
+        return 0;
+    }
+    const formats::Checkpoint &ck = loaded.value().checkpoint;
+    auto restored = readModelState(ck, model_, adam);
+    if (!restored) {
+        logMessage(LogLevel::Warn,
+                   "Trainer: checkpoint rejected, starting fresh: " +
+                       restored.error().describe());
+        return 0;
+    }
+    if (auto r = readTrajectories(ck, result); !r) {
+        logMessage(LogLevel::Warn,
+                   "Trainer: checkpoint rejected, starting fresh: " +
+                       r.error().describe());
+        return 0;
+    }
+    logMessage(LogLevel::Info,
+               "Trainer: resuming after epoch " +
+                   std::to_string(loaded.value().epoch));
+    return static_cast<std::uint32_t>(loaded.value().epoch) + 1;
+}
+
 TrainResult
 Trainer::run(const TrainConfig &cfg)
 {
@@ -210,13 +260,26 @@ Trainer::run(const TrainConfig &cfg)
     if (cfg.evalEvery == 0)
         logMessage(LogLevel::Warn,
                    "Trainer: evalEvery=0 clamped to 1 (every epoch)");
+    const std::uint32_t ckpt_every =
+        std::max<std::uint32_t>(cfg.checkpointEvery, 1);
     Stopwatch watch;
     TrainResult result;
 
     Adam adam(model_.params(), cfg.lr, 0.9f, 0.999f, 1e-8f,
               cfg.weightDecay);
 
-    for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::optional<formats::CheckpointStore> store;
+    formats::Checkpoint ck;
+    std::uint32_t start_epoch = 0;
+    if (!cfg.checkpointDir.empty()) {
+        store.emplace(cfg.checkpointDir, "trainer", cfg.checkpointKeep);
+        start_epoch = resumeFrom(*store, adam, result);
+    }
+
+    for (std::uint32_t epoch = start_epoch; epoch < cfg.epochs;
+         ++epoch) {
+        if (cfg.faults)
+            cfg.faults->maybeThrow("trainer.epoch");
         const Matrix &logits =
             model_.forward(data_.graph, data_.features, true);
         LossResult loss =
@@ -249,6 +312,10 @@ Trainer::run(const TrainConfig &cfg)
                                std::to_string(test));
             }
         }
+
+        if (store &&
+            ((epoch + 1) % ckpt_every == 0 || epoch + 1 == cfg.epochs))
+            saveCheckpoint(ck, *store, adam, result, epoch, cfg.faults);
     }
 
     result.hostSeconds = watch.seconds();

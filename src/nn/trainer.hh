@@ -16,16 +16,26 @@
 #define MAXK_NN_TRAINER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "graph/csr.hh"
 #include "graph/edge_groups.hh"
 #include "graph/registry.hh"
 #include "kernels/sim_options.hh"
 #include "nn/model.hh"
 
+namespace maxk::formats
+{
+class Checkpoint;
+class CheckpointStore;
+} // namespace maxk::formats
+
 namespace maxk::nn
 {
+
+class Adam;
 
 /** Which baseline SpMM implementation a profile charges (Fig. 9 axes). */
 enum class BaselineKernel { CuSparse, Gnna };
@@ -73,6 +83,21 @@ struct TrainConfig
                                   //!< clamped to 1: eval every epoch)
     std::uint64_t seed = 7;
     bool verbose = false;
+
+    /**
+     * Checkpoint/restore (ISSUE 9). When checkpointDir is non-empty the
+     * trainer writes a rotated end-of-epoch checkpoint every
+     * checkpointEvery epochs (keeping checkpointKeep images) and, on
+     * the next run(), resumes from the newest verifiable image — with
+     * bitwise-identical final state to the uninterrupted run.
+     */
+    std::string checkpointDir;
+    std::uint32_t checkpointEvery = 1;
+    std::uint32_t checkpointKeep = 2;
+
+    /** Optional fault injector (hook sites "trainer.epoch",
+     *  "checkpoint.write"). Not owned. */
+    FaultInjector *faults = nullptr;
 };
 
 /** Outcome of a training run. */
@@ -108,6 +133,20 @@ class Trainer
   private:
     double evalMetric(const Matrix &logits,
                       const std::vector<std::uint8_t> &mask) const;
+
+    /** Write the end-of-`epoch` state into `store` (rotated image). */
+    void saveCheckpoint(formats::Checkpoint &ck,
+                        const formats::CheckpointStore &store,
+                        const Adam &adam, const TrainResult &result,
+                        std::uint32_t epoch, FaultInjector *faults);
+
+    /**
+     * Restore from the newest verifiable image in `store` (falling back
+     * past corrupt ones). Returns the epoch to resume at (0 when no
+     * usable checkpoint exists); fills `result`'s trajectories.
+     */
+    std::uint32_t resumeFrom(const formats::CheckpointStore &store,
+                             Adam &adam, TrainResult &result);
 
     GnnModel &model_;
     TrainingData &data_;

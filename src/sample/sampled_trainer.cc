@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
+#include "nn/checkpoint.hh"
 #include "nn/gnn_layer.hh"
 #include "nn/loss.hh"
 #include "nn/metrics.hh"
@@ -118,6 +119,53 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
     const std::uint32_t nb = sampler_.numBatches(trainIds_.size());
     std::uint64_t alloc_base = 0;
 
+    // Checkpoint/resume: the saved epoch shifts the global produce
+    // index, so the producer regenerates exactly the keyed sample
+    // streams the uninterrupted run would have used from start_epoch on.
+    std::optional<formats::CheckpointStore> store;
+    formats::Checkpoint ck;
+    std::uint32_t start_epoch = 0;
+    if (!cfg.checkpointDir.empty()) {
+        store.emplace(cfg.checkpointDir, "sampled",
+                      cfg.checkpointKeep);
+        if (!store->epochsOnDisk().empty()) {
+            auto loaded = store->loadLatest();
+            if (loaded) {
+                const formats::Checkpoint &image =
+                    loaded.value().checkpoint;
+                auto ok = nn::readModelState(image, model_, adam);
+                if (ok)
+                    if (auto r = nn::readTrajectories(image, result); !r)
+                        ok = r;
+                if (ok) {
+                    if (auto counters = image.getU64s("counters");
+                        counters && counters.value().size() == 3) {
+                        result.batchesTrained = counters.value()[0];
+                        result.sampledNodes = counters.value()[1];
+                        result.sampledEdges = counters.value()[2];
+                    }
+                    start_epoch = static_cast<std::uint32_t>(
+                                      loaded.value().epoch) +
+                                  1;
+                    logMessage(LogLevel::Info,
+                               "SampledTrainer: resuming after epoch " +
+                                   std::to_string(loaded.value().epoch));
+                } else {
+                    logMessage(LogLevel::Warn,
+                               "SampledTrainer: checkpoint rejected, "
+                               "starting fresh: " +
+                                   ok.error().describe());
+                    result = SampledTrainResult{};
+                }
+            } else {
+                logMessage(LogLevel::Warn,
+                           "SampledTrainer: no usable checkpoint, "
+                           "starting fresh: " +
+                               loaded.error().describe());
+            }
+        }
+    }
+
     // Cross-epoch production: one produce function maps a GLOBAL batch
     // index to (epoch, batch), so a single producer thread can run ahead
     // across epoch boundaries (it samples epoch e+1 while the consumer
@@ -126,7 +174,7 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
     // mode that is the producer thread, which is the only reader/writer
     // of order_/seedsWs_/batchWs_; the consumer touches none of them.
     auto produce = [&](Minibatch &slot, std::size_t idx) {
-        const std::size_t epoch = idx / nb;
+        const std::size_t epoch = start_epoch + idx / nb;
         const std::size_t b = idx % nb;
         if (epoch >= cfg.epochs)
             return false;
@@ -150,8 +198,12 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
     }
 
     std::size_t sync_idx = 0;
-    for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
-        if (epoch == 2)
+    const std::uint32_t steady_epoch = start_epoch + 2;
+    for (std::uint32_t epoch = start_epoch; epoch < cfg.epochs;
+         ++epoch) {
+        if (cfg.faults)
+            cfg.faults->maybeThrow("sampled_trainer.epoch");
+        if (epoch == steady_epoch)
             alloc_base = AllocProbe::totalAllocCount();
 
         double loss_sum = 0.0;
@@ -206,9 +258,27 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
                                " val " + std::to_string(val) + " test " +
                                std::to_string(test));
         }
+
+        if (store && ((epoch + 1) %
+                              std::max<std::uint32_t>(cfg.checkpointEvery,
+                                                      1) ==
+                          0 ||
+                      epoch + 1 == cfg.epochs)) {
+            nn::writeModelState(ck, model_, adam);
+            nn::writeTrajectories(ck, result);
+            ck.setU64("epoch", epoch);
+            ck.setU64s("counters", {result.batchesTrained,
+                                    result.sampledNodes,
+                                    result.sampledEdges});
+            auto saved = store->save(ck, epoch, cfg.faults);
+            if (!saved)
+                logMessage(LogLevel::Warn,
+                           "SampledTrainer: checkpoint save failed: " +
+                               saved.error().describe());
+        }
     }
 
-    if (cfg.epochs > 2)
+    if (cfg.epochs > steady_epoch)
         result.steadyStateAllocCount =
             AllocProbe::totalAllocCount() - alloc_base;
     result.hostSeconds = watch.seconds();

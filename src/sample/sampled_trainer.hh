@@ -32,8 +32,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "graph/registry.hh"
 #include "nn/model.hh"
 #include "nn/optimizer.hh"
@@ -53,6 +55,19 @@ struct SampledTrainConfig
     bool pipeline = true;          //!< overlap sampling with training
     std::uint32_t queueDepth = 2;  //!< batches buffered ahead (>= 1)
     bool verbose = false;
+
+    /** Checkpoint/restore (ISSUE 9) — same contract as TrainConfig:
+     *  non-empty dir enables rotated end-of-epoch checkpoints and
+     *  resume-from-newest with bitwise-identical continuation (the
+     *  produce index restarts at start_epoch * numBatches, so the
+     *  keyed sample streams line up exactly). */
+    std::string checkpointDir;
+    std::uint32_t checkpointEvery = 1;
+    std::uint32_t checkpointKeep = 2;
+
+    /** Optional fault injector (site "sampled_trainer.epoch",
+     *  "checkpoint.write"). Not owned. */
+    FaultInjector *faults = nullptr;
 };
 
 /** Outcome of a mini-batch run: trajectory, metrics, and the pipeline

@@ -38,12 +38,13 @@ EmbeddingCache::EmbeddingCache(NodeId num_nodes,
         layer.slotOf.assign(numNodes_, -1);
         layer.vertexOf.assign(slots, 0);
         layer.touch.assign(slots, 0);
+        layer.stale.assign(slots, 0);
         layers_.push_back(std::move(layer));
     }
 }
 
 std::int64_t
-EmbeddingCache::lookup(std::uint32_t layer, NodeId v)
+EmbeddingCache::lookup(std::uint32_t layer, NodeId v, bool allow_stale)
 {
     Layer &ly = layers_[layer];
     const std::int64_t slot = ly.slotOf[v];
@@ -51,23 +52,51 @@ EmbeddingCache::lookup(std::uint32_t layer, NodeId v)
         ++stats_.misses;
         return -1;
     }
+    if (ly.stale[static_cast<std::size_t>(slot)]) {
+        if (!allow_stale) {
+            ++stats_.misses;
+            return -1;
+        }
+        ++stats_.staleServed;
+    }
     ++stats_.hits;
     if (slot >= static_cast<std::int64_t>(pinnedCount_))
         ly.touch[static_cast<std::size_t>(slot)] = ++clock_;
     return slot;
 }
 
+void
+EmbeddingCache::markAllStale()
+{
+    for (Layer &ly : layers_)
+        for (NodeId v = 0; v < numNodes_; ++v)
+            if (ly.slotOf[v] >= 0)
+                ly.stale[static_cast<std::size_t>(ly.slotOf[v])] = 1;
+}
+
 std::int64_t
 EmbeddingCache::admit(std::uint32_t layer, NodeId v)
 {
     Layer &ly = layers_[layer];
-    checkInvariant(ly.slotOf[v] < 0,
-                   "EmbeddingCache::admit: entry already valid");
+    if (ly.slotOf[v] >= 0) {
+        // Refresh path: a stale entry's slot is reused in place; the
+        // caller stores the freshly computed row over it.
+        const std::int64_t slot = ly.slotOf[v];
+        checkInvariant(ly.stale[static_cast<std::size_t>(slot)] != 0,
+                       "EmbeddingCache::admit: entry already valid");
+        ly.stale[static_cast<std::size_t>(slot)] = 0;
+        if (slot >= static_cast<std::int64_t>(pinnedCount_))
+            ly.touch[static_cast<std::size_t>(slot)] = ++clock_;
+        ++stats_.refreshed;
+        ++stats_.stores;
+        return slot;
+    }
     // Pinned vertices own their reserved slot in every layer store.
     if (pinnedSlotOf_[v] >= 0) {
         const std::int64_t slot = pinnedSlotOf_[v];
         ly.slotOf[v] = slot;
         ly.vertexOf[static_cast<std::size_t>(slot)] = v;
+        ly.stale[static_cast<std::size_t>(slot)] = 0;
         ++stats_.stores;
         return slot;
     }
@@ -95,6 +124,7 @@ EmbeddingCache::admit(std::uint32_t layer, NodeId v)
     ly.slotOf[v] = slot;
     ly.vertexOf[static_cast<std::size_t>(slot)] = v;
     ly.touch[static_cast<std::size_t>(slot)] = ++clock_;
+    ly.stale[static_cast<std::size_t>(slot)] = 0;
     ++stats_.stores;
     return slot;
 }

@@ -47,6 +47,8 @@ struct CacheStats
     std::uint64_t stores = 0;     //!< admit() granted a slot
     std::uint64_t evictions = 0;  //!< LRU entry displaced by admit()
     std::uint64_t rejected = 0;   //!< admit() declined (no LRU region)
+    std::uint64_t staleServed = 0; //!< stale entry served (degraded mode)
+    std::uint64_t refreshed = 0;   //!< admit() reused a stale entry's slot
 };
 
 /** Per-layer embedding store with pinned + LRU regions. */
@@ -83,25 +85,49 @@ class EmbeddingCache
     NodeId slotCapacity() const { return pinnedCount_ + lruSlots_; }
     bool pinned(NodeId v) const { return pinnedSlotOf_[v] >= 0; }
 
-    /** Valid-entry probe without stats or LRU side effects. */
+    /** Fresh-entry probe without stats or LRU side effects (a stale
+     *  entry does not count as cached — it needs allow_stale). */
     bool cached(std::uint32_t layer, NodeId v) const
     {
-        return layers_[layer].slotOf[v] >= 0;
+        const Layer &ly = layers_[layer];
+        const std::int64_t slot = ly.slotOf[v];
+        return slot >= 0 && !ly.stale[static_cast<std::size_t>(slot)];
+    }
+
+    /** Entry present but marked stale (degraded-mode candidate). */
+    bool staleCached(std::uint32_t layer, NodeId v) const
+    {
+        const Layer &ly = layers_[layer];
+        const std::int64_t slot = ly.slotOf[v];
+        return slot >= 0 && ly.stale[static_cast<std::size_t>(slot)];
     }
 
     /**
      * Read-path lookup: slot index of (layer, v) or -1. Counts one
      * hit/miss and refreshes the LRU touch stamp on LRU-region hits.
+     * A stale entry is a miss unless `allow_stale` (the degraded
+     * serving mode), where it is a hit counted in staleServed.
      */
-    std::int64_t lookup(std::uint32_t layer, NodeId v);
+    std::int64_t lookup(std::uint32_t layer, NodeId v,
+                        bool allow_stale = false);
 
     /**
      * Admission after computing (layer, v): returns the slot to store
      * into, or -1 when not admissible (non-pinned vertex with no LRU
      * region). Evicts the least-recently-touched LRU entry when the
-     * region is full. Counts stores/evictions/rejected.
+     * region is full. Counts stores/evictions/rejected. Re-admitting a
+     * vertex whose entry is stale refreshes it in place (same slot,
+     * stale bit cleared, counted in refreshed).
      */
     std::int64_t admit(std::uint32_t layer, NodeId v);
+
+    /**
+     * Degrade every resident entry to stale (ISSUE 9): after a weight
+     * update or failover the cached activations no longer match what
+     * recomputation would produce. Stale entries are served only in
+     * explicit degraded mode and are refreshed on their next admit.
+     */
+    void markAllStale();
 
     /** Copy activation row `src_row` of `src` into `slot`. The source
      *  must match the layer spec (checkInvariant). */
@@ -140,6 +166,7 @@ class EmbeddingCache
         std::vector<std::int64_t> slotOf;  //!< vertex -> slot, -1 invalid
         std::vector<NodeId> vertexOf;      //!< slot -> vertex
         std::vector<std::uint64_t> touch;  //!< LRU stamps (LRU region)
+        std::vector<std::uint8_t> stale;   //!< per-slot degraded bit
         NodeId lruUsed = 0;
     };
 

@@ -42,6 +42,9 @@ validated(const ServeConfig &cfg)
         fatal("ServeSession: cacheFraction must be in [0, 1]");
     if (cfg.batchCapacity == 0)
         fatal("ServeSession: batchCapacity must be >= 1");
+    if (std::isnan(cfg.latencyBudgetSimSeconds) ||
+        cfg.latencyBudgetSimSeconds < 0.0)
+        fatal("ServeSession: latencyBudgetSimSeconds must be >= 0");
     return cfg;
 }
 
@@ -118,7 +121,13 @@ ServeSession::presampleAndPin()
     if (cacheable == 0)
         pin_count = 0; // a 1-layer model has no cacheable activations
 
-    if (pin_count > 0) {
+    if (cacheable > 0 && !cfg_.pinnedOverride.empty()) {
+        // Persisted pinned set (e.g. restored from a checkpoint): pin
+        // exactly these vertices, bypassing the presample ranking. The
+        // EmbeddingCache constructor enforces uniqueness and range.
+        pinned_ = cfg_.pinnedOverride;
+        pin_count = static_cast<NodeId>(pinned_.size());
+    } else if (pin_count > 0) {
         // FGNN pre-sampling: run the serving sampler over uniform seed
         // batches and count how often each vertex lands in a sampled
         // block; hot (high-frequency) vertices are the ones steady-state
@@ -195,7 +204,7 @@ ServeSession::sampledAdj(NodeId v)
 }
 
 void
-ServeSession::buildPlan(const std::vector<NodeId> &seeds)
+ServeSession::buildPlan(const std::vector<NodeId> &seeds, bool allow_stale)
 {
     // Need-set recursion, top layer down. T[l] holds the rows whose
     // layer-l OUTPUT h^l must be correct; the activation sources of
@@ -238,7 +247,7 @@ ServeSession::buildPlan(const std::vector<NodeId> &seeds)
         const bool cacheable = cache_.has_value() && l + 1 < numLayers_;
         for (const NodeId u : lp.need) {
             const std::int64_t slot =
-                cacheable ? cache_->lookup(l, u) : -1;
+                cacheable ? cache_->lookup(l, u, allow_stale) : -1;
             if (slot >= 0)
                 lp.inject.emplace_back(u, slot);
             else
@@ -495,30 +504,76 @@ ServeSession::batchSimSeconds(const BatchServeStats &bs) const
     return s;
 }
 
+void
+ServeSession::degradeCache()
+{
+    if (cache_)
+        cache_->markAllStale();
+}
+
 Expected<ServeReport, ServeError>
 ServeSession::replay(const std::vector<ServeRequest> &trace)
 {
     const NodeId n = graph_.numNodes();
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        if (!std::isfinite(trace[i].arrivalSimSeconds))
+
+    // ServeBurst fault (ISSUE 9): extend the trace with a deterministic
+    // burst of `payload` requests that all arrive at the trace's last
+    // arrival instant — the overload shape the shed/degrade policy is
+    // built for. Vertices come from a keyed stream, so the same plan
+    // always appends the same burst.
+    const std::vector<ServeRequest> *req = &trace;
+    std::uint64_t burst = 0;
+    if (cfg_.faults) {
+        if (const FaultSpec *f = cfg_.faults->fire("serve.replay")) {
+            if (f->kind != FaultKind::ServeBurst)
+                throw InjectedFault(*f);
+            burst = f->payload;
+            burstWs_.assign(trace.begin(), trace.end());
+            double at = 0.0;
+            for (const ServeRequest &r : trace)
+                if (std::isfinite(r.arrivalSimSeconds))
+                    at = std::max(at, r.arrivalSimSeconds);
+            Rng rng(rngKey(cfg_.seed, 0xB125Cull, f->occurrence, burst));
+            for (std::uint64_t i = 0; i < burst; ++i)
+                burstWs_.push_back(ServeRequest{
+                    at, static_cast<NodeId>(rng.nextBounded(n))});
+            req = &burstWs_;
+        }
+    }
+    const std::vector<ServeRequest> &reqs = *req;
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!std::isfinite(reqs[i].arrivalSimSeconds))
             return unexpected(ServeError{
                 i, "non-finite arrival time in request trace"});
-        if (trace[i].vertex >= n)
+        if (reqs[i].vertex >= n)
             return unexpected(ServeError{
-                i, "request vertex " + std::to_string(trace[i].vertex) +
+                i, "request vertex " + std::to_string(reqs[i].vertex) +
                        " out of range (|V| = " + std::to_string(n) +
                        ")"});
     }
 
     Stopwatch watch;
     ServeReport rep;
-    rep.requests = trace.size();
-    batcher_.plan(trace, batchesWs_);
+    rep.requests = reqs.size();
+    rep.burstRequests = burst;
+    batcher_.plan(reqs, batchesWs_);
     rep.batches = batchesWs_.size();
-    rep.logits.ensureShape(trace.size(), model_.config().outDim);
-    rep.latencySimSeconds.assign(trace.size(), 0.0);
-    rep.requestBatch.assign(trace.size(), 0);
+    rep.logits.ensureShape(reqs.size(), model_.config().outDim);
+    rep.latencySimSeconds.assign(reqs.size(), 0.0);
+    rep.requestOutcome.assign(reqs.size(), ServeReport::kOutcomeFresh);
+    rep.requestBatch.assign(reqs.size(), 0);
     rep.batchStats.reserve(batchesWs_.size());
+
+    // Overload policy (all off when the budget is 0, which reduces this
+    // loop to the ISSUE 8 behaviour bit for bit): a serialized server
+    // starts each batch when the previous one finished, projects the
+    // batch's worst-case request latency from its PLANNED work before
+    // executing anything, and degrades (stale replan) then sheds when
+    // the projection blows the budget.
+    const double budget = cfg_.latencyBudgetSimSeconds;
+    const bool queue_model = budget > 0.0;
+    double server_free = 0.0;
 
     const CacheStats cache_base =
         cache_ ? cache_->stats() : CacheStats{};
@@ -531,7 +586,7 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
 
         seedsWs_.clear();
         for (const std::uint32_t idx : batch.requests)
-            seedsWs_.push_back(trace[idx].vertex);
+            seedsWs_.push_back(reqs[idx].vertex);
         std::sort(seedsWs_.begin(), seedsWs_.end());
         seedsWs_.erase(std::unique(seedsWs_.begin(), seedsWs_.end()),
                        seedsWs_.end());
@@ -540,42 +595,107 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
         bs.requests = static_cast<std::uint32_t>(batch.requests.size());
         bs.seeds = static_cast<std::uint32_t>(seedsWs_.size());
 
-        const CacheStats pre = cache_ ? cache_->stats() : CacheStats{};
-        buildPlan(seedsWs_);
-        if (cache_) {
-            bs.cacheHits = cache_->stats().hits - pre.hits;
-            bs.cacheMisses = cache_->stats().misses - pre.misses;
+        // Plan the batch and meter the plan-derived work; called a
+        // second time (allow_stale) when the policy degrades the batch.
+        auto planBatch = [&](bool allow_stale) {
+            const CacheStats pre =
+                cache_ ? cache_->stats() : CacheStats{};
+            buildPlan(seedsWs_, allow_stale);
+            bs.cacheHits = bs.cacheMisses = 0;
+            bs.nodesRecomputed = bs.nodesInjected = 0;
+            bs.edgesAggregated = bs.cacheBytesInjected = 0;
+            bs.staleRowsInjected = 0;
+            if (cache_) {
+                bs.cacheHits = cache_->stats().hits - pre.hits;
+                bs.cacheMisses = cache_->stats().misses - pre.misses;
+                bs.staleRowsInjected =
+                    cache_->stats().staleServed - pre.staleServed;
+            }
+            for (std::uint32_t l = 0; l < numLayers_; ++l) {
+                const LayerPlan &lp = plan_[l];
+                bs.nodesRecomputed += lp.computed.size();
+                bs.nodesInjected += lp.inject.size();
+                for (const NodeId v : lp.target)
+                    bs.edgesAggregated += sampledDegree(v);
+                if (cache_ && l + 1 < numLayers_)
+                    bs.cacheBytesInjected +=
+                        static_cast<std::uint64_t>(lp.inject.size()) *
+                        cache_->rowBytes(l);
+            }
+            bs.featureBytesGathered =
+                static_cast<std::uint64_t>(featureRows_.size()) *
+                features_.cols() * sizeof(Float);
+        };
+        planBatch(false);
+
+        const double start =
+            queue_model
+                ? std::max(batch.dispatchSimSeconds, server_free)
+                : batch.dispatchSimSeconds;
+        std::uint8_t outcome = ServeReport::kOutcomeFresh;
+        if (queue_model) {
+            double earliest = reqs[batch.requests.front()].arrivalSimSeconds;
+            for (const std::uint32_t idx : batch.requests)
+                earliest =
+                    std::min(earliest, reqs[idx].arrivalSimSeconds);
+            double worst = start + batchSimSeconds(bs) - earliest;
+            if (worst > budget && cfg_.staleServeEnabled && cache_) {
+                planBatch(true);
+                worst = start + batchSimSeconds(bs) - earliest;
+                if (bs.staleRowsInjected > 0)
+                    outcome = ServeReport::kOutcomeStale;
+            }
+            if (worst > budget && cfg_.shedOnOverload) {
+                // Shed before the forward: zeroed logits, no service
+                // time charged, no cache mutation beyond the planning
+                // lookups (admissions only happen during execution, so
+                // later batches' logits are unaffected).
+                bs.shed = true;
+                bs.serviceSimSeconds = 0.0;
+                bs.nodesRecomputed = bs.nodesInjected = 0;
+                bs.featureBytesGathered = bs.cacheBytesInjected = 0;
+                bs.edgesAggregated = 0;
+                bs.staleRowsInjected = 0;
+                const std::size_t out_dim = model_.config().outDim;
+                for (const std::uint32_t idx : batch.requests) {
+                    Float *dst = rep.logits.row(idx);
+                    std::fill(dst, dst + out_dim, 0.0f);
+                    rep.requestBatch[idx] =
+                        static_cast<std::uint32_t>(bi);
+                    rep.requestOutcome[idx] = ServeReport::kOutcomeShed;
+                }
+                rep.sheddedRequests += batch.requests.size();
+                rep.cacheHits += bs.cacheHits;
+                rep.cacheMisses += bs.cacheMisses;
+                rep.batchStats.push_back(bs);
+                continue;
+            }
         }
-        for (std::uint32_t l = 0; l < numLayers_; ++l) {
-            const LayerPlan &lp = plan_[l];
-            bs.nodesRecomputed += lp.computed.size();
-            bs.nodesInjected += lp.inject.size();
-            for (const NodeId v : lp.target)
-                bs.edgesAggregated += sampledDegree(v);
-            if (cache_ && l + 1 < numLayers_)
-                bs.cacheBytesInjected +=
-                    static_cast<std::uint64_t>(lp.inject.size()) *
-                    cache_->rowBytes(l);
-        }
-        bs.featureBytesGathered =
-            static_cast<std::uint64_t>(featureRows_.size()) *
-            features_.cols() * sizeof(Float);
 
         if (cache_)
             executePlanned(bs);
         else
             executeReference(bs);
         bs.serviceSimSeconds = batchSimSeconds(bs);
+        const double finish = start + bs.serviceSimSeconds;
+        if (queue_model)
+            server_free = finish;
+
+        if (outcome == ServeReport::kOutcomeStale) {
+            rep.staleServedRequests += batch.requests.size();
+            ++rep.degradedBatches;
+        }
+        rep.staleRowsInjected += bs.staleRowsInjected;
 
         const std::size_t out_dim = model_.config().outDim;
         for (const std::uint32_t idx : batch.requests) {
-            const NodeId r = localOf_[trace[idx].vertex];
+            const NodeId r = localOf_[reqs[idx].vertex];
             const Float *src = logitsWs_->row(r);
             Float *dst = rep.logits.row(idx);
             std::copy(src, src + out_dim, dst);
-            rep.latencySimSeconds[idx] = batch.dispatchSimSeconds +
-                                         bs.serviceSimSeconds -
-                                         trace[idx].arrivalSimSeconds;
+            rep.latencySimSeconds[idx] =
+                finish - reqs[idx].arrivalSimSeconds;
+            rep.requestOutcome[idx] = outcome;
             rep.requestBatch[idx] = static_cast<std::uint32_t>(bi);
         }
 
@@ -598,8 +718,22 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
         rep.cacheEvictions =
             cache_->stats().evictions - cache_base.evictions;
     }
-    if (!rep.latencySimSeconds.empty()) {
-        std::vector<double> sorted = rep.latencySimSeconds;
+    if (rep.requests > 0 && rep.sheddedRequests == rep.requests)
+        return unexpected(ServeError{
+            0,
+            "overload policy shed every request (budget " +
+                std::to_string(budget) + " sim seconds, " +
+                std::to_string(rep.requests) + " requests)",
+            ServeError::Kind::Shedded});
+
+    // Latency percentiles over SERVED requests only: shed requests have
+    // no latency (their entry stays 0 and would skew the tail downward).
+    std::vector<double> sorted;
+    sorted.reserve(rep.latencySimSeconds.size());
+    for (std::size_t i = 0; i < rep.latencySimSeconds.size(); ++i)
+        if (rep.requestOutcome[i] != ServeReport::kOutcomeShed)
+            sorted.push_back(rep.latencySimSeconds[i]);
+    if (!sorted.empty()) {
         std::sort(sorted.begin(), sorted.end());
         auto pct = [&](double q) {
             const std::size_t nq = sorted.size();

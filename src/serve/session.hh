@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "common/expected.hh"
+#include "common/fault.hh"
 #include "gpusim/device.hh"
 #include "nn/model.hh"
 #include "sample/extractor.hh"
@@ -98,13 +99,70 @@ struct ServeConfig
 
     /** Simulated device for the structural cost model. */
     gpusim::DeviceConfig device = gpusim::DeviceConfig::a100();
+
+    // ------------------------------------------------------------------
+    // Overload policy (ISSUE 9). All knobs default OFF so the committed
+    // serving perf baseline (bench/baselines/serve.json) is untouched:
+    // with latencyBudgetSimSeconds == 0 the replay loop is byte-for-byte
+    // the ISSUE 8 behaviour (per-batch latency = dispatch + service -
+    // arrival, nothing shed, nothing served stale).
+    // ------------------------------------------------------------------
+
+    /**
+     * Simulated end-to-end latency budget. When > 0, replay() switches
+     * to a serialized-server queue model (a batch starts at
+     * max(dispatch, previous batch finish)) and projects each batch's
+     * worst-case request latency BEFORE executing it. A batch projected
+     * over budget is first degraded (staleServeEnabled), then shed
+     * (shedOnOverload); with both off the batch still runs and simply
+     * reports an over-budget latency.
+     */
+    double latencyBudgetSimSeconds = 0.0;
+
+    /**
+     * Degraded mode: when an over-budget batch can be cheapened by
+     * serving cache entries marked stale (EmbeddingCache::markAllStale
+     * after a weight refresh / failover), replan with allow_stale and
+     * serve the stale rows. Every request of such a batch is explicitly
+     * marked ServeReport::kOutcomeStale — degraded answers are never
+     * silently passed off as fresh.
+     */
+    bool staleServeEnabled = false;
+
+    /**
+     * Load shedding: a batch still over budget after (optional) stale
+     * degradation is dropped before its forward — zeroed logits, outcome
+     * kOutcomeShed, excluded from the latency percentiles. Bounds the
+     * simulated p99 of the served requests under overload.
+     */
+    bool shedOnOverload = false;
+
+    /**
+     * Non-empty: pin exactly these vertices instead of running the
+     * presample frequency ranking (restoring a persisted pinned set from
+     * a checkpoint). Entries must be unique and < |V| (fatal otherwise,
+     * via the EmbeddingCache invariants).
+     */
+    std::vector<NodeId> pinnedOverride;
+
+    /** Optional fault injector (site "serve.replay": a ServeBurst spec
+     *  appends `payload` deterministic requests to the trace tail). Not
+     *  owned. */
+    FaultInjector *faults = nullptr;
 };
 
 /** Typed replay failure (recoverable; no process exit). */
 struct ServeError
 {
+    enum class Kind : std::uint8_t
+    {
+        InvalidRequest = 0, //!< malformed trace entry (requestIndex set)
+        Shedded = 1,        //!< overload shed EVERY request of the trace
+    };
+
     std::size_t requestIndex = 0;
     std::string message;
+    Kind kind = Kind::InvalidRequest;
 };
 
 /** Per-batch serving stats (index by ServeReport::requestBatch). */
@@ -119,12 +177,19 @@ struct BatchServeStats
     std::uint64_t featureBytesGathered = 0;
     std::uint64_t cacheBytesInjected = 0;
     std::uint64_t edgesAggregated = 0;
+    std::uint64_t staleRowsInjected = 0; //!< stale cache rows served
+    bool shed = false;                //!< dropped before its forward
     double serviceSimSeconds = 0.0;   //!< structural cost of the forward
 };
 
 /** Outcome of one trace replay. */
 struct ServeReport
 {
+    /** Per-request outcome codes (requestOutcome). */
+    static constexpr std::uint8_t kOutcomeFresh = 0;
+    static constexpr std::uint8_t kOutcomeStale = 1;
+    static constexpr std::uint8_t kOutcomeShed = 2;
+
     std::uint64_t requests = 0;
     std::uint64_t batches = 0;
 
@@ -144,10 +209,24 @@ struct ServeReport
     double serviceSimSeconds = 0.0;
     double requestsPerSimSecond = 0.0;
 
-    /** Simulated request latency = dispatch + service - arrival. */
+    /**
+     * Simulated request latency = batch start + service - arrival,
+     * where start is the dispatch time (default) or
+     * max(dispatch, previous batch finish) under the queue model
+     * (latencyBudgetSimSeconds > 0). Percentiles cover SERVED requests
+     * only — shed requests (latency pinned to 0) are excluded.
+     */
     double p50LatencySimSeconds = 0.0;
     double p99LatencySimSeconds = 0.0;
     double maxLatencySimSeconds = 0.0;
+
+    // Overload/degradation metering (ISSUE 9; all zero with the policy
+    // knobs off).
+    std::uint64_t sheddedRequests = 0;     //!< outcome kOutcomeShed
+    std::uint64_t staleServedRequests = 0; //!< outcome kOutcomeStale
+    std::uint64_t staleRowsInjected = 0;   //!< stale cache rows served
+    std::uint64_t degradedBatches = 0;     //!< batches replanned stale
+    std::uint64_t burstRequests = 0;       //!< appended by ServeBurst
 
     double hostSeconds = 0.0;
 
@@ -158,8 +237,11 @@ struct ServeReport
     /** One row per trace entry, trace order. */
     Matrix logits;
 
-    /** Per-request simulated latency, trace order. */
+    /** Per-request simulated latency, trace order (0 when shed). */
     std::vector<double> latencySimSeconds;
+
+    /** Per-request outcome (kOutcomeFresh/Stale/Shed), trace order. */
+    std::vector<std::uint8_t> requestOutcome;
 
     /** Trace index -> batch index (per-request stats live in
      *  batchStats[requestBatch[i]]). */
@@ -196,6 +278,15 @@ class ServeSession
     Expected<ServeReport, ServeError>
     replay(const std::vector<ServeRequest> &trace);
 
+    /**
+     * Degrade every resident cache entry to stale (a weight refresh or
+     * failover invalidated the cached activations). Subsequent replays
+     * treat stale entries as misses — unless staleServeEnabled lets an
+     * over-budget batch serve them explicitly marked. No-op without a
+     * cache.
+     */
+    void degradeCache();
+
     const ServeConfig &config() const { return cfg_; }
     bool cacheEnabled() const { return cache_.has_value(); }
     const EmbeddingCache *cache() const
@@ -223,7 +314,7 @@ class ServeSession
 
     void presampleAndPin();
     const NodeId *sampledAdj(NodeId v); //!< memoized fixed adjacency
-    void buildPlan(const std::vector<NodeId> &seeds);
+    void buildPlan(const std::vector<NodeId> &seeds, bool allow_stale);
     void buildLocalGraph();
     void applyServeWeights(CsrGraph &g,
                            const std::vector<NodeId> &global_ids);
@@ -265,6 +356,7 @@ class ServeSession
     std::vector<NodeId> unionWs_;
 
     // Execution workspaces.
+    std::vector<ServeRequest> burstWs_; //!< trace + ServeBurst appendix
     std::vector<RequestBatch> batchesWs_;
     std::vector<NodeId> seedsWs_;
     sample::SampleBatch batchWs_;

@@ -1,0 +1,141 @@
+#include "serve/trace.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace maxk::serve
+{
+
+namespace
+{
+
+bool
+isSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r';
+}
+
+/** Parse one non-comment line into a request; on failure fill `msg`. */
+bool
+parseLine(std::string_view line, ServeRequest &out, std::string &msg)
+{
+    // NUL-terminated copy for strtod/strtoull (lines are short; the
+    // 256-byte cap mirrors the historical fgets buffer).
+    char buf[256];
+    if (line.size() >= sizeof buf) {
+        msg = "line longer than 255 characters";
+        return false;
+    }
+    line.copy(buf, line.size());
+    buf[line.size()] = '\0';
+
+    char *p = buf;
+    char *end = nullptr;
+    errno = 0;
+    const double arrival = std::strtod(p, &end);
+    if (end == p) {
+        msg = "expected '<arrival> <vertex>', found '" +
+              std::string(buf) + "'";
+        return false;
+    }
+    if (!std::isfinite(arrival)) {
+        msg = "non-finite arrival time";
+        return false;
+    }
+    p = end;
+    if (!isSpace(*p)) {
+        msg = "expected whitespace between arrival and vertex id";
+        return false;
+    }
+    while (isSpace(*p))
+        ++p;
+    if (*p == '-') {
+        msg = "vertex id must be non-negative";
+        return false;
+    }
+    errno = 0;
+    const unsigned long long vertex = std::strtoull(p, &end, 10);
+    if (end == p) {
+        msg = "expected a vertex id, found '" + std::string(p) + "'";
+        return false;
+    }
+    if (errno == ERANGE ||
+        vertex > std::numeric_limits<NodeId>::max()) {
+        msg = "vertex id does not fit in 32 bits";
+        return false;
+    }
+    p = end;
+    while (isSpace(*p))
+        ++p;
+    if (*p != '\0' && *p != '#') {
+        msg = "trailing characters after vertex id: '" +
+              std::string(p) + "'";
+        return false;
+    }
+    out.arrivalSimSeconds = arrival;
+    out.vertex = static_cast<NodeId>(vertex);
+    return true;
+}
+
+} // namespace
+
+Expected<TraceParseResult, IoError>
+parseServeTrace(std::string_view text, const std::string &path,
+                bool strict)
+{
+    TraceParseResult result;
+    std::uint64_t lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, nl == std::string_view::npos ? text.size() - pos
+                                              : nl - pos);
+        ++lineno;
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+        std::size_t b = 0;
+        while (b < line.size() && isSpace(line[b]))
+            ++b;
+        line.remove_prefix(b);
+        if (line.empty() || line.front() == '#')
+            continue;
+
+        ServeRequest req;
+        std::string msg;
+        if (parseLine(line, req, msg)) {
+            result.requests.push_back(req);
+            continue;
+        }
+        IoError err{IoErrorCode::ParseError, path, lineno, msg};
+        if (strict)
+            return unexpected(std::move(err));
+        result.skipped.push_back(std::move(err));
+    }
+    return result;
+}
+
+Expected<TraceParseResult, IoError>
+loadServeTrace(const std::string &path, bool strict)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return unexpected(IoError{IoErrorCode::OpenFailed, path, 0,
+                                  "cannot open trace file"});
+    std::string text;
+    char chunk[4096];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        text.append(chunk, got);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        return unexpected(IoError{IoErrorCode::OpenFailed, path, 0,
+                                  "read error while loading trace"});
+    return parseServeTrace(text, path, strict);
+}
+
+} // namespace maxk::serve

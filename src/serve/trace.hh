@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Typed request-trace parsing for the serving tools (ISSUE 9 satellite).
+ *
+ * A trace file is plain text, one request per line:
+ *
+ *     <arrival-sim-seconds> <vertex-id>
+ *
+ * with `#` comments and blank lines ignored. Malformed lines used to
+ * make maxk-serve bail out with a generic "cannot read trace file"
+ * message; parsing now reports a typed IoError carrying the
+ * 1-based line number and what exactly was wrong, and the caller picks
+ * the policy: strict mode aborts on the first malformed line, lenient
+ * mode skips it (collecting every skip for diagnostics) and keeps
+ * going.
+ */
+
+#ifndef MAXK_SERVE_TRACE_HH
+#define MAXK_SERVE_TRACE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hh"
+#include "graph/formats/io_error.hh"
+#include "serve/batcher.hh"
+
+namespace maxk::serve
+{
+
+/** Outcome of parsing a request trace. */
+struct TraceParseResult
+{
+    std::vector<ServeRequest> requests; //!< well-formed lines, file order
+
+    /** Malformed lines skipped in lenient mode (ParseError, line set).
+     *  Always empty in strict mode — the first one is returned as the
+     *  Expected error instead. */
+    std::vector<IoError> skipped;
+};
+
+/**
+ * Parse trace text. `path` labels errors only (no I/O happens here).
+ * Strict: the first malformed line fails the parse with a ParseError
+ * naming the line. Lenient: malformed lines land in `skipped` and
+ * parsing continues. Either way a well-formed line must be exactly
+ * `<finite arrival> <vertex>` — trailing junk, non-finite arrivals, and
+ * vertex ids that do not fit in 32 bits are malformed (range checking
+ * against |V| stays in ServeSession::replay, which knows the graph).
+ */
+Expected<TraceParseResult, IoError>
+parseServeTrace(std::string_view text, const std::string &path,
+                bool strict);
+
+/** Read and parse a trace file (OpenFailed when unreadable). */
+Expected<TraceParseResult, IoError>
+loadServeTrace(const std::string &path, bool strict);
+
+} // namespace maxk::serve
+
+#endif // MAXK_SERVE_TRACE_HH

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Acceptance suite for the fault-injection half of ISSUE 9:
+ *
+ *  - FaultInjector: fires on the exact (site, rank) visit, counts
+ *    visits deterministically, honours rank filters and the transient
+ *    consume-once contract; named plans are pure functions of
+ *    (name, seed);
+ *  - Communicator hooks: transient CommTimeout faults are absorbed by
+ *    a bounded retry without corrupting the collective's result, the
+ *    retry budget is enforced, and a fatal fault at ANY hook site —
+ *    including the mid-collective ones — wakes every peer with
+ *    CommAborted instead of deadlocking (swept across sites,
+ *    occurrences, and ranks; the TSan CI job runs this suite);
+ *  - ServeSession overload policy: injected bursts are deterministic
+ *    and metered, shedding is typed (all-shed => ServeError::Shedded),
+ *    served responses stay bitwise-correct under shedding with the
+ *    served tail bounded by the budget, and stale degraded answers are
+ *    explicitly marked kOutcomeStale, never passed off as fresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/rng.hh"
+#include "dist/comm.hh"
+#include "graph/registry.hh"
+#include "nn/model.hh"
+#include "serve/session.hh"
+
+namespace maxk
+{
+namespace
+{
+
+/* ------------------------------------------------------ the injector */
+
+FaultSpec
+spec(FaultKind kind, const char *site, std::uint64_t occurrence,
+     std::uint32_t rank = kAnyRank, bool transient = false)
+{
+    FaultSpec s;
+    s.kind = kind;
+    s.site = site;
+    s.occurrence = occurrence;
+    s.rank = rank;
+    s.transient = transient;
+    return s;
+}
+
+TEST(FaultInjector, FiresOnTheExactVisitOfTheExactRank)
+{
+    FaultInjector inj(FaultPlan().add(
+        spec(FaultKind::RankThrow, "s", 2, 1)));
+    // Rank 0 never matches the rank-1 filter.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(inj.fire("s", 0), nullptr);
+    // Rank 1 fires on its visit 2 exactly, before and after are clean.
+    EXPECT_EQ(inj.fire("s", 1), nullptr);
+    EXPECT_EQ(inj.fire("s", 1), nullptr);
+    const FaultSpec *hit = inj.fire("s", 1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->occurrence, 2u);
+    EXPECT_EQ(inj.fire("s", 1), nullptr);
+    EXPECT_EQ(inj.visits("s", 0), 5u);
+    EXPECT_EQ(inj.visits("s", 1), 4u);
+    EXPECT_EQ(inj.visits("other", 0), 0u);
+}
+
+TEST(FaultInjector, AnyRankMatchesEachRanksOwnCounter)
+{
+    FaultInjector inj(FaultPlan().add(
+        spec(FaultKind::RankThrow, "s", 1)));
+    EXPECT_EQ(inj.fire("s", 0), nullptr); // rank 0 visit 0
+    EXPECT_EQ(inj.fire("s", 1), nullptr); // rank 1 visit 0
+    EXPECT_NE(inj.fire("s", 0), nullptr); // rank 0 visit 1: fires
+    // Non-transient: rank 1's own visit 1 fires too.
+    EXPECT_NE(inj.fire("s", 1), nullptr);
+}
+
+TEST(FaultInjector, TransientIsConsumedByItsFirstFiring)
+{
+    FaultInjector inj(FaultPlan().add(
+        spec(FaultKind::CommTimeout, "s", 1, kAnyRank, true)));
+    EXPECT_EQ(inj.fire("s", 0), nullptr);
+    EXPECT_NE(inj.fire("s", 0), nullptr); // consumed here
+    EXPECT_EQ(inj.fire("s", 1), nullptr);
+    EXPECT_EQ(inj.fire("s", 1), nullptr); // rank 1 visit 1: already gone
+    EXPECT_EQ(inj.fire("s", 0), nullptr); // later visits: gone
+}
+
+TEST(FaultInjector, MaybeThrowThrowsTypedInjectedFault)
+{
+    FaultInjector inj(FaultPlan().add(
+        spec(FaultKind::RankThrow, "s", 0)));
+    try {
+        inj.maybeThrow("s");
+        FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault &f) {
+        EXPECT_EQ(f.spec.site, "s");
+        EXPECT_NE(std::string(f.what()).find("rank-throw"),
+                  std::string::npos);
+    }
+    inj.maybeThrow("s"); // visit 1: no fault
+}
+
+TEST(FaultPlan, NamedScenariosArePureFunctionsOfNameAndSeed)
+{
+    for (const char *name :
+         {"rank-throw", "comm-timeout", "ckpt-corrupt", "serve-burst"}) {
+        const FaultPlan a = FaultPlan::named(name, 42);
+        const FaultPlan b = FaultPlan::named(name, 42);
+        ASSERT_FALSE(a.empty());
+        ASSERT_EQ(a.specs().size(), b.specs().size());
+        for (std::size_t i = 0; i < a.specs().size(); ++i) {
+            EXPECT_EQ(a.specs()[i].kind, b.specs()[i].kind);
+            EXPECT_EQ(a.specs()[i].site, b.specs()[i].site);
+            EXPECT_EQ(a.specs()[i].occurrence, b.specs()[i].occurrence);
+            EXPECT_EQ(a.specs()[i].rank, b.specs()[i].rank);
+            EXPECT_EQ(a.specs()[i].payload, b.specs()[i].payload);
+            EXPECT_EQ(a.specs()[i].transient, b.specs()[i].transient);
+        }
+    }
+}
+
+TEST(FaultPlanDeathTest, UnknownScenarioNameIsFatal)
+{
+    EXPECT_DEATH(FaultPlan::named("no-such-scenario", 1),
+                 "unknown scenario");
+}
+
+/* ------------------------------------------------------- comm hooks */
+
+TEST(CommFault, TransientTimeoutIsRetriedWithoutCorruptingTheSum)
+{
+    FaultInjector inj(FaultPlan().add(
+        spec(FaultKind::CommTimeout, "comm.allReduceSum", 2, kAnyRank,
+             true)));
+    dist::CommWorld world(2);
+    world.setFaultInjector(&inj);
+    std::vector<std::vector<Float>> out(2);
+    world.run([&](dist::Communicator &comm) {
+        for (int iter = 0; iter < 4; ++iter) {
+            std::vector<Float> data(33,
+                                    static_cast<Float>(comm.rank() + 1));
+            comm.allReduceSum(data.data(), data.size());
+            for (Float v : data)
+                ASSERT_EQ(v, 3.0f); // 1 + 2, every iteration
+        }
+        out[comm.rank()].assign(1, 1.0f);
+    });
+    EXPECT_EQ(world.totalTransientRetries(), 1u);
+}
+
+TEST(CommFault, RetryBudgetExhaustionEscalatesToFatalTimeout)
+{
+    // Five back-to-back transient faults on one hook: the bounded
+    // retry (limit 4) must give up and surface the typed CommTimeout.
+    FaultPlan plan;
+    for (std::uint64_t occ = 0; occ < 5; ++occ)
+        plan.add(spec(FaultKind::CommTimeout, "comm.allReduceSum", occ,
+                      0, true));
+    FaultInjector inj(plan);
+    dist::CommWorld world(2);
+    world.setFaultInjector(&inj);
+    EXPECT_THROW(world.run([](dist::Communicator &comm) {
+        std::vector<Float> data(8, 1.0f);
+        comm.allReduceSum(data.data(), data.size());
+    }),
+                 dist::CommTimeout);
+    EXPECT_EQ(world.totalTransientRetries(), 4u);
+}
+
+TEST(CommFault, RankThrowAtAHookPropagatesInjectedFault)
+{
+    FaultInjector inj(FaultPlan().add(
+        spec(FaultKind::RankThrow, "comm.barrier", 1, 2)));
+    dist::CommWorld world(3);
+    world.setFaultInjector(&inj);
+    EXPECT_THROW(world.run([](dist::Communicator &comm) {
+        for (int i = 0; i < 4; ++i)
+            comm.barrier();
+    }),
+                 InjectedFault);
+}
+
+TEST(CommFault, AbortPropagationStressAllPeersWakeAtEverySite)
+{
+    // Sweep a fatal timeout over every hook site (including the
+    // mid-collective ones), several occurrences, and two ranks of a
+    // 4-rank world running concurrent mixed collectives. The contract:
+    // the injected rank throws CommTimeout, every OTHER rank wakes
+    // with CommAborted (counted below), and the world never deadlocks
+    // (the test finishing is the assertion).
+    constexpr std::uint32_t kRanks = 4;
+    const char *sites[] = {"comm.allReduceSum", "comm.allReduceSum.mid",
+                           "comm.allToAllv", "comm.allToAllv.mid",
+                           "comm.barrier"};
+    for (const char *site : sites) {
+        for (const std::uint64_t occurrence : {0u, 2u, 5u}) {
+            for (const std::uint32_t rank : {0u, 3u}) {
+                FaultInjector inj(FaultPlan().add(spec(
+                    FaultKind::CommTimeout, site, occurrence, rank)));
+                dist::CommWorld world(kRanks);
+                world.setFaultInjector(&inj);
+
+                // Collective buffers are owned by the TEST, not the
+                // rank functions: a mid-collective unwind must not
+                // free memory a peer is still copying from.
+                std::vector<std::vector<Float>> red(
+                    kRanks, std::vector<Float>(17, 1.0f));
+                std::vector<std::vector<std::vector<std::uint8_t>>>
+                    send(kRanks), recv(kRanks);
+                for (std::uint32_t r = 0; r < kRanks; ++r) {
+                    send[r].resize(kRanks);
+                    for (std::uint32_t d = 0; d < kRanks; ++d)
+                        send[r][d].assign(
+                            8, static_cast<std::uint8_t>(r * 16 + d));
+                }
+
+                std::atomic<std::uint32_t> aborted{0};
+                bool timed_out = false;
+                try {
+                    world.run([&](dist::Communicator &comm) {
+                        const std::uint32_t r = comm.rank();
+                        try {
+                            for (int iter = 0; iter < 8; ++iter) {
+                                comm.allReduceSum(red[r].data(),
+                                                  red[r].size());
+                                comm.allToAllv(send[r], recv[r],
+                                               dist::CommChannel::Halo);
+                                comm.barrier();
+                            }
+                        } catch (const dist::CommAborted &) {
+                            ++aborted;
+                            throw;
+                        }
+                    });
+                } catch (const dist::CommTimeout &) {
+                    timed_out = true;
+                }
+                EXPECT_TRUE(timed_out)
+                    << site << " occ " << occurrence << " rank " << rank;
+                EXPECT_EQ(aborted.load(), kRanks - 1)
+                    << site << " occ " << occurrence << " rank " << rank;
+            }
+        }
+    }
+}
+
+/* --------------------------------------------------- serving policy */
+
+struct ServeFixture
+{
+    TrainingTask task;
+    TrainingData data;
+    nn::GnnModel model;
+
+    static nn::ModelConfig modelConfig(const TrainingTask &task)
+    {
+        nn::ModelConfig cfg;
+        cfg.kind = nn::GnnKind::Sage;
+        cfg.nonlin = nn::Nonlinearity::MaxK;
+        cfg.maxkK = 8;
+        cfg.numLayers = 2;
+        cfg.inDim = task.featureDim;
+        cfg.hiddenDim = 32;
+        cfg.outDim = task.numClasses;
+        cfg.dropout = 0.0f;
+        return cfg;
+    }
+
+    static TrainingTask makeTask()
+    {
+        TrainingTask task = *findTrainingTask("Flickr");
+        task.accuracyNodes = 300;
+        task.accuracyAvgDegree = 8.0;
+        return task;
+    }
+
+    static TrainingData makeData(const TrainingTask &task)
+    {
+        Rng rng(71);
+        return materializeTrainingData(task, rng);
+    }
+
+    ServeFixture()
+        : task(makeTask()), data(makeData(task)),
+          model(modelConfig(task))
+    {
+    }
+
+    serve::ServeConfig baseConfig() const
+    {
+        serve::ServeConfig cfg;
+        cfg.fanout = 6;
+        cfg.cacheFraction = 0.25;
+        cfg.lruSlots = 32;
+        cfg.seed = 2029;
+        return cfg;
+    }
+
+    /** Trickle head + simultaneous flood tail: overloads the queue. */
+    std::vector<serve::ServeRequest> overloadTrace() const
+    {
+        std::vector<serve::ServeRequest> trace;
+        Rng rng(72);
+        double t = 0.0;
+        for (int i = 0; i < 16; ++i) {
+            t += 2e-4;
+            trace.push_back({t, static_cast<NodeId>(rng.nextBounded(
+                                    data.graph.numNodes()))});
+        }
+        for (int i = 0; i < 128; ++i)
+            trace.push_back({t + 1e-3,
+                             static_cast<NodeId>(rng.nextBounded(
+                                 data.graph.numNodes()))});
+        return trace;
+    }
+};
+
+TEST(ServeFault, InjectedBurstIsDeterministicAndMetered)
+{
+    ServeFixture fx;
+    std::vector<serve::ServeRequest> trace;
+    Rng rng(73);
+    for (int i = 0; i < 40; ++i)
+        trace.push_back({i * 3e-4,
+                         static_cast<NodeId>(rng.nextBounded(
+                             fx.data.graph.numNodes()))});
+
+    const FaultPlan plan = FaultPlan::named("serve-burst", 42);
+    std::uint64_t planned = 0;
+    for (const FaultSpec &s : plan.specs())
+        planned = s.payload;
+
+    serve::ServeReport reports[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        FaultInjector inj(plan);
+        serve::ServeConfig cfg = fx.baseConfig();
+        cfg.faults = &inj;
+        serve::ServeSession session(fx.model, fx.data.graph,
+                                    fx.data.features, cfg);
+        auto rep = session.replay(trace);
+        ASSERT_TRUE(rep.hasValue());
+        reports[pass] = std::move(rep.value());
+    }
+    EXPECT_EQ(reports[0].burstRequests, planned);
+    EXPECT_EQ(reports[0].requests, trace.size() + planned);
+    EXPECT_EQ(reports[0].requestOutcome.size(),
+              trace.size() + planned);
+    // Bitwise-replayable: the injected burst is part of the
+    // deterministic contract, not noise.
+    EXPECT_TRUE(reports[0].logits.equals(reports[1].logits));
+    EXPECT_EQ(reports[0].latencySimSeconds,
+              reports[1].latencySimSeconds);
+    EXPECT_EQ(reports[0].requestOutcome, reports[1].requestOutcome);
+}
+
+TEST(ServeFault, SheddingEverythingIsATypedError)
+{
+    ServeFixture fx;
+    serve::ServeConfig cfg = fx.baseConfig();
+    cfg.latencyBudgetSimSeconds = 1e-15; // unmeetable
+    cfg.shedOnOverload = true;
+    serve::ServeSession session(fx.model, fx.data.graph,
+                                fx.data.features, cfg);
+    auto rep = session.replay(fx.overloadTrace());
+    ASSERT_FALSE(rep.hasValue());
+    EXPECT_EQ(rep.error().kind, serve::ServeError::Kind::Shedded);
+}
+
+TEST(ServeFault, SheddingBoundsTheServedTailAndKeepsLogitsBitwise)
+{
+    ServeFixture fx;
+    const std::vector<serve::ServeRequest> trace = fx.overloadTrace();
+
+    // Pass 1: queue model armed, nothing shed — measure the overload.
+    serve::ServeConfig mcfg = fx.baseConfig();
+    mcfg.latencyBudgetSimSeconds = 1e9;
+    serve::ServeSession measure(fx.model, fx.data.graph,
+                                fx.data.features, mcfg);
+    auto unshed = measure.replay(trace);
+    ASSERT_TRUE(unshed.hasValue());
+    const serve::ServeReport &u = unshed.value();
+
+    // Budget strictly between the tamest and the worst batch.
+    std::vector<double> batch_worst(u.batchStats.size(), 0.0);
+    for (std::size_t i = 0; i < u.latencySimSeconds.size(); ++i)
+        batch_worst[u.requestBatch[i]] = std::max(
+            batch_worst[u.requestBatch[i]], u.latencySimSeconds[i]);
+    double bmin = batch_worst[0], bmax = batch_worst[0];
+    for (double w : batch_worst) {
+        bmin = std::min(bmin, w);
+        bmax = std::max(bmax, w);
+    }
+    ASSERT_GT(bmax, bmin);
+    const double budget = 0.5 * (bmin + bmax);
+
+    serve::ServeConfig cfg = fx.baseConfig();
+    cfg.latencyBudgetSimSeconds = budget;
+    cfg.shedOnOverload = true;
+    serve::ServeSession session(fx.model, fx.data.graph,
+                                fx.data.features, cfg);
+    auto rep = session.replay(trace);
+    ASSERT_TRUE(rep.hasValue());
+    const serve::ServeReport &r = rep.value();
+
+    EXPECT_GT(r.sheddedRequests, 0u);
+    EXPECT_LT(r.sheddedRequests, r.requests);
+    // The shed policy bounds the SERVED tail by the budget.
+    EXPECT_LE(r.p99LatencySimSeconds, budget * (1.0 + 1e-12));
+    EXPECT_LE(r.maxLatencySimSeconds, budget * (1.0 + 1e-12));
+
+    // Served rows are bitwise what the unshed replay produced; shed
+    // rows are explicitly zeroed and marked.
+    const std::size_t cols = r.logits.cols();
+    std::uint64_t shed_seen = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Float *row = r.logits.data() + i * cols;
+        if (r.requestOutcome[i] == serve::ServeReport::kOutcomeShed) {
+            ++shed_seen;
+            for (std::size_t c = 0; c < cols; ++c)
+                ASSERT_EQ(row[c], 0.0f) << "shed row " << i;
+            ASSERT_EQ(r.latencySimSeconds[i], 0.0);
+        } else {
+            ASSERT_EQ(std::memcmp(row, u.logits.data() + i * cols,
+                                  cols * sizeof(Float)),
+                      0)
+                << "served row " << i;
+        }
+    }
+    EXPECT_EQ(shed_seen, r.sheddedRequests);
+}
+
+TEST(ServeFault, StaleDegradedModeMarksEveryDegradedAnswer)
+{
+    ServeFixture fx;
+    const std::vector<serve::ServeRequest> trace = fx.overloadTrace();
+
+    serve::ServeConfig cfg = fx.baseConfig();
+    cfg.latencyBudgetSimSeconds = 1e-15; // every batch over budget
+    cfg.staleServeEnabled = true;        // degrade, never shed
+    serve::ServeSession session(fx.model, fx.data.graph,
+                                fx.data.features, cfg);
+
+    // Replay 1 warms the cache with FRESH entries: a stale replan finds
+    // nothing stale, so every answer stays kOutcomeFresh.
+    auto first = session.replay(trace);
+    ASSERT_TRUE(first.hasValue());
+    EXPECT_EQ(first.value().staleServedRequests, 0u);
+    EXPECT_EQ(first.value().sheddedRequests, 0u);
+
+    // Failover: every cached activation is now stale. Over-budget
+    // batches may serve them — explicitly marked.
+    session.degradeCache();
+    auto second = session.replay(trace);
+    ASSERT_TRUE(second.hasValue());
+    const serve::ServeReport &r = second.value();
+    EXPECT_GT(r.staleServedRequests, 0u);
+    EXPECT_GT(r.degradedBatches, 0u);
+    EXPECT_GT(r.staleRowsInjected, 0u);
+    EXPECT_EQ(r.sheddedRequests, 0u);
+    std::uint64_t stale_seen = 0;
+    for (std::uint8_t o : r.requestOutcome) {
+        EXPECT_NE(o, serve::ServeReport::kOutcomeShed);
+        if (o == serve::ServeReport::kOutcomeStale)
+            ++stale_seen;
+    }
+    EXPECT_EQ(stale_seen, r.staleServedRequests);
+}
+
+TEST(ServeFault, InvalidRequestKeepsItsTypedKind)
+{
+    ServeFixture fx;
+    serve::ServeConfig cfg = fx.baseConfig();
+    serve::ServeSession session(fx.model, fx.data.graph,
+                                fx.data.features, cfg);
+    std::vector<serve::ServeRequest> trace{
+        {1e-4, 0}, {2e-4, fx.data.graph.numNodes()}};
+    auto rep = session.replay(trace);
+    ASSERT_FALSE(rep.hasValue());
+    EXPECT_EQ(rep.error().kind,
+              serve::ServeError::Kind::InvalidRequest);
+    EXPECT_EQ(rep.error().requestIndex, 1u);
+}
+
+} // namespace
+} // namespace maxk

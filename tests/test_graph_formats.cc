@@ -285,8 +285,10 @@ TEST(MalformedBinaryCsr, CorruptionTable)
     bad_flags[12] = 0x7f;
     expectCode(bad_flags, IoErrorCode::BadHeader, "unknown_flags");
 
+    // The per-section checksum table occupies the last 24 bytes
+    // (3 sections x u64); the last payload byte sits just before it.
     std::string flipped = good;
-    flipped[flipped.size() - 1] ^= 0x01; // payload byte -> checksum
+    flipped[flipped.size() - 1 - 24] ^= 0x01;
     expectCode(flipped, IoErrorCode::ChecksumMismatch,
                "payload_corruption");
 
@@ -294,6 +296,68 @@ TEST(MalformedBinaryCsr, CorruptionTable)
     bad_checksum[32] ^= 0x01; // checksum field itself
     expectCode(bad_checksum, IoErrorCode::ChecksumMismatch,
                "checksum_corruption");
+    // With the table intact, a damaged header checksum is called out as
+    // such instead of blaming the payload.
+    {
+        auto result = formats::parseBinaryCsr(bad_checksum, "hdr");
+        ASSERT_FALSE(result.hasValue());
+        EXPECT_NE(result.error().message.find("header checksum field"),
+                  std::string::npos)
+            << result.error().describe();
+    }
+
+    // Damage confined to the diagnostic table does not reject the file:
+    // the payload checksum is the corruption detector, the table only
+    // localises a failure.
+    std::string table_flip = good;
+    table_flip[table_flip.size() - 1] ^= 0x01;
+    EXPECT_TRUE(formats::parseBinaryCsr(table_flip, "tbl").hasValue());
+}
+
+TEST(MalformedBinaryCsr, SectionSweepNamesDamagedSection)
+{
+    // One flipped byte per payload section: the error must name the
+    // section that was hit and its absolute byte offset in the file.
+    Rng rng(11);
+    CsrGraph g = test::makeGraph(GraphShape::ErdosRenyi, 24, 100, rng);
+    const std::string path = writeTemp("bin_sweep.maxkb", "");
+    ASSERT_TRUE(formats::saveBinaryCsr(g, path));
+    const std::string good = slurp(path);
+
+    const std::uint64_t indptr_off = 40;
+    const std::uint64_t indices_off =
+        indptr_off + (g.numNodes() + 1) * 8;
+    const std::uint64_t values_off = indices_off + g.numEdges() * 4;
+    const struct
+    {
+        const char *name;
+        std::uint64_t offset;
+    } sections[] = {{"indptr", indptr_off},
+                    {"indices", indices_off},
+                    {"values", values_off}};
+
+    for (const auto &sec : sections) {
+        std::string bytes = good;
+        bytes[sec.offset] ^= 0x10; // first byte of the section
+        auto result = formats::parseBinaryCsr(bytes, sec.name);
+        ASSERT_FALSE(result.hasValue()) << sec.name;
+        EXPECT_EQ(result.error().code, IoErrorCode::ChecksumMismatch);
+        const std::string &msg = result.error().message;
+        EXPECT_NE(msg.find("section '" + std::string(sec.name) + "'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("byte offset " +
+                           std::to_string(sec.offset)),
+                  std::string::npos)
+            << msg;
+
+        // The streaming loader must agree with the in-memory parser.
+        const std::string bad_path = writeTemp("bin_sweep_bad.maxkb",
+                                               bytes);
+        auto streamed = formats::loadBinaryCsr(bad_path);
+        ASSERT_FALSE(streamed.hasValue()) << sec.name;
+        EXPECT_EQ(streamed.error().message, msg) << sec.name;
+    }
 }
 
 TEST(MalformedBinaryCsr, ChecksumGuardsIndexBytes)

@@ -30,6 +30,7 @@
 #include "common/rng.hh"
 #include "nn/model.hh"
 #include "serve/session.hh"
+#include "serve/trace.hh"
 #include "support/fixtures.hh"
 #include "tensor/init.hh"
 
@@ -663,6 +664,84 @@ TEST(ServeSession, OutOfRangeVertexReturnsTypedError)
     auto nan_rep = session.replay(trace);
     ASSERT_FALSE(nan_rep.hasValue());
     EXPECT_EQ(nan_rep.error().requestIndex, 2u);
+}
+
+/* ------------------------------------------------------ trace parsing */
+
+TEST(ServeTrace, WellFormedLinesParseInFileOrder)
+{
+    const char *text = "# a comment\n"
+                       "\n"
+                       "1.5e-3 7\n"
+                       "   2e-3\t42   \n" // whitespace-tolerant
+                       "0 0\n";
+    auto parsed = serve::parseServeTrace(text, "t.trace", true);
+    ASSERT_TRUE(parsed.hasValue());
+    const auto &r = parsed.value();
+    EXPECT_TRUE(r.skipped.empty());
+    ASSERT_EQ(r.requests.size(), 3u);
+    EXPECT_EQ(r.requests[0].arrivalSimSeconds, 1.5e-3);
+    EXPECT_EQ(r.requests[0].vertex, 7u);
+    EXPECT_EQ(r.requests[1].arrivalSimSeconds, 2e-3);
+    EXPECT_EQ(r.requests[1].vertex, 42u);
+    EXPECT_EQ(r.requests[2].vertex, 0u);
+}
+
+TEST(ServeTrace, StrictModeFailsOnTheFirstMalformedLineWithItsNumber)
+{
+    const char *text = "1e-3 1\n"
+                       "2e-3 2\n"
+                       "not-a-number 3\n"
+                       "4e-3 4\n";
+    auto parsed = serve::parseServeTrace(text, "t.trace", true);
+    ASSERT_FALSE(parsed.hasValue());
+    EXPECT_EQ(parsed.error().code, IoErrorCode::ParseError);
+    EXPECT_EQ(parsed.error().line, 3u);
+    EXPECT_EQ(parsed.error().path, "t.trace");
+}
+
+TEST(ServeTrace, LenientModeSkipsAndReportsEveryMalformedLine)
+{
+    const char *text = "1e-3 1\n"
+                       "bogus\n"            // line 2: not two fields
+                       "2e-3 2 trailing\n"  // line 3: trailing junk
+                       "inf 3\n"            // line 4: non-finite arrival
+                       "3e-3 4294967296\n"  // line 5: vertex > 32 bits
+                       "4e-3 -1\n"          // line 6: negative vertex
+                       "5e-3 5\n";
+    auto parsed = serve::parseServeTrace(text, "t.trace", false);
+    ASSERT_TRUE(parsed.hasValue());
+    const auto &r = parsed.value();
+    ASSERT_EQ(r.requests.size(), 2u);
+    EXPECT_EQ(r.requests[0].vertex, 1u);
+    EXPECT_EQ(r.requests[1].vertex, 5u);
+    ASSERT_EQ(r.skipped.size(), 5u);
+    const std::size_t expect_lines[] = {2, 3, 4, 5, 6};
+    for (std::size_t i = 0; i < r.skipped.size(); ++i) {
+        EXPECT_EQ(r.skipped[i].code, IoErrorCode::ParseError);
+        EXPECT_EQ(r.skipped[i].line, expect_lines[i]);
+    }
+}
+
+TEST(ServeTrace, BoundaryVertexIdsRoundTrip)
+{
+    // 2^32-1 is the largest representable NodeId and must parse; one
+    // past it must not.
+    auto max_ok = serve::parseServeTrace("1e-3 4294967295\n", "t", true);
+    ASSERT_TRUE(max_ok.hasValue());
+    EXPECT_EQ(max_ok.value().requests[0].vertex, 4294967295u);
+    auto overflow =
+        serve::parseServeTrace("1e-3 4294967296\n", "t", true);
+    ASSERT_FALSE(overflow.hasValue());
+    EXPECT_EQ(overflow.error().line, 1u);
+}
+
+TEST(ServeTrace, MissingFileIsOpenFailed)
+{
+    auto missing =
+        serve::loadServeTrace("/nonexistent/dir/x.trace", true);
+    ASSERT_FALSE(missing.hasValue());
+    EXPECT_EQ(missing.error().code, IoErrorCode::OpenFailed);
 }
 
 } // namespace

@@ -16,6 +16,10 @@
  * trace through a cache-off session and fails unless every logit row is
  * bitwise identical — the serving-path correctness anchor, on demand.
  *
+ * Malformed trace lines are reported with their 1-based line number and
+ * skipped by default (the replay continues with the well-formed
+ * requests); --strict turns the first malformed line into a hard error.
+ *
  * Exit status: 0 success, 1 runtime/trace error, 2 usage error.
  */
 
@@ -32,6 +36,7 @@
 #include "nn/model.hh"
 #include "sample/sampled_trainer.hh"
 #include "serve/session.hh"
+#include "serve/trace.hh"
 
 using namespace maxk;
 
@@ -53,6 +58,8 @@ usage(const char *argv0)
         "  --requests N   synthesized Zipf requests (default 256)\n"
         "  --trace FILE   replay '<arrival> <vertex>' lines instead of\n"
         "                 synthesizing traffic\n"
+        "  --strict       fail on the first malformed trace line\n"
+        "                 (default: report line numbers and skip)\n"
         "  --cache F      pinned hot-vertex fraction in [0,1] "
         "(default 0.25)\n"
         "  --lru N        LRU slots per cached layer (default 64)\n"
@@ -87,31 +94,6 @@ zipfTrace(Rng &rng, NodeId num_nodes, std::size_t count)
     return trace;
 }
 
-bool
-loadTrace(const std::string &path, std::vector<serve::ServeRequest> &out)
-{
-    std::FILE *f = std::fopen(path.c_str(), "r");
-    if (!f)
-        return false;
-    char line[256];
-    while (std::fgets(line, sizeof line, f)) {
-        const char *p = line;
-        while (*p == ' ' || *p == '\t')
-            ++p;
-        if (*p == '#' || *p == '\n' || *p == '\0')
-            continue;
-        double arrival = 0.0;
-        unsigned vertex = 0;
-        if (std::sscanf(p, "%lf %u", &arrival, &vertex) != 2) {
-            std::fclose(f);
-            return false;
-        }
-        out.push_back({arrival, static_cast<NodeId>(vertex)});
-    }
-    std::fclose(f);
-    return true;
-}
-
 } // namespace
 
 int
@@ -130,6 +112,7 @@ main(int argc, char **argv)
     std::uint32_t epochs = 2;
     std::uint64_t seed = 808;
     bool verify = false;
+    bool strict = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -164,6 +147,8 @@ main(int argc, char **argv)
                 std::atoll(next("--seed")));
         else if (arg == "--verify")
             verify = true;
+        else if (arg == "--strict")
+            strict = true;
         else if (arg == "--help" || arg == "-h")
             return usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-') {
@@ -221,10 +206,20 @@ main(int argc, char **argv)
 
     std::vector<serve::ServeRequest> trace;
     if (!trace_path.empty()) {
-        if (!loadTrace(trace_path, trace) || trace.empty()) {
+        auto parsed = serve::loadServeTrace(trace_path, strict);
+        if (!parsed.hasValue()) {
+            std::fprintf(stderr, "%s: %s\n", argv[0],
+                         parsed.error().describe().c_str());
+            return 1;
+        }
+        for (const IoError &skip : parsed.value().skipped)
+            std::fprintf(stderr, "%s: skipped malformed line: %s\n",
+                         argv[0], skip.describe().c_str());
+        trace = std::move(parsed.value().requests);
+        if (trace.empty()) {
             std::fprintf(stderr,
-                         "%s: cannot read trace file '%s' (expect "
-                         "'<arrival> <vertex>' lines)\n",
+                         "%s: trace file '%s' contains no well-formed "
+                         "'<arrival> <vertex>' lines\n",
                          argv[0], trace_path.c_str());
             return 1;
         }
