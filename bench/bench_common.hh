@@ -16,6 +16,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "graph/csr.hh"
 #include "graph/edge_groups.hh"
 #include "graph/registry.hh"
@@ -159,6 +160,35 @@ perfEnabled()
     return !perfJsonPath().empty();
 }
 
+/** Path given via --metrics-json; empty = disabled. */
+inline std::string &
+metricsJsonPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Write a MetricsRegistry snapshot to the --metrics-json path (no-op
+ * when the flag was not given). Call at the end of main(), after the
+ * instrumented work ran with telemetry armed (initBench arms it when
+ * the flag is present).
+ */
+inline void
+writeMetricsReport()
+{
+    if (metricsJsonPath().empty())
+        return;
+    const std::string json = telemetry::snapshotMetrics().renderJson();
+    std::FILE *f = std::fopen(metricsJsonPath().c_str(), "w");
+    if (!f)
+        fatal("metrics report: cannot open " + metricsJsonPath());
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "metrics report: -> %s\n",
+                 metricsJsonPath().c_str());
+}
+
 /**
  * Run one kernel launch under the allocation probe and append its
  * record. `run` must return the launch's gpusim::KernelStats; callers
@@ -257,13 +287,28 @@ initBench(int argc, char **argv)
                 std::exit(2);
             }
             perfJsonPath() = argv[++i];
+        } else if (arg == "--metrics-json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --metrics-json needs a path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            metricsJsonPath() = argv[++i];
+            // Arm process-wide so every instrumented path the bench
+            // exercises lands in the snapshot. Benches that compare
+            // armed-vs-disarmed behaviour manage arming themselves and
+            // simply should not take this flag.
+            telemetry::setArmed(true);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--smoke] [--json <path>]\n"
+                "usage: %s [--smoke] [--json <path>] "
+                "[--metrics-json <path>]\n"
                 "  --smoke        tiny sweeps (same as MAXK_BENCH_FAST=1 "
                 "in the env)\n"
                 "  --json <path>  write deterministic per-kernel perf "
-                "records (maxk-perf-v1)\n",
+                "records (maxk-perf-v1)\n"
+                "  --metrics-json <path>  arm telemetry and write a "
+                "MetricsRegistry snapshot (maxk-metrics-v1)\n",
                 argv[0]);
             std::exit(0);
         } else {

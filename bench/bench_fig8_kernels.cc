@@ -177,7 +177,8 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < limit; ++i) {
         results.push_back(runGraph(suite[i], ks));
         std::fprintf(stderr, "  [%zu/%zu] %s done (%.1fs)\n", i + 1,
-                     limit, suite[i].name.c_str(), watch.seconds());
+                     limit, suite[i].name.c_str(),
+                     watch.elapsedNs() * 1e-9);
     }
 
     // What the adaptive selector would run for the dense SpMM baseline
@@ -244,7 +245,7 @@ main(int argc, char **argv)
     std::printf("SpGEMM wins at k<=128: %.1f%% vs cuSPARSE (paper "
                 "92.2%%), %.1f%% vs GNNA (paper 100%%)\n",
                 100.0 * wins_cusp / cases, 100.0 * wins_gnna / cases);
-    std::printf("Total bench time: %.1fs\n", watch.seconds());
+    std::printf("Total bench time: %.1fs\n", watch.elapsedNs() * 1e-9);
     bench::writePerfReport();
     return 0;
 }

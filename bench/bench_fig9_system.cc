@@ -128,7 +128,8 @@ main(int argc, char **argv)
                         task.info.name.c_str(), table.render().c_str());
         }
         std::fprintf(stderr, "  [%s done, %.1fs]\n",
-                     task.info.name.c_str(), watch.seconds());
+                     task.info.name.c_str(),
+                     watch.elapsedNs() * 1e-9);
     }
 
     std::printf("\nExpected shape (paper Fig. 9): Reddit and "
@@ -136,6 +137,6 @@ main(int argc, char **argv)
                 "(3-4.5x achieved); ogbn-products / Yelp / Flickr have "
                 "limits near\n1.1-2x and MaxK-GNN lands within them. "
                 "Total bench time: %.1fs\n",
-                watch.seconds());
+                watch.elapsedNs() * 1e-9);
     return 0;
 }

@@ -143,7 +143,8 @@ main(int argc, char **argv)
         }
         std::printf("%s", table.render().c_str());
         std::fprintf(stderr, "  [%s done, %.1fs]\n",
-                     task.info.name.c_str(), watch.seconds());
+                     task.info.name.c_str(),
+                     watch.elapsedNs() * 1e-9);
     }
 
     std::printf("\nExpected shape (paper Table 5): MaxK at the larger "
@@ -152,6 +153,6 @@ main(int argc, char **argv)
                 "speedup;\nReddit-class datasets reach ~2-4.5x, "
                 "Flickr/Yelp-class 1.05-1.4x.\nTotal bench time: "
                 "%.1fs\n",
-                watch.seconds());
+                watch.elapsedNs() * 1e-9);
     return 0;
 }

@@ -1,14 +1,56 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace maxk
 {
 
 namespace
 {
-LogLevel g_level = LogLevel::Info;
+
+/*
+ * Level filter. Initialised from MAXK_LOG_LEVEL (name or 0-3) on
+ * first use; setLogLevel() overrides. Atomic because rank and
+ * producer threads log concurrently.
+ */
+constexpr int kLevelUnset = -1;
+std::atomic<int> g_level{kLevelUnset};
+
+int
+levelFromEnv()
+{
+    const char *env = std::getenv("MAXK_LOG_LEVEL");
+    if (!env || !*env)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+        return static_cast<int>(LogLevel::Debug);
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
+        return static_cast<int>(LogLevel::Error);
+    std::fprintf(stderr,
+                 "[WARN] MAXK_LOG_LEVEL=%s not recognised "
+                 "(debug|info|warn|error or 0-3); using info\n",
+                 env);
+    return static_cast<int>(LogLevel::Info);
+}
+
+int
+effectiveLevel()
+{
+    int level = g_level.load(std::memory_order_relaxed);
+    if (level == kLevelUnset) {
+        level = levelFromEnv();
+        // Lost races recompute the same env-derived value; harmless.
+        g_level.store(level, std::memory_order_relaxed);
+    }
+    return level;
+}
 
 const char *
 levelName(LogLevel level)
@@ -21,39 +63,57 @@ levelName(LogLevel level)
     }
     return "?";
 }
+
+/** Emit one fully-formed line with a single locked write, so lines
+ *  from concurrent ranks/producer threads never interleave mid-line. */
+void
+writeLine(const std::string &line)
+{
+    flockfile(stderr);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    funlockfile(stderr);
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return static_cast<LogLevel>(effectiveLevel());
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_level))
+    if (static_cast<int>(level) < effectiveLevel())
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += '[';
+    line += levelName(level);
+    line += "] ";
+    line += msg;
+    line += '\n';
+    writeLine(line);
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    writeLine("fatal: " + msg + "\n");
     std::exit(1);
 }
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    writeLine("panic: " + msg + "\n");
     std::abort();
 }
 

@@ -9,6 +9,7 @@
 #define MAXK_COMMON_STOPWATCH_HH
 
 #include <chrono>
+#include <cstdint>
 
 namespace maxk
 {
@@ -21,6 +22,17 @@ class Stopwatch
 
     /** Restart timing from zero. */
     void reset() { start_ = Clock::now(); }
+
+    /** Integer nanoseconds elapsed since construction or reset() —
+     *  the precise form the telemetry span counters store. */
+    std::uint64_t
+    elapsedNs() const
+    {
+        const auto d = Clock::now() - start_;
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                .count());
+    }
 
     /** Seconds elapsed since construction or the last reset(). */
     double
@@ -35,6 +47,10 @@ class Stopwatch
 
   private:
     using Clock = std::chrono::steady_clock;
+    // Wall-clock deltas must never run backwards (NTP steps on the
+    // system clock would corrupt bench timings and trace spans).
+    static_assert(Clock::is_steady,
+                  "Stopwatch requires a monotonic clock");
     Clock::time_point start_;
 };
 

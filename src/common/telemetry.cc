@@ -1,0 +1,383 @@
+#include "common/telemetry.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace maxk::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> g_armed{false};
+} // namespace detail
+
+namespace
+{
+
+/*
+ * One thread's private slice of every metric. Slots are relaxed
+ * atomics so a concurrent snapshotMetrics() is race-free under TSan;
+ * only the owning thread writes, so there is never contention.
+ */
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<std::uint64_t>,
+               kMaxHistograms * kHistogramBuckets> buckets{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistograms> histCount{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistograms> histSum{};
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::string> counterNames;
+    std::vector<std::string> gaugeNames;
+    std::vector<std::string> histogramNames;
+    // Gauges are last-write-wins process globals, not per-thread sums.
+    std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+    // Shards in registration order; never freed (threads may exit but
+    // their totals must survive into later snapshots).
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+/* Leaked singleton: dodges static-destruction races with pool threads
+ * (same stance as the parallel.cc worker pool). */
+Registry &
+registry()
+{
+    static Registry *r = new Registry();
+    return *r;
+}
+
+Shard &
+myShard()
+{
+    thread_local Shard *tls = nullptr;
+    if (!tls) {
+        auto shard = std::make_unique<Shard>();
+        tls = shard.get();
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.shards.push_back(std::move(shard));
+    }
+    return *tls;
+}
+
+MetricId
+internName(std::vector<std::string> &names, const std::string &name,
+           std::size_t cap, const char *family)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name)
+            return static_cast<MetricId>(i);
+    }
+    checkInvariant(names.size() < cap,
+                   std::string("telemetry: too many ") + family +
+                       " metrics (cap " + std::to_string(cap) + ")");
+    names.push_back(name);
+    return static_cast<MetricId>(names.size() - 1);
+}
+
+/** Bucket index for a histogram value: bit_width, so bucket b holds
+ *  [2^(b-1), 2^b - 1] and bucket 0 holds only the value 0. */
+std::size_t
+bucketOf(std::uint64_t value)
+{
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+/** Inclusive upper bound of bucket b. */
+std::uint64_t
+bucketUpper(std::size_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+}
+
+} // namespace
+
+void
+setArmed(bool on)
+{
+    detail::g_armed.store(on, std::memory_order_relaxed);
+}
+
+MetricId
+counterId(const std::string &name)
+{
+    return internName(registry().counterNames, name, kMaxCounters,
+                      "counter");
+}
+
+MetricId
+gaugeId(const std::string &name)
+{
+    return internName(registry().gaugeNames, name, kMaxGauges, "gauge");
+}
+
+MetricId
+histogramId(const std::string &name)
+{
+    return internName(registry().histogramNames, name, kMaxHistograms,
+                      "histogram");
+}
+
+void
+counterAdd(MetricId id, std::uint64_t delta)
+{
+    myShard().counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+gaugeSet(MetricId id, std::int64_t value)
+{
+    registry().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void
+gaugeMax(MetricId id, std::int64_t value)
+{
+    auto &g = registry().gauges[id];
+    std::int64_t cur = g.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !g.compare_exchange_weak(cur, value,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+void
+histogramRecord(MetricId id, std::uint64_t value)
+{
+    Shard &s = myShard();
+    s.buckets[id * kHistogramBuckets + bucketOf(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.histCount[id].fetch_add(1, std::memory_order_relaxed);
+    s.histSum[id].fetch_add(value, std::memory_order_relaxed);
+}
+
+void
+counterAdd(const std::string &name, std::uint64_t delta)
+{
+    counterAdd(counterId(name), delta);
+}
+
+void
+gaugeSet(const std::string &name, std::int64_t value)
+{
+    gaugeSet(gaugeId(name), value);
+}
+
+void
+histogramRecord(const std::string &name, std::uint64_t value)
+{
+    histogramRecord(histogramId(name), value);
+}
+
+std::uint64_t
+HistogramSnapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0;
+    // rank = ceil(q * count), clamped to [1, count] — the same
+    // convention the serving layer uses for p50/p99.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    rank = std::max<std::uint64_t>(1, std::min(rank, count));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen >= rank)
+            return bucketUpper(b);
+    }
+    return bucketUpper(buckets.size() - 1);
+}
+
+double
+HistogramSnapshot::mean() const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+MetricsSnapshot
+snapshotMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+
+    MetricsSnapshot out;
+    out.counters.reserve(r.counterNames.size());
+    for (std::size_t i = 0; i < r.counterNames.size(); ++i) {
+        std::uint64_t total = 0;
+        for (const auto &shard : r.shards)
+            total += shard->counters[i].load(std::memory_order_relaxed);
+        out.counters.emplace_back(r.counterNames[i], total);
+    }
+    out.gauges.reserve(r.gaugeNames.size());
+    for (std::size_t i = 0; i < r.gaugeNames.size(); ++i) {
+        out.gauges.emplace_back(
+            r.gaugeNames[i], r.gauges[i].load(std::memory_order_relaxed));
+    }
+    out.histograms.reserve(r.histogramNames.size());
+    for (std::size_t i = 0; i < r.histogramNames.size(); ++i) {
+        HistogramSnapshot h;
+        h.name = r.histogramNames[i];
+        for (const auto &shard : r.shards) {
+            h.count +=
+                shard->histCount[i].load(std::memory_order_relaxed);
+            h.sum += shard->histSum[i].load(std::memory_order_relaxed);
+            for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+                h.buckets[b] +=
+                    shard->buckets[i * kHistogramBuckets + b].load(
+                        std::memory_order_relaxed);
+            }
+        }
+        out.histograms.push_back(std::move(h));
+    }
+    return out;
+}
+
+void
+resetMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &g : r.gauges)
+        g.store(0, std::memory_order_relaxed);
+    for (const auto &shard : r.shards) {
+        for (auto &c : shard->counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &b : shard->buckets)
+            b.store(0, std::memory_order_relaxed);
+        for (auto &c : shard->histCount)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &s : shard->histSum)
+            s.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+MetricsSnapshot::counter(std::string_view name) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+std::int64_t
+MetricsSnapshot::gauge(std::string_view name) const
+{
+    for (const auto &[n, v] : gauges) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::histogram(std::string_view name) const
+{
+    for (const auto &h : histograms) {
+        if (h.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
+std::string
+MetricsSnapshot::renderText() const
+{
+    std::ostringstream os;
+    os << "# maxk metrics snapshot\n";
+    os << "## counters\n";
+    for (const auto &[n, v] : counters)
+        os << n << " " << v << "\n";
+    os << "## gauges\n";
+    for (const auto &[n, v] : gauges)
+        os << n << " " << v << "\n";
+    os << "## histograms\n";
+    for (const auto &h : histograms) {
+        os << h.name << " count=" << h.count << " sum=" << h.sum
+           << " mean=" << h.mean() << " p50=" << h.percentile(0.50)
+           << " p99=" << h.percentile(0.99) << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+void
+appendJsonString(std::ostringstream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+} // namespace
+
+std::string
+MetricsSnapshot::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"maxk-metrics-v1\",\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[n, v] : counters) {
+        os << (first ? "\n    " : ",\n    ");
+        appendJsonString(os, n);
+        os << ": " << v;
+        first = false;
+    }
+    os << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[n, v] : gauges) {
+        os << (first ? "\n    " : ",\n    ");
+        appendJsonString(os, n);
+        os << ": " << v;
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &h : histograms) {
+        os << (first ? "\n    " : ",\n    ");
+        appendJsonString(os, h.name);
+        os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+           << ", \"p50\": " << h.percentile(0.50)
+           << ", \"p99\": " << h.percentile(0.99) << "}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+    return os.str();
+}
+
+std::string
+TelemetryReport::deltaText(const TelemetryReport &prev) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::uint64_t before = prev.snapshot.counter(name);
+        if (value > before)
+            os << name << " +" << (value - before) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace maxk::telemetry

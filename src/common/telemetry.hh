@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * histograms with deterministic snapshots (ISSUE 10).
+ *
+ * Design contract (mirrors the repo's determinism stance):
+ *
+ *  - Writes are lock-free: every thread owns a private shard of
+ *    relaxed std::atomic<uint64_t> slots, created on first touch and
+ *    registered (under a mutex, once per thread) with the process
+ *    registry. Increments never contend and never allocate.
+ *  - Snapshots merge shards in shard-registration order. Counter and
+ *    histogram-bucket merges are integer sums, so the merged totals
+ *    are independent of how work was sharded — a snapshot is
+ *    bitwise-stable at any MAXK_THREADS as long as the workload itself
+ *    is deterministic (which the parallelFor contract guarantees).
+ *  - TSan-clean by construction: shard slots are atomics (relaxed),
+ *    and registration/merge take the registry mutex.
+ *  - Metric identities are registered once (mutex) and cached by the
+ *    call sites, so the hot path is: one relaxed load of the armed
+ *    flag, one branch, one relaxed fetch_add.
+ *
+ * Histograms use power-of-two buckets over uint64 values (bucket b
+ * holds values with bit_width(v) == b, i.e. [2^(b-1), 2^b - 1]).
+ * percentile(q) reports the inclusive upper bound of the bucket that
+ * contains the q-quantile — tests/test_telemetry.cc pins the oracle
+ * relation against std::nth_element.
+ *
+ * Nothing in the numerics layer may *read* telemetry state: telemetry
+ * observes training, never steers it. That is what makes the armed
+ * and disarmed runs bitwise-identical (pinned by test_telemetry and
+ * bench_telemetry).
+ */
+
+#ifndef MAXK_COMMON_TELEMETRY_HH
+#define MAXK_COMMON_TELEMETRY_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maxk::telemetry
+{
+
+/** Capacity limits per metric family (panic on overflow). */
+inline constexpr std::size_t kMaxCounters = 192;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 32;
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+using MetricId = std::uint32_t;
+
+/*
+ * Global arming switch. Disarmed is the default; every instrumentation
+ * site is gated as `if (telemetry::armed()) ...`, so the disarmed cost
+ * is one relaxed atomic load plus one branch.
+ */
+
+namespace detail
+{
+extern std::atomic<bool> g_armed;
+} // namespace detail
+
+inline bool
+armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+void setArmed(bool on);
+
+/** RAII arm/disarm that restores the previous state. */
+class ArmGuard
+{
+  public:
+    explicit ArmGuard(bool on) : prev_(armed()) { setArmed(on); }
+    ~ArmGuard() { setArmed(prev_); }
+    ArmGuard(const ArmGuard &) = delete;
+    ArmGuard &operator=(const ArmGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/*
+ * Registration: returns a stable id for `name`, creating the metric on
+ * first call (idempotent; takes the registry mutex). Call sites cache
+ * the id in a function-local static so registration happens once.
+ */
+MetricId counterId(const std::string &name);
+MetricId gaugeId(const std::string &name);
+MetricId histogramId(const std::string &name);
+
+/* Hot-path update primitives (lock-free, relaxed). */
+void counterAdd(MetricId id, std::uint64_t delta);
+void gaugeSet(MetricId id, std::int64_t value);
+void gaugeMax(MetricId id, std::int64_t value);
+void histogramRecord(MetricId id, std::uint64_t value);
+
+/** Convenience: register-or-lookup by name, then update. Registration
+ *  cost on every call — use the id forms on hot paths. */
+void counterAdd(const std::string &name, std::uint64_t delta);
+void gaugeSet(const std::string &name, std::int64_t value);
+void histogramRecord(const std::string &name, std::uint64_t value);
+
+/** Merged view of one histogram. */
+struct HistogramSnapshot
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+    /**
+     * Inclusive upper bound of the bucket holding the q-quantile
+     * (rank = ceil(q * count), matching serve/session.cc's percentile
+     * convention). 0 when the histogram is empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Mean of recorded values (0 when empty). */
+    double mean() const;
+};
+
+/** Deterministic merged view of the whole registry. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+
+    /** Counter value by name; 0 when absent. */
+    std::uint64_t counter(std::string_view name) const;
+    /** Gauge value by name; 0 when absent. */
+    std::int64_t gauge(std::string_view name) const;
+    /** Histogram by name; nullptr when absent. */
+    const HistogramSnapshot *histogram(std::string_view name) const;
+
+    /** Human-readable text dump (the maxk-trace metrics.txt format). */
+    std::string renderText() const;
+    /** JSON object (the --metrics-json format). */
+    std::string renderJson() const;
+};
+
+/** Merge all shards (registration order) into one snapshot. */
+MetricsSnapshot snapshotMetrics();
+
+/**
+ * Zero every metric value. Identities (names/ids) and thread shards
+ * stay registered, so cached ids remain valid and the steady state
+ * stays allocation-free.
+ */
+void resetMetrics();
+
+/**
+ * Per-epoch summary the trainers emit when their `telemetry` config
+ * knob is on: capture() at a boundary, deltaText() against the prior
+ * capture for the "what changed this epoch" line set.
+ */
+struct TelemetryReport
+{
+    MetricsSnapshot snapshot;
+
+    static TelemetryReport capture() { return {snapshotMetrics()}; }
+
+    /** Counters that advanced since `prev`, one "name +delta" per line. */
+    std::string deltaText(const TelemetryReport &prev) const;
+};
+
+} // namespace maxk::telemetry
+
+#endif // MAXK_COMMON_TELEMETRY_HH

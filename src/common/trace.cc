@@ -1,0 +1,259 @@
+#include "common/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace maxk::telemetry
+{
+
+namespace
+{
+
+struct ThreadTrack
+{
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0;      //!< open-scope nesting on this thread
+    std::vector<SpanRecord> events;
+};
+
+struct TraceRecorder
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<ThreadTrack>> tracks;
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+};
+
+/* Leaked singleton (same stance as the metrics registry): tracks must
+ * outlive pool/rank threads and static destruction order. */
+TraceRecorder &
+recorder()
+{
+    static TraceRecorder *r = new TraceRecorder();
+    return *r;
+}
+
+ThreadTrack &
+myTrack()
+{
+    thread_local ThreadTrack *tls = nullptr;
+    if (!tls) {
+        auto track = std::make_unique<ThreadTrack>();
+        tls = track.get();
+        TraceRecorder &r = recorder();
+        std::lock_guard<std::mutex> lock(r.mu);
+        track->tid = static_cast<std::uint32_t>(r.tracks.size());
+        track->events.reserve(1024);
+        r.tracks.push_back(std::move(track));
+    }
+    return *tls;
+}
+
+std::uint64_t
+nowNs()
+{
+    const auto d = std::chrono::steady_clock::now() - recorder().epoch;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+void
+copyDetail(char (&dst)[kTraceDetailBytes], std::string_view src)
+{
+    const std::size_t n = std::min(src.size(), kTraceDetailBytes - 1);
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+} // namespace
+
+Phase::Phase(const char *name)
+    : name_(name),
+      countId_(counterId(std::string("span.count.") + name)),
+      wallNsId_(counterId(std::string("span.wall_ns.") + name)),
+      simNsId_(counterId(std::string("span.sim_ns.") + name))
+{
+}
+
+TraceScope::TraceScope(const Phase &phase, std::string_view detail)
+{
+    if (!armed())
+        return;
+    phase_ = &phase;
+    if (!detail.empty())
+        copyDetail(detail_, detail);
+    ThreadTrack &t = myTrack();
+    depth_ = t.depth++;
+    startNs_ = nowNs();
+}
+
+TraceScope::~TraceScope()
+{
+    if (!phase_)
+        return;
+    const std::uint64_t end = nowNs();
+    ThreadTrack &t = myTrack();
+    t.depth--;
+    SpanRecord rec;
+    rec.name = phase_->name();
+    rec.startNs = startNs_;
+    rec.durNs = end - startNs_;
+    rec.simNs = simNs_;
+    rec.tid = t.tid;
+    rec.depth = depth_;
+    std::memcpy(rec.detail, detail_, kTraceDetailBytes);
+    t.events.push_back(rec);
+
+    counterAdd(phase_->countId(), 1);
+    counterAdd(phase_->wallNsId(), rec.durNs);
+    if (simNs_ >= 0)
+        counterAdd(phase_->simNsId(),
+                   static_cast<std::uint64_t>(simNs_));
+}
+
+void
+traceInstant(const Phase &phase, std::string_view detail)
+{
+    if (!armed())
+        return;
+    ThreadTrack &t = myTrack();
+    SpanRecord rec;
+    rec.name = phase.name();
+    rec.startNs = nowNs();
+    rec.durNs = 0;
+    rec.tid = t.tid;
+    rec.depth = t.depth;
+    rec.instant = true;
+    copyDetail(rec.detail, detail);
+    t.events.push_back(rec);
+    counterAdd(phase.countId(), 1);
+}
+
+std::vector<SpanRecord>
+traceSnapshot()
+{
+    TraceRecorder &r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<SpanRecord> out;
+    for (const auto &track : r.tracks)
+        out.insert(out.end(), track->events.begin(), track->events.end());
+    return out;
+}
+
+void
+clearTrace()
+{
+    TraceRecorder &r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &track : r.tracks)
+        track->events.clear();
+}
+
+namespace
+{
+
+void
+appendEscaped(std::ostringstream &os, const char *s)
+{
+    for (; *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            os << '\\';
+        os << *s;
+    }
+}
+
+void
+appendEventJson(std::ostringstream &os, const SpanRecord &e, int pid,
+                double tsUs, double durUs, bool &first)
+{
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    os << "{\"name\": \"";
+    appendEscaped(os, e.name);
+    os << "\", \"cat\": \"maxk\", \"ph\": \""
+       << (e.instant ? 'i' : 'X') << "\", \"pid\": " << pid
+       << ", \"tid\": " << e.tid << ", \"ts\": " << tsUs;
+    if (!e.instant)
+        os << ", \"dur\": " << durUs;
+    else
+        os << ", \"s\": \"t\"";
+    os << ", \"args\": {";
+    bool firstArg = true;
+    if (e.detail[0] != '\0') {
+        os << "\"detail\": \"";
+        appendEscaped(os, e.detail);
+        os << "\"";
+        firstArg = false;
+    }
+    if (e.simNs >= 0) {
+        os << (firstArg ? "" : ", ") << "\"sim_seconds\": "
+           << static_cast<double>(e.simNs) / 1e9;
+    }
+    os << "}}";
+}
+
+} // namespace
+
+std::string
+renderChromeTrace()
+{
+    TraceRecorder &r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "{\"traceEvents\": [";
+    bool first = true;
+
+    // Track-name metadata: pid 1 is wall-clock, pid 2 the sim lane.
+    for (int pid = 1; pid <= 2; ++pid) {
+        os << (first ? "\n  " : ",\n  ");
+        first = false;
+        os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+           << pid << ", \"tid\": 0, \"args\": {\"name\": \""
+           << (pid == 1 ? "wall-clock" : "sim-seconds") << "\"}}";
+    }
+
+    for (const auto &track : r.tracks) {
+        // Wall-clock lane: real steady_clock timestamps.
+        for (const auto &e : track->events) {
+            appendEventJson(os, e, 1,
+                            static_cast<double>(e.startNs) / 1e3,
+                            static_cast<double>(e.durNs) / 1e3, first);
+        }
+        // Sim lane: deterministic, spans laid back-to-back per thread
+        // in append order — identical across runs and machines.
+        std::uint64_t cursorNs = 0;
+        for (const auto &e : track->events) {
+            if (e.simNs < 0)
+                continue;
+            appendEventJson(os, e, 2,
+                            static_cast<double>(cursorNs) / 1e3,
+                            static_cast<double>(e.simNs) / 1e3, first);
+            cursorNs += static_cast<std::uint64_t>(e.simNs);
+        }
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    const std::string json = renderChromeTrace();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = (n == json.size()) && std::fclose(f) == 0;
+    if (n != json.size())
+        std::fclose(f);
+    return ok;
+}
+
+} // namespace maxk::telemetry

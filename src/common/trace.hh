@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Scoped trace spans over the telemetry registry (ISSUE 10).
+ *
+ * `MAXK_TRACE_SCOPE("phase.name")` drops an RAII span into the current
+ * thread's append-only buffer. Disarmed cost is one relaxed load plus
+ * one branch (the scope stores a null phase and the destructor
+ * returns immediately). Armed cost is a steady_clock read on entry
+ * and one buffer append + three counter bumps on exit — no locks, no
+ * allocation once the thread's buffer has grown to its working size.
+ *
+ * Every span also advances three reconciliation counters in the
+ * MetricsRegistry — `span.count.<name>`, `span.wall_ns.<name>`, and
+ * `span.sim_ns.<name>` — so the serialized trace can be cross-checked
+ * against a metrics snapshot (the maxk-trace CLI does this
+ * in-process; acceptance criterion of ISSUE 10).
+ *
+ * writeChromeTrace() serializes everything as Chrome `trace_event`
+ * JSON (load in chrome://tracing or Perfetto). Two tracks:
+ *
+ *   pid 1 "wall-clock":  real steady_clock timings (machine-varying)
+ *   pid 2 "sim-seconds": spans that carry a simulated duration, laid
+ *                        out back-to-back per thread in append order —
+ *                        fully deterministic, diffable across runs.
+ */
+
+#ifndef MAXK_COMMON_TRACE_HH
+#define MAXK_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/telemetry.hh"
+
+namespace maxk::telemetry
+{
+
+/** Longest span `detail` arg kept (truncated beyond; no heap). */
+inline constexpr std::size_t kTraceDetailBytes = 64;
+
+/**
+ * Interned span identity. Declare one `static Phase` per call site
+ * (the MAXK_TRACE_SCOPE macro does) so the three reconciliation
+ * counters are registered exactly once per phase name.
+ */
+class Phase
+{
+  public:
+    explicit Phase(const char *name);
+
+    const char *name() const { return name_; }
+    MetricId countId() const { return countId_; }
+    MetricId wallNsId() const { return wallNsId_; }
+    MetricId simNsId() const { return simNsId_; }
+
+  private:
+    const char *name_;
+    MetricId countId_;
+    MetricId wallNsId_;
+    MetricId simNsId_;
+};
+
+/** One completed span, as stored in the per-thread buffers. */
+struct SpanRecord
+{
+    const char *name = nullptr;
+    std::uint64_t startNs = 0;  //!< steady_clock ns since recorder epoch
+    std::uint64_t durNs = 0;
+    std::int64_t simNs = -1;    //!< deterministic duration; -1 = none
+    std::uint32_t tid = 0;      //!< recorder thread id (registration order)
+    std::uint32_t depth = 0;    //!< nesting depth at entry (0 = top level)
+    bool instant = false;       //!< zero-duration marker event
+    char detail[kTraceDetailBytes] = {};  //!< args.detail (may be empty)
+};
+
+/** RAII span. Prefer the MAXK_TRACE_SCOPE macro. */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const Phase &phase)
+        : TraceScope(phase, std::string_view{})
+    {
+    }
+    TraceScope(const Phase &phase, std::string_view detail);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** Attach a deterministic simulated duration to this span. */
+    void
+    setSimSeconds(double seconds)
+    {
+        if (phase_)
+            simNs_ = static_cast<std::int64_t>(seconds * 1e9 + 0.5);
+    }
+
+  private:
+    const Phase *phase_ = nullptr;  //!< nullptr when disarmed at entry
+    std::uint64_t startNs_ = 0;
+    std::uint32_t depth_ = 0;
+    std::int64_t simNs_ = -1;
+    char detail_[kTraceDetailBytes] = {};
+};
+
+/** Zero-duration marker (kernel-dispatch decisions etc.). No-op when
+ *  disarmed. Also bumps the phase's span.count reconciliation counter. */
+void traceInstant(const Phase &phase, std::string_view detail);
+
+/** Snapshot of every recorded span, buffers merged in thread-id order
+ *  (within a thread: append order). Call quiescently. */
+std::vector<SpanRecord> traceSnapshot();
+
+/** Drop all recorded spans (buffer capacity is kept). */
+void clearTrace();
+
+/** Serialize as Chrome trace_event JSON. Returns false on I/O error. */
+bool writeChromeTrace(const std::string &path);
+
+/** The JSON text writeChromeTrace() emits (for tests/tools). */
+std::string renderChromeTrace();
+
+#define MAXK_TRACE_CONCAT2_(a, b) a##b
+#define MAXK_TRACE_CONCAT_(a, b) MAXK_TRACE_CONCAT2_(a, b)
+
+/**
+ * Scoped span: MAXK_TRACE_SCOPE("name") or
+ * MAXK_TRACE_SCOPE("name", detail_string_view).
+ * Expands to a function-local static Phase (one-time registration)
+ * plus a TraceScope covering the rest of the enclosing block.
+ */
+#define MAXK_TRACE_SCOPE(name, ...)                                        \
+    static const ::maxk::telemetry::Phase MAXK_TRACE_CONCAT_(              \
+        maxkTracePhase_, __LINE__){name};                                  \
+    ::maxk::telemetry::TraceScope MAXK_TRACE_CONCAT_(                      \
+        maxkTraceScope_, __LINE__)                                         \
+    {                                                                      \
+        MAXK_TRACE_CONCAT_(maxkTracePhase_, __LINE__)                      \
+            __VA_OPT__(, ) __VA_ARGS__                                     \
+    }
+
+/**
+ * Like MAXK_TRACE_SCOPE but binds the scope to `var`, so the caller
+ * can attach a simulated duration: `var.setSimSeconds(stats.seconds)`.
+ */
+#define MAXK_TRACE_SCOPE_NAMED(var, name, ...)                             \
+    static const ::maxk::telemetry::Phase MAXK_TRACE_CONCAT_(              \
+        maxkTracePhase_, __LINE__){name};                                  \
+    ::maxk::telemetry::TraceScope var                                      \
+    {                                                                      \
+        MAXK_TRACE_CONCAT_(maxkTracePhase_, __LINE__)                      \
+            __VA_OPT__(, ) __VA_ARGS__                                     \
+    }
+
+} // namespace maxk::telemetry
+
+#endif // MAXK_COMMON_TRACE_HH

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace maxk::dist
 {
@@ -16,6 +17,29 @@ namespace
 
 /** Upper bound on consecutive transient-fault retries of one hook. */
 constexpr std::uint32_t kCommRetryLimit = 4;
+
+const char *
+channelName(CommChannel channel)
+{
+    switch (channel) {
+      case CommChannel::Halo:   return "halo";
+      case CommChannel::Reduce: return "reduce";
+      case CommChannel::Gather: return "gather";
+    }
+    return "?";
+}
+
+/** Per-channel wire-byte counters (deterministic: the payload sizes
+ *  are a pure function of the partition, not of scheduling). */
+void
+noteBytes(CommChannel channel, std::uint64_t sent, std::uint64_t received)
+{
+    if (!telemetry::armed())
+        return;
+    const std::string ch = channelName(channel);
+    telemetry::counterAdd("comm.sent_bytes." + ch, sent);
+    telemetry::counterAdd("comm.recv_bytes." + ch, received);
+}
 
 } // namespace
 
@@ -99,6 +123,8 @@ Communicator::faultPoint(const char *site)
         if (s->kind == FaultKind::CommTimeout && s->transient &&
             attempt < kCommRetryLimit) {
             ++retries_;
+            if (telemetry::armed())
+                telemetry::counterAdd("comm.retries.transient", 1);
             logMessage(LogLevel::Warn,
                        "comm: rank " + std::to_string(rank_) +
                            " retrying transient timeout at " + site);
@@ -130,6 +156,7 @@ Communicator::publish(const void *ptr)
 void
 Communicator::barrier()
 {
+    MAXK_TRACE_SCOPE("comm.barrier");
     faultPoint("comm.barrier");
     sync();
 }
@@ -144,6 +171,7 @@ Communicator::allToAllv(
                    "allToAllv: send lane count != world size");
     const std::uint32_t ch = static_cast<std::uint32_t>(channel);
 
+    MAXK_TRACE_SCOPE("comm.allToAllv", channelName(channel));
     faultPoint("comm.allToAllv");
     recv.resize(n);
     publish(&send);
@@ -163,9 +191,16 @@ Communicator::allToAllv(
             traffic_.received[ch] += lane.size();
     }
     sync(); // every rank done copying; senders may reuse their buffers
+    std::uint64_t sent_now = 0;
     for (std::uint32_t dst = 0; dst < n; ++dst)
         if (dst != rank_)
-            traffic_.sent[ch] += send[dst].size();
+            sent_now += send[dst].size();
+    traffic_.sent[ch] += sent_now;
+    std::uint64_t recv_now = 0;
+    for (std::uint32_t src = 0; src < n; ++src)
+        if (src != rank_)
+            recv_now += recv[src].size();
+    noteBytes(channel, sent_now, recv_now);
 }
 
 template <class T>
@@ -176,6 +211,7 @@ Communicator::reduceImpl(T *data, std::size_t count,
     const std::uint32_t n = shared_->ranks;
     const std::uint32_t ch = static_cast<std::uint32_t>(channel);
 
+    MAXK_TRACE_SCOPE("comm.allReduce", channelName(channel));
     faultPoint("comm.allReduceSum");
     publish(data);
     faultPoint("comm.allReduceSum.mid");
@@ -196,6 +232,7 @@ Communicator::reduceImpl(T *data, std::size_t count,
         static_cast<std::uint64_t>(count) * sizeof(T) * (n - 1);
     traffic_.sent[ch] += bytes;
     traffic_.received[ch] += bytes;
+    noteBytes(channel, bytes, bytes);
 }
 
 void

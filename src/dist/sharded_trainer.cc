@@ -1,11 +1,13 @@
 #include "dist/sharded_trainer.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <optional>
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
+#include "common/trace.hh"
 #include "dist/sharded_model.hh"
 #include "nn/checkpoint.hh"
 #include "nn/loss.hh"
@@ -64,6 +66,12 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
 
     Stopwatch watch;
     ShardedTrainResult result;
+
+    // Observation only; bitwise-neutral (tests/test_telemetry.cc). The
+    // rank threads read the global armed flag set here.
+    std::optional<telemetry::ArmGuard> arm;
+    if (cfg.telemetry)
+        arm.emplace(true);
     result.finalLogits.resize(data_.graph.numNodes(), num_classes);
 
     std::vector<std::uint64_t> train_halo(ranks, 0), eval_halo(ranks, 0);
@@ -172,8 +180,14 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
                 words.value().data());
         }
 
+        char rank_tag[16];
+        rank_tag[0] = '\0';
+        if (telemetry::armed())
+            std::snprintf(rank_tag, sizeof(rank_tag), "rank%u", r);
+
         for (std::uint32_t epoch = start_epoch; epoch < cfg.epochs;
              ++epoch) {
+            MAXK_TRACE_SCOPE("dist.epoch", rank_tag);
             // Epoch-aligning barrier: when rank 0 samples the
             // allocation counter at the steady epoch, every rank has
             // finished its warm-up epochs.
@@ -185,8 +199,13 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
 
             const std::uint64_t halo0 =
                 comm.sentBytes(CommChannel::Halo);
-            const Matrix &logits =
-                model.forward(comm, exchange, features, true);
+            const Matrix *logits_ptr = nullptr;
+            {
+                MAXK_TRACE_SCOPE("dist.forward", rank_tag);
+                logits_ptr =
+                    &model.forward(comm, exchange, features, true);
+            }
+            const Matrix &logits = *logits_ptr;
             // Globally-normalised loss: dividing by the global
             // training-node count makes every local gradient row the
             // exact single-device gradient of that node.
@@ -198,7 +217,10 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
                                                   train_mask,
                                                   trainCount_, grad,
                                                   probs);
-            model.backward(comm, exchange, grad);
+            {
+                MAXK_TRACE_SCOPE("dist.backward", rank_tag);
+                model.backward(comm, exchange, grad);
+            }
             train_halo[r] +=
                 comm.sentBytes(CommChannel::Halo) - halo0;
 
@@ -214,6 +236,7 @@ ShardedTrainer::run(const nn::TrainConfig &cfg)
             adam.step();
 
             if (epoch % eval_every == 0 || epoch + 1 == cfg.epochs) {
+                MAXK_TRACE_SCOPE("dist.eval", rank_tag);
                 const std::uint64_t eval0 =
                     comm.sentBytes(CommChannel::Halo);
                 const Matrix &eval_logits =

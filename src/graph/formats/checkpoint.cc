@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "graph/formats/binary_csr.hh" // fnv1a64
 
 namespace maxk::formats
@@ -453,7 +454,11 @@ Expected<std::uint64_t, IoError>
 CheckpointStore::save(const Checkpoint &ck, std::uint64_t epoch,
                       FaultInjector *faults) const
 {
+    MAXK_TRACE_SCOPE("checkpoint.save");
     auto bytes = ck.save(pathFor(epoch), faults);
+    if (bytes && maxk::telemetry::armed())
+        maxk::telemetry::counterAdd("checkpoint.saved_bytes",
+                                    bytes.value());
     if (!bytes)
         return bytes;
     // Keep-last-N retention: prune the oldest images beyond the window.
@@ -470,6 +475,7 @@ CheckpointStore::save(const Checkpoint &ck, std::uint64_t epoch,
 Expected<CheckpointStore::Loaded, IoError>
 CheckpointStore::loadLatest(std::vector<IoError> *skipped) const
 {
+    MAXK_TRACE_SCOPE("checkpoint.restore");
     const std::vector<std::uint64_t> epochs = epochsOnDisk();
     if (epochs.empty())
         return fail(IoErrorCode::OpenFailed, dir_,

@@ -1,9 +1,11 @@
 #include "kernels/registry.hh"
 
 #include <array>
+#include <cstdio>
 #include <string>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "kernels/selector.hh"
 #include "kernels/spmm_fast.hh"
 #include "kernels/spmm_gnna.hh"
@@ -108,6 +110,28 @@ defaultSpmmVariant()
     return kVariants[1]; // spmm_row_wise
 }
 
+namespace
+{
+
+/**
+ * Telemetry hook for dispatch decisions: a zero-duration trace marker
+ * carrying "variant: reason" as its span arg, a per-variant counter,
+ * and the total. Pure observation — the decision itself never reads
+ * telemetry state (the bitwise-neutrality contract).
+ */
+void
+noteDispatch(const KernelVariant &v, const std::string &why)
+{
+    if (!telemetry::armed())
+        return;
+    static const telemetry::Phase phase("kernel.dispatch");
+    const std::string name(v.name);
+    telemetry::traceInstant(phase, name + ": " + why);
+    telemetry::counterAdd("kernel.dispatch." + name, 1);
+}
+
+} // namespace
+
 const KernelVariant &
 resolveSpmmVariant(std::string_view requested, const CsrGraph &g,
                    std::size_t dim, std::uint32_t k, const SimOptions &opt,
@@ -116,6 +140,7 @@ resolveSpmmVariant(std::string_view requested, const CsrGraph &g,
     if (requested.empty() || requested == "default") {
         if (reason)
             *reason = "static default";
+        noteDispatch(defaultSpmmVariant(), "static default");
         return defaultSpmmVariant();
     }
     if (requested == "auto") {
@@ -123,6 +148,7 @@ resolveSpmmVariant(std::string_view requested, const CsrGraph &g,
             selectSpmmVariant(g.degreeStatsCached(), dim, k, opt.device);
         if (reason)
             *reason = choice.reason;
+        noteDispatch(*choice.variant, choice.reason);
         return *choice.variant;
     }
     const KernelVariant &v = kernelVariantOrDie(requested);
@@ -131,6 +157,7 @@ resolveSpmmVariant(std::string_view requested, const CsrGraph &g,
                    "a forward launch");
     if (reason)
         *reason = "explicitly configured";
+    noteDispatch(v, "explicitly configured");
     return v;
 }
 

@@ -1,9 +1,26 @@
 #include "nn/model.hh"
 
+#include <cstdio>
+
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace maxk::nn
 {
+
+namespace
+{
+
+/** "layerN" tag for span args; empty (and free) when disarmed. */
+void
+layerTag(char (&tag)[32], std::size_t l)
+{
+    tag[0] = '\0';
+    if (telemetry::armed())
+        std::snprintf(tag, sizeof(tag), "layer%zu", l);
+}
+
+} // namespace
 
 GnnModel::GnnModel(const ModelConfig &cfg)
     : cfg_(cfg), dropRng_(cfg.seed ^ 0xD80C7ull)
@@ -55,6 +72,9 @@ GnnModel::forwardFrom(std::uint32_t first, const CsrGraph &a,
     acts_[first] = x;
     for (std::size_t l = first; l < layers_.size(); ++l) {
         GnnLayer &layer = layers_[l];
+        char tag[32];
+        layerTag(tag, l);
+        MAXK_TRACE_SCOPE("nn.layer.forward", tag);
         if (!hook) {
             layer.forward(a, acts_[l], acts_[l + 1], training, dropRng_);
             continue;
@@ -73,6 +93,9 @@ GnnModel::backward(const CsrGraph &a, const Matrix &grad_logits)
 {
     gradCur_ = grad_logits;
     for (std::size_t l = layers_.size(); l-- > 0;) {
+        char tag[32];
+        layerTag(tag, l);
+        MAXK_TRACE_SCOPE("nn.layer.backward", tag);
         layers_[l].backward(a, gradCur_, gradPrev_);
         std::swap(gradCur_, gradPrev_);
     }

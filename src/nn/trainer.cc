@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
+#include "common/trace.hh"
 #include "core/linear_backward_cbsr.hh"
 #include "core/maxk.hh"
 #include "core/spgemm_forward.hh"
@@ -172,6 +173,20 @@ profileEpoch(const ModelConfig &cfg, const CsrGraph &a,
     // Fig. 1 buckets under "Others"): ~12 host-dispatched ops per layer
     // per step at ~10 us each, independent of graph size.
     t.other += cfg.numLayers * 12 * 10e-6;
+
+    // Publish the Fig. 1 buckets as live counters (integer ns) so the
+    // breakdown is reproducible from a metrics snapshot
+    // (bench_fig1_breakdown --metrics-json).
+    if (telemetry::armed()) {
+        const auto ns = [](double s) {
+            return static_cast<std::uint64_t>(s * 1e9 + 0.5);
+        };
+        telemetry::counterAdd("profile.agg_fwd.sim_ns", ns(t.aggFwd));
+        telemetry::counterAdd("profile.agg_bwd.sim_ns", ns(t.aggBwd));
+        telemetry::counterAdd("profile.linear.sim_ns", ns(t.linear));
+        telemetry::counterAdd("profile.nonlin.sim_ns", ns(t.nonlin));
+        telemetry::counterAdd("profile.other.sim_ns", ns(t.other));
+    }
     return t;
 }
 
@@ -265,6 +280,16 @@ Trainer::run(const TrainConfig &cfg)
     Stopwatch watch;
     TrainResult result;
 
+    // Observation only: arming telemetry must not perturb training
+    // (numerics never read telemetry state; bitwise-equality pinned in
+    // tests/test_telemetry.cc).
+    std::optional<telemetry::ArmGuard> arm;
+    telemetry::TelemetryReport epoch_report;
+    if (cfg.telemetry) {
+        arm.emplace(true);
+        epoch_report = telemetry::TelemetryReport::capture();
+    }
+
     Adam adam(model_.params(), cfg.lr, 0.9f, 0.999f, 1e-8f,
               cfg.weightDecay);
 
@@ -278,20 +303,35 @@ Trainer::run(const TrainConfig &cfg)
 
     for (std::uint32_t epoch = start_epoch; epoch < cfg.epochs;
          ++epoch) {
+        MAXK_TRACE_SCOPE("train.epoch");
         if (cfg.faults)
             cfg.faults->maybeThrow("trainer.epoch");
-        const Matrix &logits =
-            model_.forward(data_.graph, data_.features, true);
-        LossResult loss =
-            task_.multiLabel
-                ? sigmoidBce(logits, multiTargets_, data_.trainMask)
-                : softmaxCrossEntropy(logits, data_.labels,
-                                      data_.trainMask);
+        LossResult loss;
+        const Matrix *logits = nullptr;
+        {
+            MAXK_TRACE_SCOPE("train.forward");
+            logits = &model_.forward(data_.graph, data_.features, true);
+        }
+        {
+            MAXK_TRACE_SCOPE("train.loss");
+            loss = task_.multiLabel
+                       ? sigmoidBce(*logits, multiTargets_,
+                                    data_.trainMask)
+                       : softmaxCrossEntropy(*logits, data_.labels,
+                                             data_.trainMask);
+        }
         result.trainLoss.push_back(loss.loss);
-        model_.backward(data_.graph, loss.gradLogits);
-        adam.step();
+        {
+            MAXK_TRACE_SCOPE("train.backward");
+            model_.backward(data_.graph, loss.gradLogits);
+        }
+        {
+            MAXK_TRACE_SCOPE("train.optimizer");
+            adam.step();
+        }
 
         if (epoch % eval_every == 0 || epoch + 1 == cfg.epochs) {
+            MAXK_TRACE_SCOPE("train.eval");
             const Matrix &eval_logits =
                 model_.forward(data_.graph, data_.features, false);
             const double val = evalMetric(eval_logits, data_.valMask);
@@ -316,6 +356,19 @@ Trainer::run(const TrainConfig &cfg)
         if (store &&
             ((epoch + 1) % ckpt_every == 0 || epoch + 1 == cfg.epochs))
             saveCheckpoint(ck, *store, adam, result, epoch, cfg.faults);
+
+        if (cfg.telemetry) {
+            // Per-epoch TelemetryReport: counters that advanced this
+            // epoch, at Debug so steady runs stay quiet by default.
+            telemetry::TelemetryReport now =
+                telemetry::TelemetryReport::capture();
+            const std::string delta = now.deltaText(epoch_report);
+            if (!delta.empty())
+                logMessage(LogLevel::Debug,
+                           "telemetry epoch " + std::to_string(epoch) +
+                               " deltas:\n" + delta);
+            epoch_report = std::move(now);
+        }
     }
 
     result.hostSeconds = watch.seconds();

@@ -98,6 +98,14 @@ struct TrainConfig
     /** Optional fault injector (hook sites "trainer.epoch",
      *  "checkpoint.write"). Not owned. */
     FaultInjector *faults = nullptr;
+
+    /**
+     * Arm the telemetry subsystem for the duration of the run and log
+     * a TelemetryReport counter-delta summary per epoch (ISSUE 10).
+     * Observation only: the trained state is bitwise-identical with
+     * the knob on or off (pinned by tests/test_telemetry.cc).
+     */
+    bool telemetry = false;
 };
 
 /** Outcome of a training run. */

@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace maxk::sample
 {
@@ -51,6 +53,8 @@ class BoundedQueue
     bool push(T *item)
     {
         std::unique_lock<std::mutex> lock(mu_);
+        if (!closed_ && items_.size() >= capacity_)
+            ++stalls_; // producer would block: queue full
         notFull_.wait(lock,
                       [&] { return closed_ || items_.size() < capacity_; });
         if (closed_)
@@ -92,6 +96,13 @@ class BoundedQueue
         return items_.size();
     }
 
+    /** Pushes that found the queue full and had to wait. */
+    std::uint64_t stalls() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stalls_;
+    }
+
   private:
     const std::size_t capacity_;
     mutable std::mutex mu_;
@@ -99,6 +110,7 @@ class BoundedQueue
     std::condition_variable notFull_;
     std::deque<T *> items_;
     bool closed_ = false;
+    std::uint64_t stalls_ = 0;
 };
 
 /**
@@ -169,12 +181,26 @@ class Pipeline
                 T *slot = nullptr;
                 if (!free_.pop(slot))
                     return; // consumer tore the pipeline down
-                if (!produce_(*slot, index)) {
-                    free_.push(slot);
-                    break;
+                {
+                    MAXK_TRACE_SCOPE("sample.produce");
+                    if (!produce_(*slot, index)) {
+                        free_.push(slot);
+                        break;
+                    }
                 }
                 if (!ready_.push(slot))
                     return;
+                if (telemetry::armed()) {
+                    // Scheduling-dependent observability gauges (the
+                    // deterministic contract covers counters, not the
+                    // instantaneous queue state).
+                    telemetry::gaugeSet(
+                        "sample.queue.depth",
+                        static_cast<std::int64_t>(ready_.size()));
+                    telemetry::gaugeSet(
+                        "sample.producer.stalls",
+                        static_cast<std::int64_t>(ready_.stalls()));
+                }
             }
         } catch (...) {
             error_ = std::current_exception();

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
+#include "common/trace.hh"
 #include "nn/checkpoint.hh"
 #include "nn/gnn_layer.hh"
 #include "nn/loss.hh"
@@ -108,6 +109,11 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
     Stopwatch watch;
     SampledTrainResult result;
 
+    // Observation only; bitwise-neutral (tests/test_telemetry.cc).
+    std::optional<telemetry::ArmGuard> arm;
+    if (cfg.telemetry)
+        arm.emplace(true);
+
     nn::Adam adam(model_.params(), cfg.lr, 0.9f, 0.999f, 1e-8f,
                   cfg.weightDecay);
 
@@ -185,9 +191,16 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
         const std::size_t hi =
             std::min<std::size_t>(lo + batch_size, order_.size());
         seedsWs_.assign(order_.begin() + lo, order_.begin() + hi);
-        sampler_.sample(static_cast<std::uint32_t>(epoch),
-                        static_cast<std::uint32_t>(b), seedsWs_, batchWs_);
-        extractor_->extract(batchWs_, slot);
+        {
+            MAXK_TRACE_SCOPE("sample.draw");
+            sampler_.sample(static_cast<std::uint32_t>(epoch),
+                            static_cast<std::uint32_t>(b), seedsWs_,
+                            batchWs_);
+        }
+        {
+            MAXK_TRACE_SCOPE("sample.extract");
+            extractor_->extract(batchWs_, slot);
+        }
         return true;
     };
 
@@ -201,6 +214,7 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
     const std::uint32_t steady_epoch = start_epoch + 2;
     for (std::uint32_t epoch = start_epoch; epoch < cfg.epochs;
          ++epoch) {
+        MAXK_TRACE_SCOPE("sample.epoch");
         if (cfg.faults)
             cfg.faults->maybeThrow("sampled_trainer.epoch");
         if (epoch == steady_epoch)
@@ -209,12 +223,21 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
         double loss_sum = 0.0;
         std::size_t seed_sum = 0;
         auto consume = [&](const Minibatch &mb) {
-            loss_sum += trainStep(mb, adam) *
-                        static_cast<double>(mb.numSeeds);
+            {
+                MAXK_TRACE_SCOPE("sample.train_step");
+                loss_sum += trainStep(mb, adam) *
+                            static_cast<double>(mb.numSeeds);
+            }
             seed_sum += mb.numSeeds;
             ++result.batchesTrained;
             result.sampledNodes += mb.numNodes;
             result.sampledEdges += mb.graph.numEdges();
+            if (telemetry::armed()) {
+                telemetry::counterAdd("sample.batches", 1);
+                telemetry::counterAdd("sample.nodes", mb.numNodes);
+                telemetry::counterAdd("sample.edges",
+                                      mb.graph.numEdges());
+            }
         };
 
         // Exactly nb batches belong to this epoch in either mode.
@@ -237,6 +260,7 @@ SampledTrainer::run(const SampledTrainConfig &cfg)
                                    static_cast<double>(seed_sum));
 
         if (epoch % eval_every == 0 || epoch + 1 == cfg.epochs) {
+            MAXK_TRACE_SCOPE("sample.eval");
             syncEvalParams();
             const Matrix &logits =
                 evalModel_.forward(data_.graph, data_.features, false);

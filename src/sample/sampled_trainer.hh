@@ -68,6 +68,10 @@ struct SampledTrainConfig
     /** Optional fault injector (site "sampled_trainer.epoch",
      *  "checkpoint.write"). Not owned. */
     FaultInjector *faults = nullptr;
+
+    /** Arm telemetry for the run (ISSUE 10). Observation only —
+     *  bitwise-neutral, same contract as nn::TrainConfig::telemetry. */
+    bool telemetry = false;
 };
 
 /** Outcome of a mini-batch run: trajectory, metrics, and the pipeline

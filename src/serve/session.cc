@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
+#include "common/trace.hh"
 #include "kernels/gemm_cost.hh"
 #include "tensor/alloc_probe.hh"
 
@@ -580,6 +581,7 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
     std::uint64_t alloc_base = 0;
 
     for (std::size_t bi = 0; bi < batchesWs_.size(); ++bi) {
+        MAXK_TRACE_SCOPE_NAMED(batch_span, "serve.batch");
         if (bi == kWarmupBatches)
             alloc_base = AllocProbe::totalAllocCount();
         const RequestBatch &batch = batchesWs_[bi];
@@ -668,6 +670,16 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
                 rep.cacheHits += bs.cacheHits;
                 rep.cacheMisses += bs.cacheMisses;
                 rep.batchStats.push_back(bs);
+                if (telemetry::armed()) {
+                    telemetry::counterAdd("serve.requests",
+                                          batch.requests.size());
+                    telemetry::counterAdd("serve.requests.shed",
+                                          batch.requests.size());
+                    telemetry::counterAdd("serve.cache.hits",
+                                          bs.cacheHits);
+                    telemetry::counterAdd("serve.cache.misses",
+                                          bs.cacheMisses);
+                }
                 continue;
             }
         }
@@ -677,6 +689,7 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
         else
             executeReference(bs);
         bs.serviceSimSeconds = batchSimSeconds(bs);
+        batch_span.setSimSeconds(bs.serviceSimSeconds);
         const double finish = start + bs.serviceSimSeconds;
         if (queue_model)
             server_free = finish;
@@ -688,6 +701,7 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
         rep.staleRowsInjected += bs.staleRowsInjected;
 
         const std::size_t out_dim = model_.config().outDim;
+        const bool armed = telemetry::armed();
         for (const std::uint32_t idx : batch.requests) {
             const NodeId r = localOf_[reqs[idx].vertex];
             const Float *src = logitsWs_->row(r);
@@ -697,6 +711,24 @@ ServeSession::replay(const std::vector<ServeRequest> &trace)
                 finish - reqs[idx].arrivalSimSeconds;
             rep.requestOutcome[idx] = outcome;
             rep.requestBatch[idx] = static_cast<std::uint32_t>(bi);
+            if (armed) {
+                // Latencies are simulated (deterministic), recorded in
+                // integer ns so the histogram merge stays exact.
+                telemetry::histogramRecord(
+                    "serve.latency_ns",
+                    static_cast<std::uint64_t>(
+                        rep.latencySimSeconds[idx] * 1e9 + 0.5));
+            }
+        }
+        if (armed) {
+            telemetry::counterAdd("serve.requests",
+                                  batch.requests.size());
+            telemetry::counterAdd("serve.batches", 1);
+            telemetry::counterAdd("serve.cache.hits", bs.cacheHits);
+            telemetry::counterAdd("serve.cache.misses", bs.cacheMisses);
+            if (outcome == ServeReport::kOutcomeStale)
+                telemetry::counterAdd("serve.requests.stale",
+                                      batch.requests.size());
         }
 
         rep.cacheHits += bs.cacheHits;

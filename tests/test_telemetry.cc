@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Acceptance suite for the observability layer (ISSUE 10):
+ *
+ *  - MetricsRegistry snapshots are bitwise-stable across MAXK_THREADS
+ *    {1, 4, 8} for the same deterministic workload (counter and
+ *    histogram-bucket merges are order-independent integer sums);
+ *  - histogram percentiles obey the bucket oracle against
+ *    std::nth_element: percentile(q) is exactly the inclusive upper
+ *    bound of the power-of-two bucket holding the true q-quantile;
+ *  - trace spans nest and order correctly, and their per-phase totals
+ *    reconcile exactly with the span.count/span.wall_ns/span.sim_ns
+ *    counters (the maxk-trace cross-check, unit-sized);
+ *  - armed steady-state training performs ZERO tracked allocations
+ *    (AllocProbe): telemetry buffers are warm after the first epoch;
+ *  - the telemetry config knob is bitwise-neutral: armed and disarmed
+ *    training trajectories are identical at MAXK_THREADS 1 and 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
+#include "graph/registry.hh"
+#include "nn/model.hh"
+#include "nn/trainer.hh"
+#include "sample/sampled_trainer.hh"
+
+namespace maxk
+{
+namespace
+{
+
+namespace tel = telemetry;
+
+struct ThreadGuard
+{
+    ~ThreadGuard() { setDefaultThreads(0); }
+};
+
+/** Flickr accuracy twin scaled to unit-test size. */
+TrainingTask
+smallTask(NodeId nodes)
+{
+    TrainingTask task = *findTrainingTask("Flickr");
+    task.accuracyNodes = nodes;
+    task.accuracyAvgDegree = 8.0;
+    return task;
+}
+
+nn::ModelConfig
+smallModel(const TrainingTask &task)
+{
+    nn::ModelConfig cfg;
+    cfg.kind = nn::GnnKind::Sage;
+    cfg.nonlin = nn::Nonlinearity::MaxK;
+    cfg.maxkK = 8;
+    cfg.numLayers = 2;
+    cfg.inDim = task.featureDim;
+    cfg.hiddenDim = 32;
+    cfg.outDim = task.numClasses;
+    cfg.dropout = 0.2f;
+    return cfg;
+}
+
+/* ------------------------------------------------ snapshot stability */
+
+TEST(MetricsRegistry, SnapshotStableAcrossThreadCounts)
+{
+    ThreadGuard guard;
+    const tel::MetricId sum_id = tel::counterId("tt.sum");
+    const tel::MetricId hist_id = tel::histogramId("tt.hist");
+    constexpr std::size_t kN = 10000;
+
+    std::vector<std::string> texts;
+    std::vector<std::uint64_t> sums;
+    for (std::uint32_t threads : {1u, 4u, 8u}) {
+        setDefaultThreads(threads);
+        tel::resetMetrics();
+        // Deterministic workload: the merged totals are pure functions
+        // of [0, kN), however the range was chunked across shards.
+        parallelFor(0, kN, 1,
+                    [&](std::uint32_t, std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) {
+                            tel::counterAdd(sum_id, i);
+                            tel::histogramRecord(hist_id, i % 257);
+                        }
+                    });
+        const tel::MetricsSnapshot snap = tel::snapshotMetrics();
+        sums.push_back(snap.counter("tt.sum"));
+        texts.push_back(snap.renderText());
+
+        const tel::HistogramSnapshot *h = snap.histogram("tt.hist");
+        ASSERT_NE(h, nullptr);
+        EXPECT_EQ(h->count, kN);
+    }
+    EXPECT_EQ(sums[0], kN * (kN - 1) / 2);
+    EXPECT_EQ(sums[0], sums[1]);
+    EXPECT_EQ(sums[0], sums[2]);
+    // The whole rendered dump — every counter and every histogram
+    // bucket — must be byte-identical at any thread count.
+    EXPECT_EQ(texts[0], texts[1]);
+    EXPECT_EQ(texts[0], texts[2]);
+}
+
+TEST(MetricsRegistry, ResetKeepsIdentitiesAndZeroesValues)
+{
+    const tel::MetricId id = tel::counterId("tt.reset");
+    tel::counterAdd(id, 7);
+    EXPECT_GE(tel::snapshotMetrics().counter("tt.reset"), 7u);
+    tel::resetMetrics();
+    EXPECT_EQ(tel::snapshotMetrics().counter("tt.reset"), 0u);
+    // Same id after reset — call-site caches stay valid.
+    EXPECT_EQ(tel::counterId("tt.reset"), id);
+    tel::counterAdd(id, 3);
+    EXPECT_EQ(tel::snapshotMetrics().counter("tt.reset"), 3u);
+}
+
+/* --------------------------------------------- histogram percentiles */
+
+TEST(Histogram, PercentileMatchesNthElementBucketOracle)
+{
+    tel::resetMetrics();
+    const tel::MetricId id = tel::histogramId("tt.lat");
+    Rng rng(404);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 5000; ++i) {
+        // Heavy-tailed like a latency distribution: exponentiate a
+        // uniform draw so the buckets span many octaves.
+        const double u = rng.uniform();
+        values.push_back(
+            static_cast<std::uint64_t>(std::pow(2.0, 20.0 * u)));
+    }
+    for (std::uint64_t v : values)
+        tel::histogramRecord(id, v);
+
+    const tel::MetricsSnapshot snap = tel::snapshotMetrics();
+    const tel::HistogramSnapshot *h = snap.histogram("tt.lat");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->count, values.size());
+
+    for (double q : {0.5, 0.9, 0.99}) {
+        // Oracle: the true q-quantile at rank ceil(q * count).
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(values.size())));
+        rank = std::min(std::max<std::size_t>(rank, 1), values.size());
+        std::vector<std::uint64_t> sorted = values;
+        std::nth_element(sorted.begin(), sorted.begin() + (rank - 1),
+                         sorted.end());
+        const std::uint64_t truth = sorted[rank - 1];
+        // percentile(q) reports the inclusive upper bound of the bucket
+        // holding the truth: [2^(b-1), 2^b - 1] for b = bit_width.
+        const std::uint64_t expect =
+            truth == 0 ? 0
+                       : (std::uint64_t(1) << std::bit_width(truth)) - 1;
+        EXPECT_EQ(h->percentile(q), expect) << "q = " << q;
+        EXPECT_GE(h->percentile(q), truth) << "q = " << q;
+    }
+}
+
+/* ------------------------------------------------------- trace spans */
+
+TEST(Trace, SpanNestingOrderingAndReconciliation)
+{
+    tel::ArmGuard arm(true);
+    tel::clearTrace();
+    tel::resetMetrics();
+
+    {
+        MAXK_TRACE_SCOPE("tt.outer");
+        {
+            MAXK_TRACE_SCOPE("tt.inner", "first");
+        }
+        {
+            MAXK_TRACE_SCOPE_NAMED(span, "tt.inner", "second");
+            span.setSimSeconds(0.5);
+        }
+    }
+
+    std::vector<tel::SpanRecord> spans;
+    for (const tel::SpanRecord &s : tel::traceSnapshot())
+        if (std::string_view(s.name).rfind("tt.", 0) == 0)
+            spans.push_back(s);
+    ASSERT_EQ(spans.size(), 3u);
+
+    // Scopes close inner-first, so append order is inner, inner, outer.
+    EXPECT_STREQ(spans[0].name, "tt.inner");
+    EXPECT_STREQ(spans[1].name, "tt.inner");
+    EXPECT_STREQ(spans[2].name, "tt.outer");
+    EXPECT_EQ(spans[0].depth, 1u);
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_EQ(spans[2].depth, 0u);
+    EXPECT_STREQ(spans[0].detail, "first");
+    EXPECT_STREQ(spans[1].detail, "second");
+    EXPECT_EQ(spans[1].simNs, 500000000);
+    EXPECT_EQ(spans[0].simNs, -1);
+
+    // The outer span covers both inner ones.
+    EXPECT_LE(spans[2].startNs, spans[0].startNs);
+    EXPECT_LE(spans[0].startNs + spans[0].durNs,
+              spans[1].startNs + spans[1].durNs);
+    EXPECT_GE(spans[2].durNs, spans[0].durNs + spans[1].durNs);
+
+    // Reconciliation counters: exactly the span sums.
+    const tel::MetricsSnapshot snap = tel::snapshotMetrics();
+    EXPECT_EQ(snap.counter("span.count.tt.outer"), 1u);
+    EXPECT_EQ(snap.counter("span.count.tt.inner"), 2u);
+    EXPECT_EQ(snap.counter("span.wall_ns.tt.inner"),
+              spans[0].durNs + spans[1].durNs);
+    EXPECT_EQ(snap.counter("span.wall_ns.tt.outer"), spans[2].durNs);
+    EXPECT_EQ(snap.counter("span.sim_ns.tt.inner"), 500000000u);
+
+    // The Chrome serialization carries both tracks and the span args.
+    const std::string json = tel::renderChromeTrace();
+    EXPECT_NE(json.find("\"name\": \"tt.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"detail\": \"second\""), std::string::npos);
+    EXPECT_NE(json.find("\"sim_seconds\": 0.5"), std::string::npos);
+    EXPECT_NE(json.find("wall-clock"), std::string::npos);
+    EXPECT_NE(json.find("sim-seconds"), std::string::npos);
+}
+
+TEST(Trace, DisarmedScopesRecordNothing)
+{
+    tel::clearTrace();
+    ASSERT_FALSE(tel::armed());
+    {
+        MAXK_TRACE_SCOPE("tt.disarmed");
+    }
+    for (const tel::SpanRecord &s : tel::traceSnapshot())
+        EXPECT_STRNE(s.name, "tt.disarmed");
+}
+
+/* ------------------------------------- armed steady-state allocations */
+
+TEST(Telemetry, ArmedSteadyStateIsAllocationFree)
+{
+    const TrainingTask task = smallTask(300);
+    Rng rng(17);
+    TrainingData data = materializeTrainingData(task, rng);
+    nn::GnnModel model(smallModel(task));
+
+    sample::SamplerConfig scfg;
+    scfg.fanouts = {5, 5};
+    scfg.batchSize = 48;
+    scfg.seed = 321;
+    sample::SampledTrainer trainer(model, data, task, scfg);
+
+    sample::SampledTrainConfig tc;
+    tc.epochs = 4;
+    tc.evalEvery = 2;
+    tc.telemetry = true;
+    const sample::SampledTrainResult res = trainer.run(tc);
+    // Same contract as the disarmed pipeline (test_pipeline.cc): the
+    // telemetry layer must not add tracked Matrix/CBSR allocations —
+    // and its own buffers are reused, not regrown, once warm.
+    EXPECT_EQ(res.steadyStateAllocCount, 0u);
+}
+
+/* -------------------------------------------------- bitwise neutrality */
+
+TEST(Telemetry, ArmedTrainingIsBitwiseEqualToDisarmed)
+{
+    ThreadGuard guard;
+    const TrainingTask task = smallTask(300);
+    Rng rng(29);
+    TrainingData data = materializeTrainingData(task, rng);
+    const nn::ModelConfig cfg = smallModel(task);
+
+    for (std::uint32_t threads : {1u, 4u}) {
+        setDefaultThreads(threads);
+        nn::TrainConfig tc;
+        tc.epochs = 3;
+        tc.evalEvery = 2;
+
+        nn::GnnModel off_model(cfg);
+        nn::Trainer off_trainer(off_model, data, task);
+        const nn::TrainResult off = off_trainer.run(tc);
+
+        tc.telemetry = true;
+        nn::GnnModel on_model(cfg);
+        nn::Trainer on_trainer(on_model, data, task);
+        const nn::TrainResult on = on_trainer.run(tc);
+
+        EXPECT_EQ(on.trainLoss, off.trainLoss) << threads << " threads";
+        EXPECT_EQ(on.valMetric, off.valMetric) << threads << " threads";
+        EXPECT_EQ(on.testMetric, off.testMetric)
+            << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace maxk
